@@ -1,0 +1,68 @@
+// Ablation for §IV-A (multiplexor reordering): how the order in which
+// muxes are offered power management changes the outcome.
+//
+// The paper processes muxes closest-to-the-outputs first and notes that a
+// greedy pick "may impede the selection of one or more other multiplexors";
+// it announces a reordering pre-processing as future work. We compare:
+//   * OutputFirst  — the paper's order,
+//   * InputFirst   — the reverse (a deliberately bad baseline),
+//   * BySavings    — greedy by potential gated power (§IV-A's idea),
+//   * Optimal      — exact best subset (our extension; feasibility of a mux
+//                    set is order-independent, so exact search is sound).
+
+#include <iostream>
+
+#include "analysis/experiments.hpp"
+#include "power/activation.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace pmsched;
+
+struct Outcome {
+  int pmMuxes = 0;
+  double reductionPct = 0;
+};
+
+Outcome evaluate(const Graph& g, int steps, MuxOrdering ordering, bool optimal) {
+  PowerManagedDesign design =
+      optimal ? applyPowerManagementOptimal(g, steps) : applyPowerManagement(g, steps, ordering);
+  applySharedGating(design);
+  const ActivationResult activation = analyzeActivation(design);
+  return {design.managedCount(),
+          activation.reductionPercent(OpPowerModel::paperWeights())};
+}
+
+}  // namespace
+
+int main() {
+  using namespace pmsched;
+
+  std::cout << "Ablation §IV-A — multiplexor processing order\n\n";
+  AsciiTable table({"Circuit", "Steps", "OutputFirst", "InputFirst", "BySavings", "ExactSubset"});
+
+  for (const auto& circuit : circuits::paperCircuits()) {
+    const Graph g = circuit.build();
+    for (const int steps : circuits::tableIISteps(circuit.name)) {
+      const Outcome out = evaluate(g, steps, MuxOrdering::OutputFirst, false);
+      const Outcome in = evaluate(g, steps, MuxOrdering::InputFirst, false);
+      const Outcome sav = evaluate(g, steps, MuxOrdering::BySavings, false);
+      const Outcome opt = evaluate(g, steps, MuxOrdering::OutputFirst, true);
+      auto cell = [](const Outcome& o) {
+        return std::to_string(o.pmMuxes) + " muxes / " + fixed(o.reductionPct, 2) + "%";
+      };
+      table.addRow({circuit.name, std::to_string(steps), cell(out), cell(in), cell(sav),
+                    cell(opt)});
+    }
+    table.addSeparator();
+  }
+  std::cout << table.render();
+  std::cout << "\nReading: when slack is scarce, order matters — a mux committed early can\n"
+               "consume the slack another mux needed (dealer@4: InputFirst loses 5 points).\n"
+               "ExactSubset maximizes a static savings proxy (nesting discounts ignored),\n"
+               "so a lucky greedy order can still edge it out on the exact metric; it\n"
+               "bounds what the §IV-A reordering preprocessing could recover per-proxy.\n";
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Reproduces Figures 1 and 2 of Monteiro et al., DAC'96: the |a-b| example.
+//
+// Figure 1: with 2 control steps the schedule is unique — the comparison
+// and both subtractions share step 1, needing two subtractors, and no
+// power management is possible.
+// Figure 2(a): 3 control steps, traditional schedule — one subtractor
+// suffices but both subtractions still always execute.
+// Figure 2(b): 3 control steps, power-managed schedule — a>b runs first
+// and only the selected subtraction loads its operands.
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/experiments.hpp"
+
+int main() {
+  using namespace pmsched;
+
+  std::cout << "Figures 1 & 2 — scheduling |a-b|\n==================================\n\n";
+  for (const analysis::AbsdiffFigure& fig : analysis::absdiffFigures()) {
+    const char* label = fig.steps == 2
+                            ? (fig.powerManaged ? "Figure 1 (PM attempted)" : "Figure 1")
+                            : (fig.powerManaged ? "Figure 2(b)" : "Figure 2(a)");
+    std::cout << label << " — " << fig.steps << " control steps, "
+              << (fig.powerManaged ? "power-managed" : "traditional") << ":\n";
+    std::cout << fig.scheduleText;
+    std::printf("  power-managed muxes: %d, subtractors: %d, datapath power reduction: %.2f%%\n\n",
+                fig.pmMuxes, fig.subtractors, fig.powerReductionPct);
+  }
+
+  std::cout << "Paper's narrative check:\n"
+               "  * 2 steps: unique schedule, 2 subtractors, no power management.\n"
+               "  * 3 steps + PM: comparison scheduled first; each subtraction then\n"
+               "    executes with probability 1/2 (datapath reduction 3/11 = 27.27%).\n";
+  return 0;
+}

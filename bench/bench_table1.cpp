@@ -1,0 +1,25 @@
+// Reproduces Table I of Monteiro et al., DAC'96: circuit statistics of the
+// four benchmark CDFGs (critical path and operation inventory).
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/experiments.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace pmsched;
+
+  std::cout << "Table I — Circuit Statistics (paper: Monteiro et al., DAC'96)\n\n";
+
+  AsciiTable table({"Circuit", "Critical Path", "MUX", "COMP", "+", "-", "*"});
+  for (const analysis::Table1Row& row : analysis::table1()) {
+    table.addRow({row.circuit, std::to_string(row.criticalPath), std::to_string(row.ops.mux),
+                  std::to_string(row.ops.comp), std::to_string(row.ops.add),
+                  std::to_string(row.ops.sub), std::to_string(row.ops.mul)});
+  }
+  std::cout << table.render();
+  std::cout << "\nPaper values: dealer 4/3/3/2/1/0, gcd 5/6/2/0/1/0, "
+               "vender 5/6/3/3/3/2, cordic 48/47/16/43/46/0\n";
+  return 0;
+}

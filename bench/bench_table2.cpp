@@ -1,0 +1,98 @@
+// Reproduces Table II of Monteiro et al., DAC'96: for each circuit and
+// control-step budget, the number of power-managed muxes, the execution-unit
+// area increase, the average number of operations executed per sample
+// (exact, under fair independent selects), and the datapath power reduction
+// with the paper's op weights (MUX:1 COMP:4 +:3 -:3 *:20).
+//
+// A JSON dump follows the table so EXPERIMENTS.md numbers are regenerable.
+
+#include <iostream>
+
+#include "analysis/experiments.hpp"
+#include "support/json.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace pmsched;
+
+  std::cout << "Table II — Average Number of Operations Executed Using Power Management\n"
+            << "(paper values in brackets; see EXPERIMENTS.md for the per-row discussion)\n\n";
+
+  struct PaperRow {
+    const char* circuit;
+    int steps;
+    int pmMuxes;
+    double area;
+    const char* mux;
+    const char* comp;
+    const char* add;
+    const char* sub;
+    const char* mul;
+    double red;
+  };
+  // The paper's Table II, verbatim.
+  const PaperRow paper[] = {
+      {"dealer", 4, 1, 1.20, "2.00", "2.00", "2.00", "0.50", "0.00", 27.00},
+      {"dealer", 5, 1, 1.00, "2.00", "2.00", "2.00", "0.50", "0.00", 27.00},
+      {"dealer", 6, 2, 1.00, "2.00", "2.00", "1.75", "0.25", "0.00", 33.33},
+      {"gcd", 5, 1, 1.00, "5.50", "2.00", "0.00", "0.50", "0.00", 11.76},
+      {"gcd", 6, 1, 1.00, "5.50", "2.00", "0.00", "0.50", "0.00", 11.76},
+      {"gcd", 7, 2, 1.05, "5.50", "2.00", "0.00", "0.25", "0.00", 16.18},
+      {"vender", 5, 4, 1.04, "4.50", "2.50", "1.50", "1.00", "1.00", 41.67},
+      {"vender", 6, 4, 1.00, "4.50", "2.50", "1.50", "1.00", "1.00", 41.67},
+      {"cordic", 48, 38, 1.00, "47.00", "16.00", "24.00", "27.00", "0.00", 30.16},
+      {"cordic", 52, 46, 1.17, "47.00", "16.00", "22.00", "23.00", "0.00", 34.92},
+  };
+
+  const std::vector<analysis::Table2Row> rows = analysis::table2();
+
+  AsciiTable table({"Circuit", "Steps", "P.Man. Muxs", "Area Incr.", "MUX", "COMP", "+", "-",
+                    "*", "Power Red.(%)"});
+  std::string lastCircuit;
+  std::size_t paperIdx = 0;
+  for (const analysis::Table2Row& row : rows) {
+    if (!lastCircuit.empty() && row.circuit != lastCircuit) table.addSeparator();
+    lastCircuit = row.circuit;
+
+    std::string paperNote;
+    if (paperIdx < std::size(paper) && paper[paperIdx].circuit == row.circuit &&
+        paper[paperIdx].steps == row.steps) {
+      paperNote = " [" + fixed(paper[paperIdx].red, 2) + "]";
+      ++paperIdx;
+    }
+    table.addRow({row.circuit, std::to_string(row.steps), std::to_string(row.pmMuxes),
+                  fixed(row.areaIncrease, 2), row.avgMux.toFixed(2), row.avgComp.toFixed(2),
+                  row.avgAdd.toFixed(2), row.avgSub.toFixed(2), row.avgMul.toFixed(2),
+                  fixed(row.powerReductionPct, 2) + paperNote});
+  }
+  std::cout << table.render() << "\n";
+
+  std::cout << "Shared-gated operations per row (our OR-composed extension, required for\n"
+               "the paper's dealer '+ = 1.75' entry): ";
+  for (const analysis::Table2Row& row : rows)
+    if (row.sharedGated > 0)
+      std::cout << row.circuit << "@" << row.steps << ": " << row.sharedGated << "  ";
+  std::cout << "\n\n";
+
+  JsonWriter json;
+  json.beginObject().key("table").value("II").key("rows").beginArray();
+  for (const analysis::Table2Row& row : rows) {
+    json.beginObject()
+        .key("circuit").value(row.circuit)
+        .key("steps").value(row.steps)
+        .key("pm_muxes").value(row.pmMuxes)
+        .key("shared_gated").value(row.sharedGated)
+        .key("area_increase").value(row.areaIncrease)
+        .key("avg_mux").value(row.avgMux.toDouble())
+        .key("avg_comp").value(row.avgComp.toDouble())
+        .key("avg_add").value(row.avgAdd.toDouble())
+        .key("avg_sub").value(row.avgSub.toDouble())
+        .key("avg_mul").value(row.avgMul.toDouble())
+        .key("power_reduction_pct").value(row.powerReductionPct)
+        .endObject();
+  }
+  json.endArray().endObject();
+  std::cout << "JSON: " << json.str() << "\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// §IV-B demo: pipelining the CORDIC rotator to create power-management
+// slack without sacrificing throughput.
+//
+// CORDIC at its critical path (48 steps) already gates most rotation muxes;
+// tightening the THROUGHPUT below 48 steps is impossible without
+// pipelining. With k stages, a new sample enters every T steps while each
+// sample takes k*T steps of latency — and the transform gets k*T steps of
+// slack to order control before data.
+
+#include <cstdio>
+#include <iostream>
+
+#include "power/activation.hpp"
+#include "circuits/circuits.hpp"
+#include "sched/pipeline.hpp"
+#include "sched/shared_gating.hpp"
+
+int main() {
+  using namespace pmsched;
+
+  const Graph g = circuits::cordic();
+  std::cout << "CORDIC pipelining for power management (paper §IV-B)\n"
+            << "=====================================================\n\n"
+            << "critical path: " << criticalPathLength(g) << " control steps\n\n";
+
+  const OpPowerModel model = OpPowerModel::paperWeights();
+  std::printf("%-8s %-8s %-9s %-10s %-12s %-10s\n", "stages", "T (thru)", "latency",
+              "PM muxes", "power red.%", "units cost");
+
+  for (const int throughput : {48, 24, 16}) {
+    const int stages = (criticalPathLength(g) + throughput - 1) / throughput;
+    for (const int extraStages : {0, 1}) {
+      const int k = stages + extraStages;
+      PipelineOptions opts;
+      opts.stages = k;
+      opts.effectiveSteps = throughput;
+      try {
+        PipelineResult result = pipelineSchedule(g, opts);
+        const ActivationResult activation = analyzeActivation(result.design);
+        std::printf("%-8d %-8d %-9d %-10d %-12.2f %-10.0f\n", k, throughput, result.latency,
+                    result.design.managedCount(), activation.reductionPercent(model),
+                    UnitCosts::defaults().costOf(result.units));
+      } catch (const InfeasibleError& e) {
+        std::printf("%-8d %-8d infeasible: %s\n", k, throughput, e.what());
+      }
+    }
+  }
+
+  std::cout << "\nReading: at throughput 16 a 3-stage pipeline holds the sample for 48\n"
+               "steps (the critical path) and still gates the rotation muxes, while an\n"
+               "unpipelined design could not even meet the throughput. Extra stages add\n"
+               "slack and power management improves further — at the cost of latency\n"
+               "and pipeline registers (the trade-off the paper describes).\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Design-space exploration: sweep the control-step budget for every paper
+// circuit and chart the trade-off the scheduler navigates — throughput vs
+// power-management opportunity vs execution-unit area. This is the
+// "explore any available slack" knob of the paper turned into a tool.
+//
+// Also demonstrates compiling a fresh circuit from SIL source and exploring
+// it the same way (the clipped-average example).
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/experiments.hpp"
+#include "lang/elaborate.hpp"
+#include "lang/library.hpp"
+
+namespace {
+
+using namespace pmsched;
+
+void explore(const std::string& name, const Graph& g, int extraBudget) {
+  const int cp = criticalPathLength(g);
+  std::cout << name << " (critical path " << cp << "):\n";
+  std::printf("  %-6s %-9s %-12s %-12s %-11s\n", "steps", "PM muxes", "shared ops",
+              "power red.%", "area incr.");
+  for (int steps = cp; steps <= cp + extraBudget; ++steps) {
+    const analysis::Table2Row row = analysis::table2Row(name, g, steps);
+    std::printf("  %-6d %-9d %-12d %-12.2f %-11.2f\n", steps, row.pmMuxes, row.sharedGated,
+                row.powerReductionPct, row.areaIncrease);
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace pmsched;
+
+  std::cout << "Design-space exploration: control steps vs power management\n"
+            << "============================================================\n\n";
+
+  for (const auto& circuit : circuits::paperCircuits()) {
+    if (std::string_view(circuit.name) == "cordic") continue;  // swept separately below
+    explore(circuit.name, circuit.build(), 4);
+  }
+
+  // CORDIC is large; sample a few budgets only.
+  {
+    const Graph g = circuits::cordic();
+    const int cp = criticalPathLength(g);
+    std::cout << "cordic (critical path " << cp << "):\n";
+    std::printf("  %-6s %-9s %-12s %-12s\n", "steps", "PM muxes", "shared ops",
+                "power red.%");
+    for (const int steps : {cp, cp + 2, cp + 4, cp + 8}) {
+      const analysis::Table2Row row = analysis::table2Row("cordic", g, steps);
+      std::printf("  %-6d %-9d %-12d %-12.2f\n", steps, row.pmMuxes, row.sharedGated,
+                  row.powerReductionPct);
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "A circuit compiled from SIL source gets the same treatment:\n\n";
+  const Graph clip = lang::compile(lang::clippedAverageSource());
+  explore("clipavg", clip, 3);
+
+  std::cout << "Reading: every circuit has a knee — the smallest budget at which the\n"
+               "control chain fits ahead of the gated work. Slack beyond the knee buys\n"
+               "nothing more, which is how a designer picks the throughput constraint.\n";
+  return 0;
+}

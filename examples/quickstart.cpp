@@ -1,0 +1,35 @@
+// Quickstart: the |a-b| example from the paper's Figures 1 and 2.
+//
+// Builds the CDFG, schedules it with 2 and 3 control steps, applies the
+// power-management transform, and prints the schedules plus the expected
+// datapath power reduction.
+
+#include <iostream>
+
+#include "analysis/experiments.hpp"
+
+int main() {
+  using namespace pmsched;
+
+  std::cout << "PMSched quickstart: scheduling |a-b| for power management\n"
+            << "=========================================================\n\n";
+
+  const Graph g = circuits::absdiff();
+  std::cout << "CDFG '" << g.name() << "': " << countOps(g).totalUnits()
+            << " operations, critical path " << criticalPathLength(g) << " steps\n\n";
+
+  for (const analysis::AbsdiffFigure& fig : analysis::absdiffFigures()) {
+    std::cout << "--- " << fig.steps << " control steps, "
+              << (fig.powerManaged ? "with" : "without") << " power management ---\n";
+    std::cout << fig.scheduleText;
+    std::cout << "power-managed muxes: " << fig.pmMuxes
+              << ", subtractors needed: " << fig.subtractors << ", datapath power reduction: ";
+    std::printf("%.2f%%\n\n", fig.powerReductionPct);
+  }
+
+  std::cout << "As in the paper: with only 2 control steps the comparison cannot\n"
+               "precede the subtractions, so both a-b and b-a always execute. A\n"
+               "third control step lets the scheduler place a>b first and gate the\n"
+               "loser's input latches.\n";
+  return 0;
+}

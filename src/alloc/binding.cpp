@@ -1,0 +1,194 @@
+#include "alloc/binding.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "sched/condition.hpp"
+
+namespace pmsched {
+
+namespace {
+
+/// Two activation conditions are mutually exclusive when their conjunction
+/// is unsatisfiable (empty DNF after simplification).
+bool mutuallyExclusive(const GateDnf& a, const GateDnf& b) {
+  return andDnf(a, b).empty();
+}
+
+}  // namespace
+
+Binding bindDesign(const Graph& g, const Schedule& sched, const BindingOptions& opts) {
+  sched.validate(g);
+  if (opts.allowMutexSharing && opts.activation == nullptr)
+    throw SynthesisError("bindDesign: mutex sharing requires activation analysis");
+
+  Binding binding;
+  binding.unitOf.assign(g.size(), -1);
+  binding.registerOf.assign(g.size(), -1);
+
+  // ---- functional unit binding ---------------------------------------------
+  // Greedy first-fit, step by step; a unit is reusable across steps freely,
+  // and within one step only via the mutual-exclusion extension.
+  struct UnitState {
+    FunctionalUnit unit;
+    int lastStep = 0;
+    std::vector<NodeId> opsThisStep;
+  };
+  std::map<ResourceClass, std::vector<UnitState>> pool;
+
+  for (int step = 1; step <= sched.steps(); ++step) {
+    for (auto& [cls, states] : pool)
+      for (UnitState& s : states) s.opsThisStep.clear();
+
+    for (const NodeId n : sched.nodesInStep(g, step)) {
+      const ResourceClass rc = resourceClassOf(g.kind(n));
+      std::vector<UnitState>& states = pool[rc];
+
+      UnitState* chosen = nullptr;
+      for (UnitState& s : states) {
+        if (s.opsThisStep.empty()) {
+          chosen = &s;
+          break;
+        }
+        if (opts.allowMutexSharing) {
+          const bool disjointFromAll = std::all_of(
+              s.opsThisStep.begin(), s.opsThisStep.end(), [&](NodeId other) {
+                return mutuallyExclusive(opts.activation->condition[n],
+                                         opts.activation->condition[other]);
+              });
+          if (disjointFromAll) {
+            chosen = &s;
+            break;
+          }
+        }
+      }
+      if (chosen == nullptr) {
+        UnitState fresh;
+        fresh.unit.cls = rc;
+        fresh.unit.index = static_cast<int>(states.size());
+        states.push_back(std::move(fresh));
+        chosen = &states.back();
+      }
+      chosen->unit.ops.push_back(n);
+      chosen->unit.width = std::max(chosen->unit.width, g.node(n).width);
+      chosen->opsThisStep.push_back(n);
+      chosen->lastStep = step;
+    }
+  }
+
+  for (auto& [cls, states] : pool) {
+    for (UnitState& s : states) {
+      const int unitIdx = static_cast<int>(binding.units.size());
+      for (const NodeId n : s.unit.ops) binding.unitOf[n] = unitIdx;
+      binding.units.push_back(std::move(s.unit));
+    }
+  }
+
+  // ---- register allocation (left-edge) -------------------------------------
+  // A value needs a register from the step after it is produced until the
+  // last step that consumes it. Inputs are externally registered; outputs
+  // read their producer's register.
+  struct Lifetime {
+    NodeId value = kInvalidNode;
+    int begin = 0;  // first step the register holds the value
+    int end = 0;    // last step a consumer reads it
+    int width = 8;
+  };
+
+  // Step at which a node's value becomes available (transparent nodes relay
+  // their producer's time).
+  std::vector<int> avail(g.size(), 0);
+  for (const NodeId n : g.topoOrder()) {
+    if (isScheduled(g.kind(n))) {
+      avail[n] = sched.stepOf(n);
+    } else {
+      int t = 0;
+      for (const NodeId p : g.fanins(n)) t = std::max(t, avail[p]);
+      avail[n] = t;
+    }
+  }
+
+  std::vector<Lifetime> lifetimes;
+  for (NodeId n = 0; n < g.size(); ++n) {
+    if (!isScheduled(g.kind(n))) continue;
+    int lastUse = avail[n];
+    bool hasUse = false;
+    // Uses through wires count at the wire consumer's step.
+    std::vector<NodeId> stack{n};
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const NodeId f : g.fanouts(v)) {
+        if (g.kind(f) == OpKind::Wire) {
+          stack.push_back(f);
+        } else if (g.kind(f) == OpKind::Output) {
+          lastUse = std::max(lastUse, sched.steps());
+          hasUse = true;
+        } else {
+          lastUse = std::max(lastUse, sched.stepOf(f));
+          hasUse = true;
+        }
+      }
+    }
+    if (!hasUse) continue;  // dead value: no register needed
+    lifetimes.push_back(Lifetime{n, avail[n], lastUse, g.node(n).width});
+  }
+
+  std::sort(lifetimes.begin(), lifetimes.end(), [](const Lifetime& a, const Lifetime& b) {
+    if (a.begin != b.begin) return a.begin < b.begin;
+    return a.value < b.value;
+  });
+
+  std::vector<int> regFreeAt;  // per register: first step it is free again
+  for (const Lifetime& lt : lifetimes) {
+    int reg = -1;
+    for (std::size_t r = 0; r < regFreeAt.size(); ++r) {
+      if (regFreeAt[r] <= lt.begin && binding.registers[r].width == lt.width) {
+        reg = static_cast<int>(r);
+        break;
+      }
+    }
+    if (reg < 0) {
+      reg = static_cast<int>(binding.registers.size());
+      binding.registers.push_back(RegisterInfo{reg, lt.width, {}});
+      regFreeAt.push_back(0);
+    }
+    binding.registers[static_cast<std::size_t>(reg)].values.push_back(lt.value);
+    binding.registerOf[lt.value] = reg;
+    regFreeAt[static_cast<std::size_t>(reg)] = lt.end + 1;
+  }
+
+  // ---- interconnect estimate -----------------------------------------------
+  // Each unit input port needs a (k-1)-deep 2:1 mux tree over its k distinct
+  // sources; sources are producer registers or primary inputs/constants.
+  for (const FunctionalUnit& unit : binding.units) {
+    const std::size_t ports = unit.cls == ResourceClass::Mux ? 3 : 2;
+    for (std::size_t port = 0; port < ports; ++port) {
+      std::vector<NodeId> sources;
+      for (const NodeId op : unit.ops) {
+        const auto operands = g.fanins(op);
+        if (port >= operands.size()) continue;
+        NodeId src = operands[port];
+        while (g.kind(src) == OpKind::Wire) src = g.fanins(src)[0];
+        if (std::find(sources.begin(), sources.end(), src) == sources.end())
+          sources.push_back(src);
+      }
+      if (sources.size() > 1)
+        binding.interconnectMuxes += static_cast<int>(sources.size()) - 1;
+    }
+  }
+
+  return binding;
+}
+
+AreaModel estimateArea(const Binding& binding, const UnitCosts& costs) {
+  AreaModel area;
+  for (const FunctionalUnit& u : binding.units)
+    area.unitArea += costs.area[unitIndex(u.cls)] * (static_cast<double>(u.width) / 8.0);
+  for (const RegisterInfo& r : binding.registers)
+    area.registerArea += 4.0 * r.width;  // ~4 NAND2-equivalents per enabled DFF bit
+  area.interconnectArea += 3.0 * 8.0 * binding.interconnectMuxes;  // 2:1 mux word
+  return area;
+}
+
+}  // namespace pmsched

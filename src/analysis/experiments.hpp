@@ -1,0 +1,111 @@
+#pragma once
+// Experiment drivers shared by the bench binaries and the reproduction
+// tests: one function per table/figure of the paper, returning structured
+// data (benches render it, tests assert on it).
+
+#include <string>
+#include <vector>
+
+#include "cdfg/analysis.hpp"
+#include "circuits/circuits.hpp"
+#include "ctrl/controller.hpp"
+#include "power/activation.hpp"
+#include "rtl/power_harness.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/power_transform.hpp"
+#include "sched/shared_gating.hpp"
+
+namespace pmsched {
+namespace analysis {
+
+// ---- Table I ---------------------------------------------------------------
+
+struct Table1Row {
+  std::string circuit;
+  int criticalPath = 0;
+  OpStats ops;
+};
+
+[[nodiscard]] Table1Row table1Row(const std::string& name, const Graph& g);
+[[nodiscard]] std::vector<Table1Row> table1();
+
+// ---- Table II --------------------------------------------------------------
+
+struct Table2Row {
+  std::string circuit;
+  int steps = 0;
+  int pmMuxes = 0;      ///< paper's "P.Man. Muxs"
+  int sharedGated = 0;  ///< extension: ops gated by OR-composed conditions
+  double areaIncrease = 1.0;
+  Rational avgMux, avgComp, avgAdd, avgSub, avgMul;
+  double powerReductionPct = 0.0;
+};
+
+struct Table2Options {
+  GatingMode mode = GatingMode::Shared;
+  MuxOrdering ordering = MuxOrdering::OutputFirst;
+};
+
+/// Evaluate one circuit at one step budget: run the PM transform (plus the
+/// shared pass when enabled), the activation analysis, and the
+/// minimum-resource comparison for the area column.
+[[nodiscard]] Table2Row table2Row(const std::string& name, const Graph& g, int steps,
+                                  const Table2Options& opts = {});
+
+/// The full Table II sweep over the paper's circuits and step budgets.
+[[nodiscard]] std::vector<Table2Row> table2(const Table2Options& opts = {});
+
+/// Build the power-managed design a Table II row is based on (exposed for
+/// benches that want to inspect schedules or emit VHDL).
+[[nodiscard]] PowerManagedDesign buildDesign(const Graph& g, int steps,
+                                             const Table2Options& opts = {});
+
+// ---- Table III -------------------------------------------------------------
+
+struct Table3Row {
+  std::string circuit;
+  int steps = 0;
+  double areaOrig = 0;   ///< NAND2-equivalents, baseline machine
+  double areaNew = 0;    ///< NAND2-equivalents, power-managed machine
+  double areaRatio = 1;  ///< paper's "Incr." column
+  double powerOrig = 0;  ///< weighted toggles per sample, baseline
+  double powerNew = 0;   ///< weighted toggles per sample, power-managed
+  double reductionPct = 0;
+  int functionalMismatches = 0;  ///< must be 0: both machines checked
+                                 ///< against the CDFG interpreter
+  int controllerGatedLoads = 0;  ///< "controller more complex" evidence
+  double controllerAreaOrig = 0;
+  double controllerAreaNew = 0;
+};
+
+struct Table3Options {
+  int samples = 200;
+  std::uint64_t seed = 0xDAC1996;
+  Table2Options schedule;  ///< gating mode / ordering for the PM machine
+};
+
+/// Gate-level comparison of the baseline vs power-managed machine for one
+/// circuit (the paper ran dealer@6, gcd@7, vender@6 through Synopsys).
+[[nodiscard]] Table3Row table3Row(const std::string& name, const Graph& g, int steps,
+                                  const Table3Options& opts = {});
+
+/// The paper's Table III set: dealer@6, gcd@7, vender@6.
+[[nodiscard]] std::vector<Table3Row> table3(const Table3Options& opts = {});
+
+// ---- Figures 1 & 2 ---------------------------------------------------------
+
+struct AbsdiffFigure {
+  int steps = 0;
+  bool powerManaged = false;
+  int pmMuxes = 0;
+  int subtractors = 0;
+  std::string scheduleText;      ///< step-by-step rendering
+  double powerReductionPct = 0;  ///< datapath power model
+};
+
+/// Reproduce the paper's Figures 1 and 2: |a-b| at 2 and 3 control steps,
+/// with and without power management.
+[[nodiscard]] std::vector<AbsdiffFigure> absdiffFigures();
+
+}  // namespace analysis
+}  // namespace pmsched

@@ -1,0 +1,30 @@
+#pragma once
+// Human-readable design reports: everything a designer would want to see
+// about one power-managed design, rendered as Markdown. Used by the CLI
+// driver and handy from tests/examples.
+
+#include <string>
+
+#include "alloc/binding.hpp"
+#include "ctrl/controller.hpp"
+#include "power/activation.hpp"
+#include "sched/schedule.hpp"
+
+namespace pmsched {
+namespace analysis {
+
+struct DesignReportInputs {
+  const PowerManagedDesign& design;
+  const Schedule& schedule;
+  const Binding& binding;
+  const ActivationResult& activation;
+  const ControllerSpec& controller;
+};
+
+/// Full Markdown report: circuit statistics, power-management decisions
+/// (per mux, with reasons), gated conditions, the schedule, unit/register
+/// allocation, and the power summary under the paper's weights.
+[[nodiscard]] std::string renderDesignReport(const DesignReportInputs& in);
+
+}  // namespace analysis
+}  // namespace pmsched

@@ -1,0 +1,96 @@
+#include "cdfg/analysis.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pmsched {
+
+std::vector<int> nodeDepths(const Graph& g) {
+  std::vector<int> depth(g.size(), 0);
+  for (const NodeId n : g.topoOrder()) {
+    int before = 0;  // step after which all inputs are available
+    for (const NodeId p : g.fanins(n)) before = std::max(before, depth[p]);
+    for (const NodeId p : g.controlPredecessors(n)) before = std::max(before, depth[p]);
+    // A scheduled node occupies step before+1; its value is ready after it.
+    depth[n] = isScheduled(g.kind(n)) ? before + 1 : before;
+  }
+  return depth;
+}
+
+int criticalPathLength(const Graph& g) {
+  int cp = 0;
+  for (const int d : nodeDepths(g)) cp = std::max(cp, d);
+  return cp;
+}
+
+std::vector<int> distanceToOutput(const Graph& g) {
+  const std::vector<NodeId> order = g.topoOrder();
+  std::vector<int> dist(g.size(), 0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId n = *it;
+    int below = 0;
+    for (const NodeId s : g.fanouts(n)) {
+      const int through = dist[s] + (isScheduled(g.kind(s)) ? 1 : 0);
+      below = std::max(below, through);
+    }
+    dist[n] = below;
+  }
+  return dist;
+}
+
+OpStats countOps(const Graph& g) {
+  OpStats s;
+  for (NodeId i = 0; i < g.size(); ++i) {
+    switch (resourceClassOf(g.kind(i))) {
+      case ResourceClass::Mux: ++s.mux; break;
+      case ResourceClass::Comparator: ++s.comp; break;
+      case ResourceClass::Adder: ++s.add; break;
+      case ResourceClass::Subtractor: ++s.sub; break;
+      case ResourceClass::Multiplier: ++s.mul; break;
+      case ResourceClass::Logic: ++s.logic; break;
+      case ResourceClass::Shifter: ++s.shift; break;
+      case ResourceClass::None: break;
+    }
+  }
+  return s;
+}
+
+std::array<int, kNumUnitClasses> countByClass(const Graph& g) {
+  std::array<int, kNumUnitClasses> counts{};
+  for (NodeId i = 0; i < g.size(); ++i) {
+    const ResourceClass rc = resourceClassOf(g.kind(i));
+    if (rc != ResourceClass::None) ++counts[unitIndex(rc)];
+  }
+  return counts;
+}
+
+std::string toDot(const Graph& g) {
+  std::ostringstream os;
+  os << "digraph \"" << g.name() << "\" {\n  rankdir=TB;\n";
+  for (NodeId i = 0; i < g.size(); ++i) {
+    const Node& n = g.node(i);
+    std::string shape = "box";
+    if (n.kind == OpKind::Mux) shape = "trapezium";
+    if (n.kind == OpKind::Input || n.kind == OpKind::Const) shape = "ellipse";
+    if (n.kind == OpKind::Output) shape = "doublecircle";
+    os << "  n" << i << " [label=\"" << n.name << "\\n" << opName(n.kind)
+       << "\" shape=" << shape << "];\n";
+  }
+  for (NodeId i = 0; i < g.size(); ++i) {
+    const Node& n = g.node(i);
+    for (std::size_t k = 0; k < n.operands.size(); ++k) {
+      os << "  n" << n.operands[k] << " -> n" << i;
+      if (n.kind == OpKind::Mux) {
+        static constexpr const char* kPort[] = {"sel", "1", "0"};
+        os << " [label=\"" << kPort[k] << "\"]";
+      }
+      os << ";\n";
+    }
+    for (const NodeId p : g.controlPredecessors(i))
+      os << "  n" << p << " -> n" << i << " [style=dashed color=red];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace pmsched

@@ -1,0 +1,51 @@
+#pragma once
+// Structural analyses over a CDFG: levels, critical path, output distance,
+// and the operation statistics reported in the paper's Table I.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "cdfg/graph.hpp"
+
+namespace pmsched {
+
+/// Longest-path depth of every node counting only scheduled (unit-consuming)
+/// nodes, over data + control edges.
+///
+/// depth[n] is the earliest control step node n could occupy (1-based) with
+/// unlimited resources; transparent nodes (inputs, constants, wires, outputs)
+/// get the step after which their value is available (0 = available before
+/// step 1).
+[[nodiscard]] std::vector<int> nodeDepths(const Graph& g);
+
+/// Minimum number of control steps to execute the graph with unlimited
+/// resources — the paper's Table I "Critical Path" column.
+[[nodiscard]] int criticalPathLength(const Graph& g);
+
+/// Longest downstream distance (in scheduled nodes) from each node to any
+/// graph output; used to order multiplexors "closer to the outputs first".
+[[nodiscard]] std::vector<int> distanceToOutput(const Graph& g);
+
+/// Counts of operations per display class, Table I style.
+struct OpStats {
+  int mux = 0;
+  int comp = 0;
+  int add = 0;
+  int sub = 0;
+  int mul = 0;
+  int logic = 0;
+  int shift = 0;
+
+  [[nodiscard]] int totalUnits() const { return mux + comp + add + sub + mul + logic + shift; }
+};
+
+[[nodiscard]] OpStats countOps(const Graph& g);
+
+/// Per-unit-class counts as a dense array indexed by unitIndex().
+[[nodiscard]] std::array<int, kNumUnitClasses> countByClass(const Graph& g);
+
+/// Graphviz DOT rendering (control edges dashed), for debugging/docs.
+[[nodiscard]] std::string toDot(const Graph& g);
+
+}  // namespace pmsched

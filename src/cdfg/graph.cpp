@@ -1,0 +1,220 @@
+#include "cdfg/graph.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace pmsched {
+
+NodeId Graph::addNode(Node node) {
+  if (node.name.empty()) node.name = freshName(opName(node.kind));
+  const auto id = static_cast<NodeId>(nodes_.size());
+  for (const NodeId op : node.operands) {
+    if (op >= id) throw SynthesisError("operand " + std::to_string(op) + " of node '" +
+                                       node.name + "' does not exist yet");
+  }
+  nodes_.push_back(std::move(node));
+  fanouts_.emplace_back();
+  ctrlSucc_.emplace_back();
+  ctrlPred_.emplace_back();
+  for (const NodeId op : nodes_.back().operands) fanouts_[op].push_back(id);
+  return id;
+}
+
+std::string Graph::freshName(std::string_view stem) {
+  return std::string(stem) + "_" + std::to_string(nameCounter_++);
+}
+
+NodeId Graph::addInput(std::string name, int width) {
+  Node n;
+  n.kind = OpKind::Input;
+  n.name = std::move(name);
+  n.width = width;
+  return addNode(std::move(n));
+}
+
+NodeId Graph::addConst(std::int64_t value, int width, std::string name) {
+  Node n;
+  n.kind = OpKind::Const;
+  n.name = std::move(name);
+  n.width = width;
+  n.constValue = value;
+  return addNode(std::move(n));
+}
+
+NodeId Graph::addOutput(NodeId source, std::string name) {
+  Node n;
+  n.kind = OpKind::Output;
+  n.name = std::move(name);
+  n.operands = {source};
+  n.width = nodes_.at(source).width;
+  return addNode(std::move(n));
+}
+
+NodeId Graph::addOp(OpKind kind, std::vector<NodeId> operands, std::string name, int width) {
+  if (static_cast<int>(operands.size()) != operandCount(kind))
+    throw SynthesisError(std::string("addOp(") + std::string(opName(kind)) + "): expected " +
+                         std::to_string(operandCount(kind)) + " operands, got " +
+                         std::to_string(operands.size()));
+  for (const NodeId op : operands)
+    if (op >= size())
+      throw SynthesisError(std::string("addOp(") + std::string(opName(kind)) +
+                           "): operand does not exist yet");
+  Node n;
+  n.kind = kind;
+  n.name = std::move(name);
+  n.operands = std::move(operands);
+  if (width >= 0) {
+    n.width = width;
+  } else if (isComparison(kind)) {
+    n.width = 1;
+  } else if (!n.operands.empty()) {
+    // Result width defaults to the widest data operand (mux skips the select).
+    int w = 0;
+    const std::size_t first = kind == OpKind::Mux ? 1 : 0;
+    for (std::size_t i = first; i < n.operands.size(); ++i)
+      w = std::max(w, nodes_.at(n.operands[i]).width);
+    n.width = w;
+  }
+  return addNode(std::move(n));
+}
+
+NodeId Graph::addMux(NodeId sel, NodeId whenTrue, NodeId whenFalse, std::string name) {
+  return addOp(OpKind::Mux, {sel, whenTrue, whenFalse}, std::move(name));
+}
+
+NodeId Graph::addWire(NodeId source, int shift, std::string name) {
+  Node n;
+  n.kind = OpKind::Wire;
+  n.name = std::move(name);
+  n.operands = {source};
+  n.width = nodes_.at(source).width;
+  n.shift = shift;
+  return addNode(std::move(n));
+}
+
+void Graph::addControlEdge(NodeId before, NodeId after) {
+  if (before >= size() || after >= size())
+    throw SynthesisError("addControlEdge: node id out of range");
+  if (before == after) throw SynthesisError("addControlEdge: self edge");
+  // Ignore duplicates so transforms can be idempotent.
+  const auto& succ = ctrlSucc_[before];
+  if (std::find(succ.begin(), succ.end(), after) != succ.end()) return;
+  ctrlSucc_[before].push_back(after);
+  ctrlPred_[after].push_back(before);
+  ++ctrlEdgeCount_;
+}
+
+void Graph::clearControlEdges() {
+  for (auto& v : ctrlSucc_) v.clear();
+  for (auto& v : ctrlPred_) v.clear();
+  ctrlEdgeCount_ = 0;
+}
+
+std::vector<NodeId> Graph::allNodes() const {
+  std::vector<NodeId> out(size());
+  for (NodeId i = 0; i < size(); ++i) out[i] = i;
+  return out;
+}
+
+std::vector<NodeId> Graph::nodesOfKind(OpKind kind) const {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < size(); ++i)
+    if (nodes_[i].kind == kind) out.push_back(i);
+  return out;
+}
+
+std::vector<NodeId> Graph::scheduledNodes() const {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < size(); ++i)
+    if (isScheduled(nodes_[i].kind)) out.push_back(i);
+  return out;
+}
+
+std::optional<NodeId> Graph::findByName(std::string_view name) const {
+  for (NodeId i = 0; i < size(); ++i)
+    if (nodes_[i].name == name) return i;
+  return std::nullopt;
+}
+
+std::vector<NodeId> Graph::topoOrder() const {
+  std::vector<int> indegree(size(), 0);
+  for (NodeId i = 0; i < size(); ++i) {
+    indegree[i] += static_cast<int>(nodes_[i].operands.size());
+    indegree[i] += static_cast<int>(ctrlPred_[i].size());
+  }
+  std::vector<NodeId> ready;
+  for (NodeId i = 0; i < size(); ++i)
+    if (indegree[i] == 0) ready.push_back(i);
+
+  std::vector<NodeId> order;
+  order.reserve(size());
+  // Process smallest id first for deterministic order.
+  while (!ready.empty()) {
+    std::pop_heap(ready.begin(), ready.end(), std::greater<>{});
+    const NodeId n = ready.back();
+    ready.pop_back();
+    order.push_back(n);
+    auto relax = [&](NodeId succ) {
+      if (--indegree[succ] == 0) {
+        ready.push_back(succ);
+        std::push_heap(ready.begin(), ready.end(), std::greater<>{});
+      }
+    };
+    for (const NodeId succ : fanouts_[n]) relax(succ);
+    for (const NodeId succ : ctrlSucc_[n]) relax(succ);
+  }
+  if (order.size() != size())
+    throw SynthesisError("graph '" + name_ + "' contains a cycle (data+control edges)");
+  return order;
+}
+
+std::vector<bool> Graph::transitiveFanin(NodeId id) const {
+  std::vector<bool> seen(size(), false);
+  std::vector<NodeId> stack(nodes_.at(id).operands.begin(), nodes_.at(id).operands.end());
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (seen[n]) continue;
+    seen[n] = true;
+    for (const NodeId p : nodes_[n].operands) stack.push_back(p);
+  }
+  return seen;
+}
+
+std::vector<bool> Graph::operandCone(NodeId id, std::size_t opIndex) const {
+  std::vector<bool> seen(size(), false);
+  const NodeId root = nodes_.at(id).operands.at(opIndex);
+  std::vector<NodeId> stack{root};
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (seen[n]) continue;
+    seen[n] = true;
+    for (const NodeId p : nodes_[n].operands) stack.push_back(p);
+  }
+  return seen;
+}
+
+void Graph::validate() const {
+  std::unordered_set<std::string_view> names;
+  for (NodeId i = 0; i < size(); ++i) {
+    const Node& n = nodes_[i];
+    if (!names.insert(n.name).second)
+      throw SynthesisError("duplicate node name '" + n.name + "'");
+    if (static_cast<int>(n.operands.size()) != operandCount(n.kind))
+      throw SynthesisError("node '" + n.name + "': wrong operand count");
+    for (const NodeId op : n.operands)
+      if (op >= size()) throw SynthesisError("node '" + n.name + "': dangling operand");
+    if (n.width <= 0 || n.width > 64)
+      throw SynthesisError("node '" + n.name + "': width out of range");
+    if (isComparison(n.kind) && n.width != 1)
+      throw SynthesisError("node '" + n.name + "': comparison width must be 1");
+    if (n.kind == OpKind::Mux && nodes_[n.operands[0]].width != 1)
+      throw SynthesisError("node '" + n.name + "': mux select must be 1 bit wide");
+    if (n.kind == OpKind::Output && !fanouts_[i].empty())
+      throw SynthesisError("node '" + n.name + "': output has consumers");
+  }
+  (void)topoOrder();  // throws on cycles
+}
+
+}  // namespace pmsched

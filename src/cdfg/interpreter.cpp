@@ -1,0 +1,62 @@
+#include "cdfg/interpreter.hpp"
+
+namespace pmsched {
+
+std::int64_t truncateToWidth(std::int64_t value, int width) {
+  if (width >= 64) return value;
+  const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+  std::uint64_t v = static_cast<std::uint64_t>(value) & mask;
+  // Sign extend from bit width-1.
+  if ((v >> (width - 1)) & 1U) v |= ~mask;
+  return static_cast<std::int64_t>(v);
+}
+
+std::vector<std::int64_t> evaluateNodes(const Graph& g,
+                                        const std::map<std::string, std::int64_t>& inputs) {
+  std::vector<std::int64_t> value(g.size(), 0);
+  for (const NodeId n : g.topoOrder()) {
+    const Node& node = g.node(n);
+    auto in = [&](std::size_t i) { return value[node.operands[i]]; };
+    std::int64_t v = 0;
+    switch (node.kind) {
+      case OpKind::Input: {
+        const auto it = inputs.find(node.name);
+        v = it == inputs.end() ? 0 : it->second;
+        break;
+      }
+      case OpKind::Const: v = node.constValue; break;
+      case OpKind::Output: v = in(0); break;
+      case OpKind::Wire:
+        v = node.shift >= 0 ? (in(0) >> node.shift) : (in(0) << -node.shift);
+        break;
+      case OpKind::Add: v = in(0) + in(1); break;
+      case OpKind::Sub: v = in(0) - in(1); break;
+      case OpKind::Mul: v = in(0) * in(1); break;
+      case OpKind::CmpGt: v = in(0) > in(1) ? 1 : 0; break;
+      case OpKind::CmpGe: v = in(0) >= in(1) ? 1 : 0; break;
+      case OpKind::CmpLt: v = in(0) < in(1) ? 1 : 0; break;
+      case OpKind::CmpLe: v = in(0) <= in(1) ? 1 : 0; break;
+      case OpKind::CmpEq: v = in(0) == in(1) ? 1 : 0; break;
+      case OpKind::CmpNe: v = in(0) != in(1) ? 1 : 0; break;
+      case OpKind::Mux: v = in(0) != 0 ? in(1) : in(2); break;
+      case OpKind::And: v = in(0) & in(1); break;
+      case OpKind::Or: v = in(0) | in(1); break;
+      case OpKind::Xor: v = in(0) ^ in(1); break;
+      case OpKind::Not: v = ~in(0); break;
+      case OpKind::Shl: v = in(0) << (in(1) & 63); break;
+      case OpKind::Shr: v = in(0) >> (in(1) & 63); break;
+    }
+    value[n] = truncateToWidth(v, node.width);
+  }
+  return value;
+}
+
+std::map<std::string, std::int64_t> evaluateGraph(
+    const Graph& g, const std::map<std::string, std::int64_t>& inputs) {
+  const std::vector<std::int64_t> value = evaluateNodes(g, inputs);
+  std::map<std::string, std::int64_t> out;
+  for (const NodeId n : g.nodesOfKind(OpKind::Output)) out[g.node(n).name] = value[n];
+  return out;
+}
+
+}  // namespace pmsched

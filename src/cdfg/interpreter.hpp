@@ -1,0 +1,33 @@
+#pragma once
+// Reference interpreter for CDFGs: evaluates every node on concrete values.
+//
+// This is the functional golden model: the gate-level netlist produced by
+// src/rtl must compute exactly these outputs (with and without power
+// management), which is how the whole synthesis pipeline is validated.
+//
+// Semantics: two's-complement arithmetic truncated to each node's width,
+// signed comparisons, mux selects true on nonzero. Values are carried
+// sign-extended in int64.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cdfg/graph.hpp"
+
+namespace pmsched {
+
+/// Truncate to `width` bits and sign-extend.
+[[nodiscard]] std::int64_t truncateToWidth(std::int64_t value, int width);
+
+/// Evaluate every node; `inputs` maps input-node names to values (missing
+/// inputs default to 0). Returns the value of each node by id.
+[[nodiscard]] std::vector<std::int64_t> evaluateNodes(
+    const Graph& g, const std::map<std::string, std::int64_t>& inputs);
+
+/// Evaluate and return just the outputs, keyed by output-node name.
+[[nodiscard]] std::map<std::string, std::int64_t> evaluateGraph(
+    const Graph& g, const std::map<std::string, std::int64_t>& inputs);
+
+}  // namespace pmsched

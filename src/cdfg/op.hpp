@@ -1,0 +1,157 @@
+#pragma once
+// Operation kinds for CDFG nodes and their mapping to datapath resources.
+//
+// The paper's Tables I/II classify operations into five columns:
+// MUX, COMP, +, -, and *. We keep a finer operation set (all comparison
+// flavours, logic ops, shifts) and map each kind onto a ResourceClass,
+// which is the unit a scheduler allocates and the paper's column key.
+
+#include <cstdint>
+#include <string_view>
+
+namespace pmsched {
+
+/// Every operation a CDFG node can perform.
+///
+/// `Input`, `Const` and `Output` are interface markers; `Wire` is a free
+/// pass-through (constant shift / alias) realized as wiring in hardware.
+/// None of those four consume a control step or an execution unit.
+enum class OpKind : std::uint8_t {
+  Input,
+  Const,
+  Output,
+  Wire,
+  Add,
+  Sub,
+  Mul,
+  CmpGt,
+  CmpGe,
+  CmpLt,
+  CmpLe,
+  CmpEq,
+  CmpNe,
+  Mux,
+  And,
+  Or,
+  Xor,
+  Not,
+  Shl,
+  Shr,
+};
+
+/// Datapath unit types; these are the columns of the paper's tables plus
+/// the extra unit classes our DSL can express.
+enum class ResourceClass : std::uint8_t {
+  None,        ///< free: inputs, constants, outputs, wiring
+  Mux,         ///< 2:1 word multiplexor      (paper column "MUX")
+  Comparator,  ///< magnitude/equality compare (paper column "COMP")
+  Adder,       ///< paper column "+"
+  Subtractor,  ///< paper column "-"
+  Multiplier,  ///< paper column "*"
+  Logic,       ///< bitwise and/or/xor/not
+  Shifter,     ///< variable-amount shifter
+};
+
+[[nodiscard]] constexpr ResourceClass resourceClassOf(OpKind kind) {
+  switch (kind) {
+    case OpKind::Input:
+    case OpKind::Const:
+    case OpKind::Output:
+    case OpKind::Wire: return ResourceClass::None;
+    case OpKind::Add: return ResourceClass::Adder;
+    case OpKind::Sub: return ResourceClass::Subtractor;
+    case OpKind::Mul: return ResourceClass::Multiplier;
+    case OpKind::CmpGt:
+    case OpKind::CmpGe:
+    case OpKind::CmpLt:
+    case OpKind::CmpLe:
+    case OpKind::CmpEq:
+    case OpKind::CmpNe: return ResourceClass::Comparator;
+    case OpKind::Mux: return ResourceClass::Mux;
+    case OpKind::And:
+    case OpKind::Or:
+    case OpKind::Xor:
+    case OpKind::Not: return ResourceClass::Logic;
+    case OpKind::Shl:
+    case OpKind::Shr: return ResourceClass::Shifter;
+  }
+  return ResourceClass::None;
+}
+
+/// True for nodes that occupy a control step (everything that needs a unit).
+[[nodiscard]] constexpr bool isScheduled(OpKind kind) {
+  return resourceClassOf(kind) != ResourceClass::None;
+}
+
+[[nodiscard]] constexpr bool isComparison(OpKind kind) {
+  return resourceClassOf(kind) == ResourceClass::Comparator;
+}
+
+/// Expected operand count; 0 for Input/Const, 3 for Mux (sel, in1, in0).
+[[nodiscard]] constexpr int operandCount(OpKind kind) {
+  switch (kind) {
+    case OpKind::Input:
+    case OpKind::Const: return 0;
+    case OpKind::Output:
+    case OpKind::Wire:
+    case OpKind::Not: return 1;
+    case OpKind::Mux: return 3;
+    default: return 2;
+  }
+}
+
+[[nodiscard]] constexpr std::string_view opName(OpKind kind) {
+  switch (kind) {
+    case OpKind::Input: return "input";
+    case OpKind::Const: return "const";
+    case OpKind::Output: return "output";
+    case OpKind::Wire: return "wire";
+    case OpKind::Add: return "add";
+    case OpKind::Sub: return "sub";
+    case OpKind::Mul: return "mul";
+    case OpKind::CmpGt: return "gt";
+    case OpKind::CmpGe: return "ge";
+    case OpKind::CmpLt: return "lt";
+    case OpKind::CmpLe: return "le";
+    case OpKind::CmpEq: return "eq";
+    case OpKind::CmpNe: return "ne";
+    case OpKind::Mux: return "mux";
+    case OpKind::And: return "and";
+    case OpKind::Or: return "or";
+    case OpKind::Xor: return "xor";
+    case OpKind::Not: return "not";
+    case OpKind::Shl: return "shl";
+    case OpKind::Shr: return "shr";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view resourceName(ResourceClass rc) {
+  switch (rc) {
+    case ResourceClass::None: return "none";
+    case ResourceClass::Mux: return "MUX";
+    case ResourceClass::Comparator: return "COMP";
+    case ResourceClass::Adder: return "+";
+    case ResourceClass::Subtractor: return "-";
+    case ResourceClass::Multiplier: return "*";
+    case ResourceClass::Logic: return "logic";
+    case ResourceClass::Shifter: return "shift";
+  }
+  return "?";
+}
+
+/// All resource classes that occupy units, in the paper's column order.
+inline constexpr ResourceClass kUnitClasses[] = {
+    ResourceClass::Mux,        ResourceClass::Comparator, ResourceClass::Adder,
+    ResourceClass::Subtractor, ResourceClass::Multiplier, ResourceClass::Logic,
+    ResourceClass::Shifter,
+};
+
+inline constexpr std::size_t kNumUnitClasses = sizeof(kUnitClasses) / sizeof(kUnitClasses[0]);
+
+/// Dense index for a unit class (Mux=0 ... Shifter=6); None is not indexable.
+[[nodiscard]] constexpr std::size_t unitIndex(ResourceClass rc) {
+  return static_cast<std::size_t>(rc) - 1;
+}
+
+}  // namespace pmsched

@@ -1,0 +1,140 @@
+#include "cdfg/textio.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace pmsched {
+
+namespace {
+
+OpKind kindFromName(std::string_view name, SourceLoc loc) {
+  for (const OpKind kind :
+       {OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::CmpGt, OpKind::CmpGe, OpKind::CmpLt,
+        OpKind::CmpLe, OpKind::CmpEq, OpKind::CmpNe, OpKind::Mux, OpKind::And, OpKind::Or,
+        OpKind::Xor, OpKind::Not, OpKind::Shl, OpKind::Shr}) {
+    if (opName(kind) == name) return kind;
+  }
+  throw ParseError(loc, "unknown operation kind '" + std::string(name) + "'");
+}
+
+}  // namespace
+
+std::string saveGraphText(const Graph& g) {
+  std::ostringstream os;
+  os << "graph " << g.name() << "\n";
+  for (NodeId n = 0; n < g.size(); ++n) {
+    const Node& node = g.node(n);
+    switch (node.kind) {
+      case OpKind::Input: os << "input " << node.name << " " << node.width << "\n"; break;
+      case OpKind::Const:
+        os << "const " << node.name << " " << node.width << " " << node.constValue << "\n";
+        break;
+      case OpKind::Wire:
+        os << "wire " << node.name << " " << g.node(node.operands[0]).name << " "
+           << node.shift << "\n";
+        break;
+      case OpKind::Output:
+        os << "output " << node.name << " " << g.node(node.operands[0]).name << "\n";
+        break;
+      default: {
+        os << "node " << opName(node.kind) << " " << node.name << " " << node.width;
+        for (const NodeId op : node.operands) os << " " << g.node(op).name;
+        os << "\n";
+      }
+    }
+  }
+  for (NodeId n = 0; n < g.size(); ++n)
+    for (const NodeId succ : g.controlSuccessors(n))
+      os << "ctrl " << g.node(n).name << " " << g.node(succ).name << "\n";
+  return os.str();
+}
+
+Graph loadGraphText(std::string_view text) {
+  Graph g;
+  std::map<std::string, NodeId, std::less<>> byName;
+
+  auto resolve = [&](const std::string& name, SourceLoc loc) {
+    const auto it = byName.find(name);
+    if (it == byName.end()) throw ParseError(loc, "unknown node '" + name + "'");
+    return it->second;
+  };
+
+  std::size_t lineNo = 0;
+  std::istringstream stream{std::string(text)};
+  std::string line;
+  bool sawGraph = false;
+  while (std::getline(stream, line)) {
+    ++lineNo;
+    const SourceLoc loc{lineNo, 1};
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty()) continue;
+
+    std::istringstream fields{std::string(trimmed)};
+    std::string keyword;
+    fields >> keyword;
+    auto want = [&](auto& value, const char* what) {
+      if (!(fields >> value))
+        throw ParseError(loc, std::string("expected ") + what + " after '" + keyword + "'");
+    };
+
+    if (keyword == "graph") {
+      std::string name;
+      want(name, "graph name");
+      g.setName(name);
+      sawGraph = true;
+    } else if (keyword == "input") {
+      std::string name;
+      int width = 0;
+      want(name, "input name");
+      want(width, "width");
+      byName[name] = g.addInput(name, width);
+    } else if (keyword == "const") {
+      std::string name;
+      int width = 0;
+      std::int64_t value = 0;
+      want(name, "const name");
+      want(width, "width");
+      want(value, "value");
+      byName[name] = g.addConst(value, width, name);
+    } else if (keyword == "wire") {
+      std::string name, src;
+      int shift = 0;
+      want(name, "wire name");
+      want(src, "source");
+      want(shift, "shift");
+      byName[name] = g.addWire(resolve(src, loc), shift, name);
+    } else if (keyword == "output") {
+      std::string name, src;
+      want(name, "output name");
+      want(src, "source");
+      byName[name] = g.addOutput(resolve(src, loc), name);
+    } else if (keyword == "node") {
+      std::string kindName, name;
+      int width = 0;
+      want(kindName, "operation kind");
+      want(name, "node name");
+      want(width, "width");
+      const OpKind kind = kindFromName(kindName, loc);
+      std::vector<NodeId> operands;
+      std::string operand;
+      while (fields >> operand) operands.push_back(resolve(operand, loc));
+      byName[name] = g.addOp(kind, std::move(operands), name, width);
+    } else if (keyword == "ctrl") {
+      std::string from, to;
+      want(from, "source node");
+      want(to, "target node");
+      g.addControlEdge(resolve(from, loc), resolve(to, loc));
+    } else {
+      throw ParseError(loc, "unknown statement '" + keyword + "'");
+    }
+  }
+  if (!sawGraph) throw ParseError(SourceLoc{1, 1}, "missing 'graph NAME' header");
+  g.validate();
+  return g;
+}
+
+}  // namespace pmsched

@@ -1,0 +1,30 @@
+#pragma once
+// Plain-text serialization of CDFGs: a stable, diff-friendly format so
+// graphs can be saved from one tool invocation and reloaded by another
+// (the CLI uses it; tests round-trip every benchmark).
+//
+// Format, one statement per line ('#' comments allowed):
+//   graph  NAME
+//   input  NAME WIDTH
+//   const  NAME WIDTH VALUE
+//   wire   NAME SRC SHIFT
+//   node   KIND NAME WIDTH OPERAND...
+//   output NAME SRC
+//   ctrl   FROM TO
+// Operands are node names; statements must appear producers-first.
+
+#include <string>
+
+#include "cdfg/graph.hpp"
+
+namespace pmsched {
+
+/// Serialize; the output parses back to an identical graph (names, widths,
+/// kinds, operand order, control edges).
+[[nodiscard]] std::string saveGraphText(const Graph& g);
+
+/// Parse the format above. Throws ParseError with a line number on
+/// malformed input, SynthesisError on semantic violations.
+[[nodiscard]] Graph loadGraphText(std::string_view text);
+
+}  // namespace pmsched

@@ -1,0 +1,66 @@
+#pragma once
+// The paper's benchmark circuits, reconstructed.
+//
+// The DAC'96 paper evaluates four Silage programs — dealer, gcd, vender,
+// cordic — whose sources were never published. Each builder below
+// reconstructs a CDFG that matches Table I exactly (critical path and the
+// MUX/COMP/+/-/* operation counts) and whose power-management behaviour
+// reproduces Table II as closely as the published numbers allow; the
+// remaining differences are catalogued in EXPERIMENTS.md.
+//
+// absdiff is the |a-b| example of the paper's Figures 1 and 2. The final
+// two builders (diffeq, ewf) are classic HLS benchmarks *without*
+// conditionals; they act as negative controls — power management must
+// find nothing to gate — and as workloads for scheduler tests.
+
+#include <string_view>
+#include <vector>
+
+#include "cdfg/graph.hpp"
+
+namespace pmsched {
+namespace circuits {
+
+/// |a-b| from Figures 1-2: one comparison, two subtractions, one mux.
+[[nodiscard]] Graph absdiff();
+
+/// Card dealer: two-branch comparison tree with a shared total.
+/// Table I row: CP 4, MUX 3, COMP 3, + 2, - 1, * 0.
+[[nodiscard]] Graph dealer();
+
+/// Subtractive GCD iteration with done-detection and writeback selects.
+/// Table I row: CP 5, MUX 6, COMP 2, + 0, - 1, * 0.
+[[nodiscard]] Graph gcd();
+
+/// Vending machine: coin valuation, price check, change, display path.
+/// Table I row: CP 5, MUX 6, COMP 3, + 3, - 3, * 2.
+[[nodiscard]] Graph vender();
+
+/// 16-iteration CORDIC rotation with mixed update styles.
+/// Table I row: CP 48, MUX 47, COMP 16, + 43, - 46, * 0.
+[[nodiscard]] Graph cordic();
+
+/// HAL differential-equation solver (no conditionals; negative control).
+[[nodiscard]] Graph diffeq();
+
+/// 8-tap FIR filter (pure dataflow; adder/multiplier balance workload).
+[[nodiscard]] Graph fir8();
+
+/// Auto-regressive lattice filter (ARF), the multiplier-heavy HLS classic.
+[[nodiscard]] Graph arf();
+
+/// Elliptic wave filter (no conditionals; scheduler stress workload).
+[[nodiscard]] Graph ewf();
+
+/// All four paper circuits in Table I order.
+struct NamedCircuit {
+  const char* name;
+  Graph (*build)();
+};
+[[nodiscard]] const std::vector<NamedCircuit>& paperCircuits();
+
+/// The control-step budgets evaluated in Table II, per circuit.
+[[nodiscard]] std::vector<int> tableIISteps(std::string_view circuitName);
+
+}  // namespace circuits
+}  // namespace pmsched

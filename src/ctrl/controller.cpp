@@ -1,0 +1,94 @@
+#include "ctrl/controller.hpp"
+
+#include <algorithm>
+
+namespace pmsched {
+
+int ControllerSpec::gatedLoadCount() const {
+  return static_cast<int>(std::count_if(loads.begin(), loads.end(),
+                                        [](const LoadAction& l) { return l.isGated(); }));
+}
+
+int ControllerSpec::conditionLiterals() const {
+  int total = 0;
+  for (const LoadAction& l : loads)
+    for (const GateTerm& term : l.condition) total += static_cast<int>(term.size());
+  return total;
+}
+
+double ControllerSpec::estimatedArea() const {
+  // One-hot state register: one DFF (~4 gates) per state plus shift wiring.
+  double area = 4.0 * steps;
+  // One DFF per status bit.
+  area += 4.0 * static_cast<double>(statusCaptures.size());
+  // Enable decode: one AND input per literal, one OR input per extra term,
+  // one final AND with the state line per gated load.
+  for (const LoadAction& l : loads) {
+    if (!l.isGated()) continue;
+    int literals = 0;
+    for (const GateTerm& term : l.condition) literals += static_cast<int>(term.size());
+    area += literals + static_cast<double>(l.condition.size()) - 1 + 1;
+  }
+  return area;
+}
+
+ControllerSpec synthesizeController(const PowerManagedDesign& design, const Schedule& sched,
+                                    const Binding& binding,
+                                    const ActivationResult& activation) {
+  const Graph& g = design.graph;
+  sched.validate(g);
+
+  ControllerSpec spec;
+  spec.steps = sched.steps();
+
+  // Status bits: every select signal referenced by some activation
+  // condition, plus every select feeding a datapath mux (its select line
+  // must persist until the mux's step). Scheduled selects are captured when
+  // produced; PI selects need no capture (they are stable inputs).
+  std::vector<NodeId> statusSignals;
+  auto noteStatus = [&](NodeId sel) {
+    if (!isScheduled(g.kind(sel))) return;
+    if (std::find_if(statusSignals.begin(), statusSignals.end(),
+                     [&](NodeId s) { return s == sel; }) == statusSignals.end())
+      statusSignals.push_back(sel);
+  };
+  for (NodeId n = 0; n < g.size(); ++n) {
+    for (const GateTerm& term : activation.condition[n])
+      for (const GateLiteral& lit : term) noteStatus(lit.select);
+    if (g.kind(n) == OpKind::Mux) noteStatus(traceSelectProducer(g, n));
+  }
+  for (const NodeId sel : statusSignals)
+    spec.statusCaptures.emplace_back(sel, sched.stepOf(sel));
+
+  // Load actions: one per registered value.
+  for (NodeId n = 0; n < g.size(); ++n) {
+    if (!isScheduled(g.kind(n)) || binding.registerOf[n] < 0) continue;
+    LoadAction load;
+    load.step = sched.stepOf(n);
+    load.reg = binding.registerOf[n];
+    load.value = n;
+    load.condition = activation.condition[n];
+
+    // Sanity: every status bit a condition reads must be captured strictly
+    // before this load fires.
+    for (const GateTerm& term : load.condition) {
+      for (const GateLiteral& lit : term) {
+        if (!isScheduled(g.kind(lit.select))) continue;
+        if (sched.stepOf(lit.select) >= load.step)
+          throw SynthesisError("controller: condition on '" + g.node(lit.select).name +
+                               "' (step " + std::to_string(sched.stepOf(lit.select)) +
+                               ") not resolved before load of '" + g.node(n).name +
+                               "' (step " + std::to_string(load.step) + ")");
+      }
+    }
+    spec.loads.push_back(std::move(load));
+  }
+
+  std::sort(spec.loads.begin(), spec.loads.end(), [](const LoadAction& a, const LoadAction& b) {
+    if (a.step != b.step) return a.step < b.step;
+    return a.value < b.value;
+  });
+  return spec;
+}
+
+}  // namespace pmsched

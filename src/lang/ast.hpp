@@ -1,0 +1,90 @@
+#pragma once
+// Abstract syntax tree for the SIL language.
+//
+// SIL is single-assignment and purely applicative, like Silage: a circuit
+// is a set of value definitions; conditionals are expressions ("if c then
+// a else b end") that elaborate to CDFG multiplexors, which is exactly the
+// structure the paper's scheduling transform operates on.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/token.hpp"
+
+namespace pmsched {
+namespace lang {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinOp : std::uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Gt,
+  Ge,
+  Lt,
+  Le,
+  Eq,
+  Ne,
+  And,
+  Or,
+  Xor,
+};
+
+enum class UnOp : std::uint8_t { Neg, Not };
+
+struct Expr {
+  enum class Kind : std::uint8_t { Number, Name, Unary, Binary, If, Shift } kind;
+  SourceLoc loc;
+
+  // Number
+  std::int64_t number = 0;
+  // Name
+  std::string name;
+  // Unary
+  UnOp unOp = UnOp::Neg;
+  // Binary
+  BinOp binOp = BinOp::Add;
+  // Shift (by a constant; elaborates to free wiring)
+  int shiftAmount = 0;  ///< > 0 shifts right, < 0 shifts left
+
+  ExprPtr lhs;  ///< Unary/Shift operand; Binary lhs; If condition
+  ExprPtr rhs;  ///< Binary rhs; If then-branch
+  ExprPtr els;  ///< If else-branch
+};
+
+/// Declared value type: bool is a 1-bit num.
+struct TypeSpec {
+  int width = 8;
+  bool isBool = false;
+};
+
+struct InputDecl {
+  std::vector<std::string> names;
+  TypeSpec type;
+  SourceLoc loc;
+};
+
+struct ValueDef {
+  std::string name;
+  ExprPtr value;
+  SourceLoc loc;
+};
+
+struct OutputDecl {
+  std::string name;
+  ExprPtr value;  ///< may be null: "output x;" exports an existing value
+  SourceLoc loc;
+};
+
+struct Module {
+  std::string name;
+  std::vector<InputDecl> inputs;
+  std::vector<ValueDef> defs;
+  std::vector<OutputDecl> outputs;
+};
+
+}  // namespace lang
+}  // namespace pmsched

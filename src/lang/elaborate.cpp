@@ -1,0 +1,150 @@
+#include "lang/elaborate.hpp"
+
+#include <map>
+
+#include "lang/parser.hpp"
+
+namespace pmsched {
+namespace lang {
+
+namespace {
+
+class Elaborator {
+ public:
+  explicit Elaborator(const Module& module) : module_(module), graph_(module.name) {}
+
+  Graph run() {
+    for (const InputDecl& decl : module_.inputs) {
+      for (const std::string& name : decl.names) {
+        checkFresh(name, decl.loc);
+        bindings_[name] = graph_.addInput(name, decl.type.width);
+      }
+    }
+    for (const ValueDef& def : module_.defs) {
+      checkFresh(def.name, def.loc);
+      bindings_[def.name] = elaborate(*def.value, /*widthHint=*/0, def.name);
+    }
+    for (const OutputDecl& out : module_.outputs) {
+      NodeId value = kInvalidNode;
+      if (out.value) {
+        value = elaborate(*out.value, 0, out.name + "_val");
+      } else {
+        const auto it = bindings_.find(out.name);
+        if (it == bindings_.end())
+          throw ParseError(out.loc, "output of undefined value '" + out.name + "'");
+        value = it->second;
+      }
+      const std::string outName =
+          bindings_.count(out.name) != 0 ? out.name + "_out" : out.name;
+      graph_.addOutput(value, outName);
+    }
+    graph_.validate();
+    return std::move(graph_);
+  }
+
+ private:
+  void checkFresh(const std::string& name, SourceLoc loc) {
+    if (bindings_.count(name) != 0)
+      throw ParseError(loc, "redefinition of '" + name + "' (SIL is single-assignment)");
+  }
+
+  int widthOf(NodeId node) const { return graph_.node(node).width; }
+
+  NodeId zeroOfWidth(int width) {
+    const auto it = zeros_.find(width);
+    if (it != zeros_.end()) return it->second;
+    const NodeId z = graph_.addConst(0, width, "zero_w" + std::to_string(width));
+    zeros_[width] = z;
+    return z;
+  }
+
+  /// widthHint guides constant widths (0 = default 8). `nameHint` names the
+  /// top node of a definition so CDFGs stay readable in reports.
+  NodeId elaborate(const Expr& expr, int widthHint, const std::string& nameHint = {}) {
+    switch (expr.kind) {
+      case Expr::Kind::Number:
+        return graph_.addConst(expr.number, widthHint > 0 ? widthHint : 8,
+                               nameHint.empty() ? std::string{} : nameHint);
+      case Expr::Kind::Name: {
+        const auto it = bindings_.find(expr.name);
+        if (it == bindings_.end())
+          throw ParseError(expr.loc, "use of undefined value '" + expr.name + "'");
+        return it->second;
+      }
+      case Expr::Kind::Unary: {
+        const NodeId operand = elaborate(*expr.lhs, widthHint);
+        if (expr.unOp == UnOp::Neg) {
+          const int w = widthOf(operand);
+          return graph_.addOp(OpKind::Sub, {zeroOfWidth(w), operand}, nameHint);
+        }
+        return graph_.addOp(OpKind::Not, {operand}, nameHint);
+      }
+      case Expr::Kind::Shift: {
+        const NodeId operand = elaborate(*expr.lhs, widthHint);
+        if (expr.shiftAmount <= -64 || expr.shiftAmount >= 64)
+          throw ParseError(expr.loc, "shift amount out of range");
+        return graph_.addWire(operand, expr.shiftAmount, nameHint);
+      }
+      case Expr::Kind::If: {
+        const NodeId cond = elaborate(*expr.lhs, 1);
+        if (widthOf(cond) != 1)
+          throw ParseError(expr.loc, "condition of 'if' must be boolean (1 bit)");
+        const NodeId thenV = elaborate(*expr.rhs, widthHint);
+        const NodeId elseV = elaborate(*expr.els, widthHint > 0 ? widthHint : widthOf(thenV));
+        return graph_.addMux(cond, thenV, elseV, nameHint);
+      }
+      case Expr::Kind::Binary: {
+        // Elaborate the non-constant side first so a bare number inherits
+        // its sibling's width.
+        NodeId lhs = kNoWidthYet;
+        NodeId rhs = kNoWidthYet;
+        if (expr.lhs->kind == Expr::Kind::Number && expr.rhs->kind != Expr::Kind::Number) {
+          rhs = elaborate(*expr.rhs, widthHint);
+          lhs = elaborate(*expr.lhs, widthOf(rhs));
+        } else if (expr.rhs->kind == Expr::Kind::Number) {
+          lhs = elaborate(*expr.lhs, widthHint);
+          rhs = elaborate(*expr.rhs, widthOf(lhs));
+        } else {
+          lhs = elaborate(*expr.lhs, widthHint);
+          rhs = elaborate(*expr.rhs, widthHint);
+        }
+        return graph_.addOp(opKindOf(expr.binOp, expr.loc), {lhs, rhs}, nameHint);
+      }
+    }
+    throw ParseError(expr.loc, "internal: unknown expression kind");
+  }
+
+  static OpKind opKindOf(BinOp op, SourceLoc loc) {
+    switch (op) {
+      case BinOp::Add: return OpKind::Add;
+      case BinOp::Sub: return OpKind::Sub;
+      case BinOp::Mul: return OpKind::Mul;
+      case BinOp::Gt: return OpKind::CmpGt;
+      case BinOp::Ge: return OpKind::CmpGe;
+      case BinOp::Lt: return OpKind::CmpLt;
+      case BinOp::Le: return OpKind::CmpLe;
+      case BinOp::Eq: return OpKind::CmpEq;
+      case BinOp::Ne: return OpKind::CmpNe;
+      case BinOp::And: return OpKind::And;
+      case BinOp::Or: return OpKind::Or;
+      case BinOp::Xor: return OpKind::Xor;
+    }
+    throw ParseError(loc, "internal: unknown binary operator");
+  }
+
+  static constexpr NodeId kNoWidthYet = kInvalidNode;
+
+  const Module& module_;
+  Graph graph_;
+  std::map<std::string, NodeId> bindings_;
+  std::map<int, NodeId> zeros_;
+};
+
+}  // namespace
+
+Graph elaborate(const Module& module) { return Elaborator(module).run(); }
+
+Graph compile(std::string_view source) { return elaborate(parse(source)); }
+
+}  // namespace lang
+}  // namespace pmsched

@@ -1,0 +1,21 @@
+#pragma once
+// Elaboration: SIL AST -> CDFG. Single-assignment checking, width
+// inference, and lowering of conditionals to multiplexor nodes (the
+// structures the power-management transform gates).
+
+#include "cdfg/graph.hpp"
+#include "lang/ast.hpp"
+
+namespace pmsched {
+namespace lang {
+
+/// Elaborate a parsed module. Throws ParseError (with source locations) on
+/// semantic errors: redefinitions, unknown names, non-boolean conditions,
+/// shift overflow, outputs of undefined values.
+[[nodiscard]] Graph elaborate(const Module& module);
+
+/// Convenience: parse + elaborate.
+[[nodiscard]] Graph compile(std::string_view source);
+
+}  // namespace lang
+}  // namespace pmsched

@@ -1,0 +1,151 @@
+#include "lang/lexer.hpp"
+
+#include <cctype>
+
+namespace pmsched {
+namespace lang {
+
+char Lexer::advance() {
+  const char c = source_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  for (;;) {
+    while (!atEnd() && std::isspace(static_cast<unsigned char>(peek())) != 0) advance();
+    if (peek() == '#' || (peek() == '-' && peek(1) == '-')) {
+      while (!atEnd() && peek() != '\n') advance();
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::lexNumber() {
+  Token tok;
+  tok.kind = TokKind::Number;
+  tok.loc = here();
+  std::int64_t value = 0;
+  while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+    const int digit = advance() - '0';
+    if (value > (INT64_MAX - digit) / 10) throw ParseError(tok.loc, "numeric literal overflow");
+    value = value * 10 + digit;
+  }
+  tok.number = value;
+  return tok;
+}
+
+Token Lexer::lexIdentOrKeyword() {
+  Token tok;
+  tok.loc = here();
+  std::string text;
+  while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) != 0 || peek() == '_'))
+    text += advance();
+
+  if (text == "circuit") tok.kind = TokKind::KwCircuit;
+  else if (text == "input") tok.kind = TokKind::KwInput;
+  else if (text == "output") tok.kind = TokKind::KwOutput;
+  else if (text == "if") tok.kind = TokKind::KwIf;
+  else if (text == "then") tok.kind = TokKind::KwThen;
+  else if (text == "else") tok.kind = TokKind::KwElse;
+  else if (text == "end") tok.kind = TokKind::KwEnd;
+  else if (text == "num") tok.kind = TokKind::KwNum;
+  else if (text == "bool") tok.kind = TokKind::KwBool;
+  else {
+    tok.kind = TokKind::Ident;
+    tok.text = std::move(text);
+  }
+  return tok;
+}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> tokens;
+  for (;;) {
+    skipWhitespaceAndComments();
+    if (atEnd()) break;
+
+    const char c = peek();
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      tokens.push_back(lexNumber());
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      tokens.push_back(lexIdentOrKeyword());
+      continue;
+    }
+
+    Token tok;
+    tok.loc = here();
+    advance();
+    switch (c) {
+      case ';': tok.kind = TokKind::Semi; break;
+      case ':': tok.kind = TokKind::Colon; break;
+      case ',': tok.kind = TokKind::Comma; break;
+      case '(': tok.kind = TokKind::LParen; break;
+      case ')': tok.kind = TokKind::RParen; break;
+      case '+': tok.kind = TokKind::Plus; break;
+      case '-': tok.kind = TokKind::Minus; break;
+      case '*': tok.kind = TokKind::Star; break;
+      case '&': tok.kind = TokKind::Amp; break;
+      case '|': tok.kind = TokKind::Pipe; break;
+      case '^': tok.kind = TokKind::Caret; break;
+      case '~': tok.kind = TokKind::Tilde; break;
+      case '=':
+        if (peek() == '=') {
+          advance();
+          tok.kind = TokKind::EqEq;
+        } else {
+          tok.kind = TokKind::Assign;
+        }
+        break;
+      case '!':
+        if (peek() == '=') {
+          advance();
+          tok.kind = TokKind::NotEq;
+        } else {
+          throw ParseError(tok.loc, "unexpected '!'");
+        }
+        break;
+      case '<':
+        if (peek() == '=') {
+          advance();
+          tok.kind = TokKind::Le;
+        } else if (peek() == '<') {
+          advance();
+          tok.kind = TokKind::Shl;
+        } else {
+          tok.kind = TokKind::Lt;
+        }
+        break;
+      case '>':
+        if (peek() == '=') {
+          advance();
+          tok.kind = TokKind::Ge;
+        } else if (peek() == '>') {
+          advance();
+          tok.kind = TokKind::Shr;
+        } else {
+          tok.kind = TokKind::Gt;
+        }
+        break;
+      default:
+        throw ParseError(tok.loc, std::string("unexpected character '") + c + "'");
+    }
+    tokens.push_back(tok);
+  }
+
+  Token end;
+  end.kind = TokKind::End;
+  end.loc = here();
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace lang
+}  // namespace pmsched

@@ -1,0 +1,39 @@
+#pragma once
+// Hand-written lexer for the SIL language. Supports line comments with
+// '--' (Silage/VHDL style) and '#'.
+
+#include <vector>
+
+#include "lang/token.hpp"
+
+namespace pmsched {
+namespace lang {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  /// Tokenize the whole input; the last token is always TokKind::End.
+  /// Throws ParseError on malformed input (bad characters, huge literals).
+  [[nodiscard]] std::vector<Token> tokenize();
+
+ private:
+  [[nodiscard]] bool atEnd() const { return pos_ >= source_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+  }
+  char advance();
+  void skipWhitespaceAndComments();
+  [[nodiscard]] SourceLoc here() const { return SourceLoc{line_, column_}; }
+
+  Token lexNumber();
+  Token lexIdentOrKeyword();
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+}  // namespace lang
+}  // namespace pmsched

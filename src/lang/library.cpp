@@ -1,0 +1,78 @@
+#include "lang/library.hpp"
+
+namespace pmsched {
+namespace lang {
+
+std::string_view absdiffSource() {
+  return R"(-- |a - b|, the running example of Monteiro et al. (DAC'96), Figs. 1-2.
+circuit absdiff;
+
+input a, b : num<8>;
+
+t = a > b;
+
+output abs = if t then a - b else b - a end;
+)";
+}
+
+std::string_view gcdSource() {
+  return R"(-- One iteration of subtractive GCD with a single shared subtractor.
+circuit gcd;
+
+input a, b, a_init, b_init : num<8>;
+input start : bool;
+
+t     = a > b;
+big   = if t then a else b end;
+small = if t then b else a end;
+eq    = big == small;
+d     = big - small;
+
+a_next  = if eq then a else small end;
+b_inner = if eq then b else d end;
+
+output a_out   = if start then a_init else a_next end;
+output b_out   = if start then b_init else b_inner end;
+output gcd_out = a_next;
+)";
+}
+
+std::string_view dealerSource() {
+  return R"(-- Card dealer: a two-hand payout selection tree.
+circuit dealer;
+
+input p, q, r, s : num<8>;
+
+s1 = p + q;
+s2 = r + s;
+c1 = p > q;
+c2 = p > r;
+c3 = r > q;
+d  = s2 - q;
+
+mA = if c2 then s1 else s2 end;
+mB = if c3 then d else s2 end;
+
+output deal  = if c1 then mA else mB end;
+output total = s1;
+)";
+}
+
+std::string_view clippedAverageSource() {
+  return R"(-- Clipped weighted average: saturate the blend when it overshoots.
+circuit clipavg;
+
+input x, y, limit : num<8>;
+input heavy : bool;
+
+wx   = if heavy then x * 3 else x end;
+blend = (wx + y) >> 1;
+over  = blend > limit;
+
+output avg = if over then limit else blend end;
+output clipped = over;
+)";
+}
+
+}  // namespace lang
+}  // namespace pmsched

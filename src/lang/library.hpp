@@ -1,0 +1,26 @@
+#pragma once
+// SIL source texts for the paper's running examples, used by tests and the
+// frontend examples. These demonstrate that the behavioral path (source ->
+// CDFG -> schedule) produces the same structures as the programmatic
+// builders in src/circuits.
+
+#include <string_view>
+
+namespace pmsched {
+namespace lang {
+
+/// |a-b| from Figures 1-2.
+[[nodiscard]] std::string_view absdiffSource();
+
+/// Subtractive GCD step matching circuits::gcd() operation inventory.
+[[nodiscard]] std::string_view gcdSource();
+
+/// Card dealer matching circuits::dealer() operation inventory.
+[[nodiscard]] std::string_view dealerSource();
+
+/// A fresh example beyond the paper's set: clipped weighted average with a
+/// saturation conditional (demonstrates the DSL on new input).
+[[nodiscard]] std::string_view clippedAverageSource();
+
+}  // namespace lang
+}  // namespace pmsched

@@ -1,0 +1,261 @@
+#include "lang/parser.hpp"
+
+#include "lang/lexer.hpp"
+
+namespace pmsched {
+namespace lang {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Module parseModule() {
+    Module mod;
+    expect(TokKind::KwCircuit);
+    mod.name = expect(TokKind::Ident).text;
+    expect(TokKind::Semi);
+
+    while (!check(TokKind::End)) {
+      if (check(TokKind::KwInput)) {
+        mod.inputs.push_back(parseInput());
+      } else if (check(TokKind::KwOutput)) {
+        mod.outputs.push_back(parseOutput());
+      } else {
+        mod.defs.push_back(parseDef());
+      }
+    }
+    return mod;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  const Token& previous() const { return tokens_[pos_ - 1]; }
+  bool check(TokKind kind) const { return peek().kind == kind; }
+  bool match(TokKind kind) {
+    if (!check(kind)) return false;
+    ++pos_;
+    return true;
+  }
+  const Token& expect(TokKind kind) {
+    if (!check(kind))
+      throw ParseError(peek().loc, "expected " + std::string(tokName(kind)) + ", found " +
+                                       std::string(tokName(peek().kind)));
+    return tokens_[pos_++];
+  }
+
+  InputDecl parseInput() {
+    InputDecl decl;
+    decl.loc = peek().loc;
+    expect(TokKind::KwInput);
+    decl.names.push_back(expect(TokKind::Ident).text);
+    while (match(TokKind::Comma)) decl.names.push_back(expect(TokKind::Ident).text);
+    expect(TokKind::Colon);
+    decl.type = parseType();
+    expect(TokKind::Semi);
+    return decl;
+  }
+
+  TypeSpec parseType() {
+    TypeSpec type;
+    if (match(TokKind::KwBool)) {
+      type.width = 1;
+      type.isBool = true;
+      return type;
+    }
+    expect(TokKind::KwNum);
+    expect(TokKind::Lt);
+    const Token& width = expect(TokKind::Number);
+    if (width.number < 1 || width.number > 64)
+      throw ParseError(width.loc, "width must be in [1, 64]");
+    type.width = static_cast<int>(width.number);
+    expect(TokKind::Gt);
+    return type;
+  }
+
+  OutputDecl parseOutput() {
+    OutputDecl decl;
+    decl.loc = peek().loc;
+    expect(TokKind::KwOutput);
+    decl.name = expect(TokKind::Ident).text;
+    if (match(TokKind::Assign)) decl.value = parseExpr();
+    expect(TokKind::Semi);
+    return decl;
+  }
+
+  ValueDef parseDef() {
+    ValueDef def;
+    def.loc = peek().loc;
+    def.name = expect(TokKind::Ident).text;
+    expect(TokKind::Assign);
+    def.value = parseExpr();
+    expect(TokKind::Semi);
+    return def;
+  }
+
+  ExprPtr parseExpr() {
+    if (check(TokKind::KwIf)) return parseIf();
+    return parseOr();
+  }
+
+  ExprPtr parseIf() {
+    auto expr = std::make_unique<Expr>();
+    expr->kind = Expr::Kind::If;
+    expr->loc = peek().loc;
+    expect(TokKind::KwIf);
+    expr->lhs = parseExpr();
+    expect(TokKind::KwThen);
+    expr->rhs = parseExpr();
+    expect(TokKind::KwElse);
+    expr->els = parseExpr();
+    expect(TokKind::KwEnd);
+    return expr;
+  }
+
+  ExprPtr makeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs, SourceLoc loc) {
+    auto expr = std::make_unique<Expr>();
+    expr->kind = Expr::Kind::Binary;
+    expr->binOp = op;
+    expr->loc = loc;
+    expr->lhs = std::move(lhs);
+    expr->rhs = std::move(rhs);
+    return expr;
+  }
+
+  ExprPtr parseOr() {
+    ExprPtr lhs = parseAnd();
+    for (;;) {
+      const SourceLoc loc = peek().loc;
+      if (match(TokKind::Pipe)) {
+        lhs = makeBinary(BinOp::Or, std::move(lhs), parseAnd(), loc);
+      } else if (match(TokKind::Caret)) {
+        lhs = makeBinary(BinOp::Xor, std::move(lhs), parseAnd(), loc);
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parseAnd() {
+    ExprPtr lhs = parseCmp();
+    for (;;) {
+      const SourceLoc loc = peek().loc;
+      if (!match(TokKind::Amp)) return lhs;
+      lhs = makeBinary(BinOp::And, std::move(lhs), parseCmp(), loc);
+    }
+  }
+
+  ExprPtr parseCmp() {
+    ExprPtr lhs = parseAdd();
+    const SourceLoc loc = peek().loc;
+    BinOp op;
+    if (match(TokKind::Gt)) op = BinOp::Gt;
+    else if (match(TokKind::Ge)) op = BinOp::Ge;
+    else if (match(TokKind::Lt)) op = BinOp::Lt;
+    else if (match(TokKind::Le)) op = BinOp::Le;
+    else if (match(TokKind::EqEq)) op = BinOp::Eq;
+    else if (match(TokKind::NotEq)) op = BinOp::Ne;
+    else return lhs;
+    return makeBinary(op, std::move(lhs), parseAdd(), loc);
+  }
+
+  ExprPtr parseAdd() {
+    ExprPtr lhs = parseMul();
+    for (;;) {
+      const SourceLoc loc = peek().loc;
+      if (match(TokKind::Plus)) {
+        lhs = makeBinary(BinOp::Add, std::move(lhs), parseMul(), loc);
+      } else if (match(TokKind::Minus)) {
+        lhs = makeBinary(BinOp::Sub, std::move(lhs), parseMul(), loc);
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parseMul() {
+    ExprPtr lhs = parseShift();
+    for (;;) {
+      const SourceLoc loc = peek().loc;
+      if (!match(TokKind::Star)) return lhs;
+      lhs = makeBinary(BinOp::Mul, std::move(lhs), parseShift(), loc);
+    }
+  }
+
+  ExprPtr parseShift() {
+    ExprPtr operand = parseUnary();
+    for (;;) {
+      const SourceLoc loc = peek().loc;
+      int sign;
+      if (match(TokKind::Shr)) sign = 1;
+      else if (match(TokKind::Shl)) sign = -1;
+      else return operand;
+
+      const Token& amount = expect(TokKind::Number);
+      auto expr = std::make_unique<Expr>();
+      expr->kind = Expr::Kind::Shift;
+      expr->loc = loc;
+      expr->shiftAmount = sign * static_cast<int>(amount.number);
+      expr->lhs = std::move(operand);
+      operand = std::move(expr);
+    }
+  }
+
+  ExprPtr parseUnary() {
+    const SourceLoc loc = peek().loc;
+    if (match(TokKind::Minus)) {
+      auto expr = std::make_unique<Expr>();
+      expr->kind = Expr::Kind::Unary;
+      expr->unOp = UnOp::Neg;
+      expr->loc = loc;
+      expr->lhs = parseUnary();
+      return expr;
+    }
+    if (match(TokKind::Tilde)) {
+      auto expr = std::make_unique<Expr>();
+      expr->kind = Expr::Kind::Unary;
+      expr->unOp = UnOp::Not;
+      expr->loc = loc;
+      expr->lhs = parseUnary();
+      return expr;
+    }
+    return parsePrimary();
+  }
+
+  ExprPtr parsePrimary() {
+    auto expr = std::make_unique<Expr>();
+    expr->loc = peek().loc;
+    if (match(TokKind::Number)) {
+      expr->kind = Expr::Kind::Number;
+      expr->number = previous().number;
+      return expr;
+    }
+    if (match(TokKind::Ident)) {
+      expr->kind = Expr::Kind::Name;
+      expr->name = previous().text;
+      return expr;
+    }
+    if (match(TokKind::LParen)) {
+      ExprPtr inner = parseExpr();
+      expect(TokKind::RParen);
+      return inner;
+    }
+    throw ParseError(peek().loc, "expected expression, found " +
+                                     std::string(tokName(peek().kind)));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Module parse(std::string_view source) {
+  Lexer lexer(source);
+  Parser parser(lexer.tokenize());
+  return parser.parseModule();
+}
+
+}  // namespace lang
+}  // namespace pmsched

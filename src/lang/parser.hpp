@@ -1,0 +1,30 @@
+#pragma once
+// Recursive-descent parser for SIL.
+//
+// Grammar (EBNF):
+//   program    := 'circuit' IDENT ';' decl*
+//   decl       := inputDecl | outputDecl | defDecl
+//   inputDecl  := 'input' IDENT (',' IDENT)* ':' type ';'
+//   outputDecl := 'output' IDENT ['=' expr] ';'
+//   defDecl    := IDENT '=' expr ';'
+//   type       := 'num' '<' NUMBER '>' | 'bool'
+//   expr       := 'if' expr 'then' expr 'else' expr 'end' | orExpr
+//   orExpr     := andExpr (('|'|'^') andExpr)*
+//   andExpr    := cmpExpr ('&' cmpExpr)*
+//   cmpExpr    := addExpr [('>'|'>='|'<'|'<='|'=='|'!=') addExpr]
+//   addExpr    := mulExpr (('+'|'-') mulExpr)*
+//   mulExpr    := shiftExpr ('*' shiftExpr)*
+//   shiftExpr  := unary (('>>'|'<<') NUMBER)*
+//   unary      := ('-'|'~') unary | primary
+//   primary    := NUMBER | IDENT | '(' expr ')'
+
+#include "lang/ast.hpp"
+
+namespace pmsched {
+namespace lang {
+
+/// Parse a whole SIL program. Throws ParseError with location info.
+[[nodiscard]] Module parse(std::string_view source);
+
+}  // namespace lang
+}  // namespace pmsched

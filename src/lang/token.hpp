@@ -1,0 +1,100 @@
+#pragma once
+// Tokens of the PMSched behavioral description language ("SIL"), a small
+// single-assignment language standing in for Silage (which is what the
+// paper's HYPER flow consumed). See lang/parser.hpp for the grammar.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/diagnostics.hpp"
+
+namespace pmsched {
+namespace lang {
+
+enum class TokKind : std::uint8_t {
+  End,
+  Ident,
+  Number,
+  // keywords
+  KwCircuit,
+  KwInput,
+  KwOutput,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwEnd,
+  KwNum,
+  KwBool,
+  // punctuation / operators
+  Semi,       // ;
+  Colon,      // :
+  Comma,      // ,
+  Assign,     // =
+  LParen,     // (
+  RParen,     // )
+  Lt,         // <
+  Gt,         // >
+  Le,         // <=
+  Ge,         // >=
+  EqEq,       // ==
+  NotEq,      // !=
+  Plus,       // +
+  Minus,      // -
+  Star,       // *
+  Amp,        // &
+  Pipe,       // |
+  Caret,      // ^
+  Tilde,      // ~
+  Shl,        // <<
+  Shr,        // >>
+};
+
+[[nodiscard]] constexpr std::string_view tokName(TokKind kind) {
+  switch (kind) {
+    case TokKind::End: return "<end of input>";
+    case TokKind::Ident: return "identifier";
+    case TokKind::Number: return "number";
+    case TokKind::KwCircuit: return "'circuit'";
+    case TokKind::KwInput: return "'input'";
+    case TokKind::KwOutput: return "'output'";
+    case TokKind::KwIf: return "'if'";
+    case TokKind::KwThen: return "'then'";
+    case TokKind::KwElse: return "'else'";
+    case TokKind::KwEnd: return "'end'";
+    case TokKind::KwNum: return "'num'";
+    case TokKind::KwBool: return "'bool'";
+    case TokKind::Semi: return "';'";
+    case TokKind::Colon: return "':'";
+    case TokKind::Comma: return "','";
+    case TokKind::Assign: return "'='";
+    case TokKind::LParen: return "'('";
+    case TokKind::RParen: return "')'";
+    case TokKind::Lt: return "'<'";
+    case TokKind::Gt: return "'>'";
+    case TokKind::Le: return "'<='";
+    case TokKind::Ge: return "'>='";
+    case TokKind::EqEq: return "'=='";
+    case TokKind::NotEq: return "'!='";
+    case TokKind::Plus: return "'+'";
+    case TokKind::Minus: return "'-'";
+    case TokKind::Star: return "'*'";
+    case TokKind::Amp: return "'&'";
+    case TokKind::Pipe: return "'|'";
+    case TokKind::Caret: return "'^'";
+    case TokKind::Tilde: return "'~'";
+    case TokKind::Shl: return "'<<'";
+    case TokKind::Shr: return "'>>'";
+  }
+  return "?";
+}
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;          ///< identifier spelling
+  std::int64_t number = 0;   ///< numeric literal value
+  SourceLoc loc;
+};
+
+}  // namespace lang
+}  // namespace pmsched

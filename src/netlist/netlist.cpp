@@ -1,0 +1,287 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+
+namespace pmsched {
+
+double gateArea(GateKind kind) {
+  switch (kind) {
+    case GateKind::Const0:
+    case GateKind::Const1:
+    case GateKind::Input:
+    case GateKind::Buf: return 0.0;
+    case GateKind::Inv: return 0.5;
+    case GateKind::And2:
+    case GateKind::Or2: return 1.5;
+    case GateKind::Nand2:
+    case GateKind::Nor2: return 1.0;
+    case GateKind::Xor2:
+    case GateKind::Xnor2: return 2.5;
+    case GateKind::Dff: return 4.0;
+  }
+  return 0.0;
+}
+
+SignalId Netlist::addInput(std::string name) {
+  const auto id = static_cast<SignalId>(gates_.size());
+  gates_.push_back(Gate{GateKind::Input, kNoSignal, kNoSignal, false});
+  inputs_.emplace_back(id, std::move(name));
+  return id;
+}
+
+SignalId Netlist::constant(bool value) {
+  const auto id = static_cast<SignalId>(gates_.size());
+  gates_.push_back(Gate{value ? GateKind::Const1 : GateKind::Const0, kNoSignal, kNoSignal,
+                        false});
+  return id;
+}
+
+SignalId Netlist::addGate(GateKind kind, SignalId a, SignalId b) {
+  switch (kind) {
+    case GateKind::Buf:
+    case GateKind::Inv:
+      if (a >= gates_.size() || b != kNoSignal)
+        throw SynthesisError("addGate: unary gate operand error");
+      break;
+    case GateKind::And2:
+    case GateKind::Or2:
+    case GateKind::Nand2:
+    case GateKind::Nor2:
+    case GateKind::Xor2:
+    case GateKind::Xnor2:
+      if (a >= gates_.size() || b >= gates_.size())
+        throw SynthesisError("addGate: binary gate operand error");
+      break;
+    default: throw SynthesisError("addGate: not a combinational gate kind");
+  }
+  const auto id = static_cast<SignalId>(gates_.size());
+  gates_.push_back(Gate{kind, a, b, false});
+  return id;
+}
+
+SignalId Netlist::addDff(SignalId d, SignalId enable, bool init) {
+  if (d >= gates_.size()) throw SynthesisError("addDff: dangling data input");
+  if (enable != kNoSignal && enable >= gates_.size())
+    throw SynthesisError("addDff: dangling enable");
+  const auto id = static_cast<SignalId>(gates_.size());
+  gates_.push_back(Gate{GateKind::Dff, d, enable, init});
+  return id;
+}
+
+void Netlist::markOutput(SignalId sig, std::string name) {
+  if (sig >= gates_.size()) throw SynthesisError("markOutput: dangling signal");
+  outputs_.emplace_back(sig, std::move(name));
+}
+
+std::size_t Netlist::combGateCount() const {
+  return static_cast<std::size_t>(std::count_if(gates_.begin(), gates_.end(), [](const Gate& g) {
+    return g.kind != GateKind::Dff && g.kind != GateKind::Input &&
+           g.kind != GateKind::Const0 && g.kind != GateKind::Const1;
+  }));
+}
+
+std::size_t Netlist::dffCount() const {
+  return static_cast<std::size_t>(std::count_if(gates_.begin(), gates_.end(), [](const Gate& g) {
+    return g.kind == GateKind::Dff;
+  }));
+}
+
+double Netlist::area() const {
+  double total = 0;
+  for (const Gate& g : gates_) total += gateArea(g.kind);
+  return total;
+}
+
+void Netlist::patchBufData(SignalId buf, SignalId newData) {
+  if (buf >= gates_.size() || gates_[buf].kind != GateKind::Buf)
+    throw SynthesisError("patchBufData: not a Buf");
+  if (newData >= gates_.size()) throw SynthesisError("patchBufData: dangling source");
+  gates_[buf].a = newData;
+}
+
+void Netlist::patchDffData(SignalId dff, SignalId newData) {
+  if (dff >= gates_.size() || gates_[dff].kind != GateKind::Dff)
+    throw SynthesisError("patchDffData: not a Dff");
+  if (newData >= gates_.size()) throw SynthesisError("patchDffData: dangling source");
+  gates_[dff].a = newData;
+}
+
+std::vector<SignalId> Netlist::combOrder() const {
+  // Full topological sort of the combinational gates (patching can make
+  // ids non-monotonic). DFFs, inputs and constants are sources.
+  auto isSource = [&](SignalId id) {
+    const GateKind k = gates_[id].kind;
+    return k == GateKind::Dff || k == GateKind::Input || k == GateKind::Const0 ||
+           k == GateKind::Const1;
+  };
+
+  std::vector<int> indegree(gates_.size(), 0);
+  std::vector<std::vector<SignalId>> succ(gates_.size());
+  for (SignalId i = 0; i < gates_.size(); ++i) {
+    if (isSource(i)) continue;
+    const Gate& g = gates_[i];
+    for (const SignalId op : {g.a, g.b}) {
+      if (op == kNoSignal || isSource(op)) continue;
+      ++indegree[i];
+      succ[op].push_back(i);
+    }
+  }
+
+  std::vector<SignalId> ready;
+  for (SignalId i = 0; i < gates_.size(); ++i)
+    if (!isSource(i) && indegree[i] == 0) ready.push_back(i);
+
+  std::vector<SignalId> order;
+  order.reserve(gates_.size());
+  while (!ready.empty()) {
+    const SignalId n = ready.back();
+    ready.pop_back();
+    order.push_back(n);
+    for (const SignalId s : succ[n])
+      if (--indegree[s] == 0) ready.push_back(s);
+  }
+
+  std::size_t combCount = 0;
+  for (SignalId i = 0; i < gates_.size(); ++i)
+    if (!isSource(i)) ++combCount;
+  if (order.size() != combCount)
+    throw SynthesisError("netlist '" + name_ + "': combinational cycle detected");
+  return order;
+}
+
+std::vector<std::uint32_t> Netlist::fanoutCounts() const {
+  std::vector<std::uint32_t> fanout(gates_.size(), 0);
+  for (const Gate& g : gates_) {
+    if (g.a != kNoSignal) ++fanout[g.a];
+    if (g.b != kNoSignal) ++fanout[g.b];
+  }
+  return fanout;
+}
+
+Simulator::Simulator(const Netlist& netlist) : netlist_(netlist) {
+  (void)netlist.combOrder();  // validates: no combinational cycles
+
+  fanouts_.resize(netlist.signalCount());
+  for (SignalId i = 0; i < netlist.signalCount(); ++i) {
+    const Gate& g = netlist.gate(i);
+    if (g.kind == GateKind::Dff || g.kind == GateKind::Input ||
+        g.kind == GateKind::Const0 || g.kind == GateKind::Const1)
+      continue;
+    if (g.a != kNoSignal) fanouts_[g.a].push_back(i);
+    if (g.b != kNoSignal) fanouts_[g.b].push_back(i);
+  }
+
+  const auto fanout = netlist.fanoutCounts();
+  weight_.resize(netlist.signalCount());
+  for (std::size_t i = 0; i < weight_.size(); ++i) weight_[i] = 1 + fanout[i];
+
+  value_.assign(netlist.signalCount(), false);
+  pending_.assign(netlist.signalCount(), false);
+  for (SignalId i = 0; i < netlist.signalCount(); ++i) {
+    const Gate& g = netlist.gate(i);
+    if (g.kind == GateKind::Const1) value_[i] = true;
+    if (g.kind == GateKind::Dff) value_[i] = g.dffInit;
+  }
+
+  // Bring all combinational logic to a consistent power-on state without
+  // charging energy for it.
+  for (const SignalId id : netlist.combOrder()) value_[id] = evaluate(id);
+}
+
+bool Simulator::evaluate(SignalId sig) const {
+  const Gate& g = netlist_.gate(sig);
+  const bool a = g.a != kNoSignal && value_[g.a];
+  const bool b = g.b != kNoSignal && value_[g.b];
+  switch (g.kind) {
+    case GateKind::Buf: return a;
+    case GateKind::Inv: return !a;
+    case GateKind::And2: return a && b;
+    case GateKind::Or2: return a || b;
+    case GateKind::Nand2: return !(a && b);
+    case GateKind::Nor2: return !(a || b);
+    case GateKind::Xor2: return a != b;
+    case GateKind::Xnor2: return a == b;
+    default: return value_[sig];
+  }
+}
+
+void Simulator::bump(SignalId sig) {
+  ++toggles_;
+  energy_ += weight_[sig];
+}
+
+void Simulator::setInput(SignalId input, bool value) {
+  if (netlist_.gate(input).kind != GateKind::Input)
+    throw SynthesisError("setInput: not an input signal");
+  if (value_[input] == value) return;
+  value_[input] = value;
+  bump(input);
+  for (const SignalId f : fanouts_[input]) {
+    if (!pending_[f]) {
+      pending_[f] = true;
+      wave_.push_back(f);
+    }
+  }
+}
+
+void Simulator::settle() {
+  // Unit-delay waves: all gates scheduled for time t evaluate against the
+  // values at time t; changes schedule their consumers for t+1. A gate
+  // whose inputs arrive at different times therefore glitches, and every
+  // transition is counted.
+  std::vector<SignalId> current;
+  while (!wave_.empty()) {
+    current.clear();
+    std::swap(current, wave_);
+    for (const SignalId id : current) pending_[id] = false;
+
+    std::vector<std::pair<SignalId, bool>> changes;
+    for (const SignalId id : current) {
+      const bool v = evaluate(id);
+      if (v != value_[id]) changes.emplace_back(id, v);
+    }
+    for (const auto& [id, v] : changes) {
+      value_[id] = v;
+      bump(id);
+      for (const SignalId f : fanouts_[id]) {
+        if (!pending_[f]) {
+          pending_[f] = true;
+          wave_.push_back(f);
+        }
+      }
+    }
+  }
+}
+
+void Simulator::clock() {
+  settle();
+  // Capture all enabled DFFs simultaneously (pre-edge values feed DFFs that
+  // read other DFFs).
+  std::vector<std::pair<SignalId, bool>> next;
+  for (SignalId i = 0; i < netlist_.signalCount(); ++i) {
+    const Gate& g = netlist_.gate(i);
+    if (g.kind != GateKind::Dff) continue;
+    const bool enabled = g.b == kNoSignal || value_[g.b];
+    if (enabled && value_[g.a] != value_[i]) next.emplace_back(i, value_[g.a]);
+  }
+  for (const auto& [id, v] : next) {
+    value_[id] = v;
+    bump(id);
+    for (const SignalId f : fanouts_[id]) {
+      if (!pending_[f]) {
+        pending_[f] = true;
+        wave_.push_back(f);
+      }
+    }
+  }
+  settle();
+}
+
+std::uint64_t Simulator::wordValue(const std::vector<SignalId>& bits) const {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    if (value_.at(bits[i])) v |= std::uint64_t{1} << i;
+  return v;
+}
+
+}  // namespace pmsched

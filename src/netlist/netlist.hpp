@@ -1,0 +1,145 @@
+#pragma once
+// Structural gate-level netlist and a zero-delay cycle simulator with
+// toggle counting. Together with src/rtl this substitutes for the paper's
+// Synopsys Design Compiler + DesignPower flow: Table III only needs
+// *relative* area and power of the original vs power-managed design under
+// random vectors, and weighted toggle counts over a gate netlist measure
+// exactly that effect (input latches that hold their value stop all
+// downstream switching).
+//
+// Power model: each signal transition costs (1 + fanout) capacitance units.
+// Area model: NAND2-equivalent gate counts.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace pmsched {
+
+using SignalId = std::uint32_t;
+inline constexpr SignalId kNoSignal = static_cast<SignalId>(-1);
+
+enum class GateKind : std::uint8_t {
+  Const0,
+  Const1,
+  Input,
+  Buf,
+  Inv,
+  And2,
+  Or2,
+  Nand2,
+  Nor2,
+  Xor2,
+  Xnor2,
+  Dff,  ///< a = data, b = enable (kNoSignal = always enabled)
+};
+
+/// NAND2-equivalent area of one gate.
+[[nodiscard]] double gateArea(GateKind kind);
+
+struct Gate {
+  GateKind kind = GateKind::Const0;
+  SignalId a = kNoSignal;
+  SignalId b = kNoSignal;
+  bool dffInit = false;  ///< power-on value for Dff
+};
+
+class Netlist {
+ public:
+  Netlist() : Netlist("netlist") {}
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  SignalId addInput(std::string name);
+  SignalId constant(bool value);
+  /// Combinational gate; unary kinds (Buf/Inv) take only `a`.
+  SignalId addGate(GateKind kind, SignalId a, SignalId b = kNoSignal);
+  /// D flip-flop with optional clock enable and power-on value.
+  SignalId addDff(SignalId d, SignalId enable = kNoSignal, bool init = false);
+  void markOutput(SignalId sig, std::string name);
+
+  /// Deferred wiring support: RTL mapping builds register files whose data
+  /// networks are only known after the registers exist (the classic
+  /// unit -> register -> unit loop, acyclic only through the DFF boundary).
+  /// These two patches re-point a Buf's operand / a Dff's data input after
+  /// creation; combOrder() performs a full topological sort, so patched
+  /// netlists still simulate correctly — as long as no combinational cycle
+  /// is introduced (combOrder throws if one is).
+  void patchBufData(SignalId buf, SignalId newData);
+  void patchDffData(SignalId dff, SignalId newData);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t signalCount() const { return gates_.size(); }
+  [[nodiscard]] const Gate& gate(SignalId id) const { return gates_.at(id); }
+  [[nodiscard]] const std::vector<std::pair<SignalId, std::string>>& outputs() const {
+    return outputs_;
+  }
+  [[nodiscard]] const std::vector<std::pair<SignalId, std::string>>& inputs() const {
+    return inputs_;
+  }
+
+  [[nodiscard]] std::size_t combGateCount() const;
+  [[nodiscard]] std::size_t dffCount() const;
+  /// Total NAND2-equivalent area.
+  [[nodiscard]] double area() const;
+
+  /// Evaluation order for combinational logic (inputs/constants/DFFs are
+  /// sources). Throws SynthesisError on a combinational cycle.
+  [[nodiscard]] std::vector<SignalId> combOrder() const;
+
+  /// Fanout count per signal (capacitance proxy for the power model).
+  [[nodiscard]] std::vector<std::uint32_t> fanoutCounts() const;
+
+ private:
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<std::pair<SignalId, std::string>> inputs_;
+  std::vector<std::pair<SignalId, std::string>> outputs_;
+};
+
+/// Event-driven unit-delay simulator with weighted toggle counting.
+///
+/// Every gate has one unit of delay, so a gate whose inputs settle at
+/// different times produces *glitches* — and those intermediate transitions
+/// are counted. This matches the paper's methodology ("timing simulation
+/// with random input vectors"): glitching is what makes carry chains and
+/// multiplier arrays dominate datapath power.
+class Simulator {
+ public:
+  explicit Simulator(const Netlist& netlist);
+
+  void setInput(SignalId input, bool value);
+  /// Propagate pending events to quiescence, counting every transition.
+  void settle();
+  /// One clock cycle: settle, capture enabled DFFs, propagate their new
+  /// outputs (the post-capture settle belongs to the next cycle's wave).
+  void clock();
+
+  [[nodiscard]] bool value(SignalId sig) const { return value_.at(sig); }
+  [[nodiscard]] std::uint64_t wordValue(const std::vector<SignalId>& bits) const;
+
+  /// Fanout-weighted transition count so far (the power figure).
+  [[nodiscard]] std::uint64_t energy() const { return energy_; }
+  /// Raw transition count so far (glitches included).
+  [[nodiscard]] std::uint64_t toggles() const { return toggles_; }
+  void resetCounters() {
+    energy_ = 0;
+    toggles_ = 0;
+  }
+
+ private:
+  [[nodiscard]] bool evaluate(SignalId sig) const;
+  void bump(SignalId sig);  // count one transition of sig
+
+  const Netlist& netlist_;
+  std::vector<std::vector<SignalId>> fanouts_;  // combinational consumers
+  std::vector<std::uint32_t> weight_;           // 1 + fanout
+  std::vector<bool> value_;
+  std::vector<bool> pending_;  // already queued for the next wave
+  std::vector<SignalId> wave_;
+  std::uint64_t energy_ = 0;
+  std::uint64_t toggles_ = 0;
+};
+
+}  // namespace pmsched

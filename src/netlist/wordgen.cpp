@@ -1,0 +1,192 @@
+#include "netlist/wordgen.hpp"
+
+namespace pmsched {
+
+namespace {
+
+struct FullAdd {
+  SignalId sum;
+  SignalId carry;
+};
+
+FullAdd fullAdder(Netlist& nl, SignalId a, SignalId b, SignalId cin) {
+  const SignalId axb = nl.addGate(GateKind::Xor2, a, b);
+  const SignalId sum = nl.addGate(GateKind::Xor2, axb, cin);
+  const SignalId t1 = nl.addGate(GateKind::And2, a, b);
+  const SignalId t2 = nl.addGate(GateKind::And2, axb, cin);
+  const SignalId carry = nl.addGate(GateKind::Or2, t1, t2);
+  return {sum, carry};
+}
+
+/// Shared adder core; returns sum bits plus the final carry and the carry
+/// into the MSB (for signed overflow detection).
+struct AdderResult {
+  Word sum;
+  SignalId carryOut = kNoSignal;
+  SignalId carryIntoMsb = kNoSignal;
+};
+
+AdderResult rippleCore(Netlist& nl, const Word& a, const Word& b, SignalId cin) {
+  if (a.size() != b.size() || a.empty()) throw SynthesisError("adder: width mismatch");
+  AdderResult r;
+  SignalId carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    r.carryIntoMsb = carry;
+    const FullAdd fa = fullAdder(nl, a[i], b[i], carry);
+    r.sum.push_back(fa.sum);
+    carry = fa.carry;
+  }
+  r.carryOut = carry;
+  return r;
+}
+
+}  // namespace
+
+Word inputWord(Netlist& nl, const std::string& name, int width) {
+  Word w;
+  for (int i = 0; i < width; ++i) w.push_back(nl.addInput(name + "[" + std::to_string(i) + "]"));
+  return w;
+}
+
+Word constWord(Netlist& nl, std::int64_t value, int width) {
+  Word w;
+  for (int i = 0; i < width; ++i)
+    w.push_back(nl.constant(((static_cast<std::uint64_t>(value) >> i) & 1U) != 0));
+  return w;
+}
+
+Word adderWord(Netlist& nl, const Word& a, const Word& b) {
+  return rippleCore(nl, a, b, nl.constant(false)).sum;
+}
+
+Word subtractorWord(Netlist& nl, const Word& a, const Word& b) {
+  Word bInv;
+  for (const SignalId bit : b) bInv.push_back(nl.addGate(GateKind::Inv, bit));
+  return rippleCore(nl, a, bInv, nl.constant(true)).sum;
+}
+
+namespace {
+
+/// Signed a < b: sign(a-b) XOR overflow(a-b).
+SignalId signedLess(Netlist& nl, const Word& a, const Word& b) {
+  Word bInv;
+  for (const SignalId bit : b) bInv.push_back(nl.addGate(GateKind::Inv, bit));
+  const AdderResult diff = rippleCore(nl, a, bInv, nl.constant(true));
+  const SignalId overflow = nl.addGate(GateKind::Xor2, diff.carryOut, diff.carryIntoMsb);
+  return nl.addGate(GateKind::Xor2, diff.sum.back(), overflow);
+}
+
+}  // namespace
+
+SignalId compareGtWord(Netlist& nl, const Word& a, const Word& b) {
+  return signedLess(nl, b, a);  // a > b  <=>  b < a
+}
+
+SignalId compareGeWord(Netlist& nl, const Word& a, const Word& b) {
+  return nl.addGate(GateKind::Inv, signedLess(nl, a, b));  // a >= b <=> !(a < b)
+}
+
+SignalId compareEqWord(Netlist& nl, const Word& a, const Word& b) {
+  if (a.size() != b.size() || a.empty()) throw SynthesisError("compare: width mismatch");
+  SignalId all = kNoSignal;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const SignalId eq = nl.addGate(GateKind::Xnor2, a[i], b[i]);
+    all = all == kNoSignal ? eq : nl.addGate(GateKind::And2, all, eq);
+  }
+  return all;
+}
+
+Word multiplierWord(Netlist& nl, const Word& a, const Word& b) {
+  if (a.size() != b.size() || a.empty()) throw SynthesisError("multiplier: width mismatch");
+  const std::size_t width = a.size();
+
+  // Carry-save array of partial products, truncated to `width` bits.
+  Word acc(width, kNoSignal);
+  for (std::size_t i = 0; i < width; ++i) acc[i] = nl.addGate(GateKind::And2, a[i], b[0]);
+
+  for (std::size_t row = 1; row < width; ++row) {
+    SignalId carry = nl.constant(false);
+    for (std::size_t col = row; col < width; ++col) {
+      const SignalId pp = nl.addGate(GateKind::And2, a[col - row], b[row]);
+      const FullAdd fa = fullAdder(nl, acc[col], pp, carry);
+      acc[col] = fa.sum;
+      carry = fa.carry;
+    }
+  }
+  return acc;
+}
+
+Word mux2Word(Netlist& nl, SignalId sel, const Word& whenTrue, const Word& whenFalse) {
+  if (whenTrue.size() != whenFalse.size()) throw SynthesisError("mux: width mismatch");
+  Word out;
+  for (std::size_t i = 0; i < whenTrue.size(); ++i) {
+    const SignalId t = nl.addGate(GateKind::And2, sel, whenTrue[i]);
+    const SignalId nsel = nl.addGate(GateKind::Inv, sel);
+    const SignalId f = nl.addGate(GateKind::And2, nsel, whenFalse[i]);
+    out.push_back(nl.addGate(GateKind::Or2, t, f));
+  }
+  return out;
+}
+
+Word registerWord(Netlist& nl, const Word& d, SignalId enable) {
+  Word q;
+  for (const SignalId bit : d) q.push_back(nl.addDff(bit, enable));
+  return q;
+}
+
+Word shiftWord(Netlist& nl, const Word& a, int shift) {
+  if (shift == 0) return a;
+  const int width = static_cast<int>(a.size());
+  Word out(a.size(), kNoSignal);
+  if (shift > 0) {  // arithmetic right: fill with sign bit
+    for (int i = 0; i < width; ++i) {
+      const int src = i + shift;
+      out[static_cast<std::size_t>(i)] =
+          src < width ? a[static_cast<std::size_t>(src)] : a.back();
+    }
+  } else {  // left: fill with zeros
+    const SignalId zero = nl.constant(false);
+    for (int i = 0; i < width; ++i) {
+      const int src = i + shift;
+      out[static_cast<std::size_t>(i)] = src >= 0 ? a[static_cast<std::size_t>(src)] : zero;
+    }
+  }
+  return out;
+}
+
+namespace {
+Word bitwise(Netlist& nl, GateKind kind, const Word& a, const Word& b) {
+  if (a.size() != b.size()) throw SynthesisError("bitwise: width mismatch");
+  Word out;
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(nl.addGate(kind, a[i], b[i]));
+  return out;
+}
+}  // namespace
+
+Word andWord(Netlist& nl, const Word& a, const Word& b) {
+  return bitwise(nl, GateKind::And2, a, b);
+}
+Word orWord(Netlist& nl, const Word& a, const Word& b) {
+  return bitwise(nl, GateKind::Or2, a, b);
+}
+Word xorWord(Netlist& nl, const Word& a, const Word& b) {
+  return bitwise(nl, GateKind::Xor2, a, b);
+}
+Word notWord(Netlist& nl, const Word& a) {
+  Word out;
+  for (const SignalId bit : a) out.push_back(nl.addGate(GateKind::Inv, bit));
+  return out;
+}
+
+Word resizeWord(Netlist& nl, const Word& a, int width) {
+  Word out = a;
+  if (static_cast<int>(out.size()) > width) {
+    out.resize(static_cast<std::size_t>(width));
+  } else {
+    (void)nl;
+    while (static_cast<int>(out.size()) < width) out.push_back(a.back());  // sign extend
+  }
+  return out;
+}
+
+}  // namespace pmsched

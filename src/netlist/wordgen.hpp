@@ -1,0 +1,59 @@
+#pragma once
+// Word-level netlist generators: the functional-unit library. These are the
+// gate structures whose relative power (measured by bench_opweights with
+// random vectors) calibrates the MUX:1 / COMP:4 / +:3 / -:3 / *:20 weights
+// the paper uses for its datapath power model.
+//
+// Words are little-endian bit vectors (bits[0] = LSB). Arithmetic is two's
+// complement; comparisons are signed.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace pmsched {
+
+using Word = std::vector<SignalId>;
+
+/// `width` fresh primary inputs named name[0..width).
+[[nodiscard]] Word inputWord(Netlist& nl, const std::string& name, int width);
+
+/// Constant word (two's complement of `value`).
+[[nodiscard]] Word constWord(Netlist& nl, std::int64_t value, int width);
+
+/// Ripple-carry adder; result truncated to the operand width.
+[[nodiscard]] Word adderWord(Netlist& nl, const Word& a, const Word& b);
+
+/// Two's-complement subtractor (a - b) via inverted operand + carry-in.
+[[nodiscard]] Word subtractorWord(Netlist& nl, const Word& a, const Word& b);
+
+/// Signed comparisons. Gt/Ge derive from the subtractor's sign/overflow.
+[[nodiscard]] SignalId compareGtWord(Netlist& nl, const Word& a, const Word& b);
+[[nodiscard]] SignalId compareGeWord(Netlist& nl, const Word& a, const Word& b);
+[[nodiscard]] SignalId compareEqWord(Netlist& nl, const Word& a, const Word& b);
+
+/// Array multiplier; result truncated to the operand width.
+[[nodiscard]] Word multiplierWord(Netlist& nl, const Word& a, const Word& b);
+
+/// 2:1 word multiplexor: sel ? whenTrue : whenFalse.
+[[nodiscard]] Word mux2Word(Netlist& nl, SignalId sel, const Word& whenTrue,
+                            const Word& whenFalse);
+
+/// Word of D flip-flops with a shared (optional) enable.
+[[nodiscard]] Word registerWord(Netlist& nl, const Word& d, SignalId enable = kNoSignal);
+
+/// Compile-time shift: pure rewiring (arithmetic right for shift > 0,
+/// left for shift < 0), sign-extending like the CORDIC datapath expects.
+[[nodiscard]] Word shiftWord(Netlist& nl, const Word& a, int shift);
+
+/// Bitwise ops.
+[[nodiscard]] Word andWord(Netlist& nl, const Word& a, const Word& b);
+[[nodiscard]] Word orWord(Netlist& nl, const Word& a, const Word& b);
+[[nodiscard]] Word xorWord(Netlist& nl, const Word& a, const Word& b);
+[[nodiscard]] Word notWord(Netlist& nl, const Word& a);
+
+/// Resize with sign extension (or truncation).
+[[nodiscard]] Word resizeWord(Netlist& nl, const Word& a, int width);
+
+}  // namespace pmsched

@@ -1,0 +1,45 @@
+#include "power/activation.hpp"
+
+namespace pmsched {
+
+ActivationResult analyzeActivation(const PowerManagedDesign& design) {
+  const Graph& g = design.graph;
+
+  ActivationResult result;
+  result.condition = resolveActivationConditions(design);
+  result.probability.assign(g.size(), Rational::one());
+  result.averageExecuted.fill(Rational::zero());
+  result.totalOps.fill(0);
+
+  for (NodeId n = 0; n < g.size(); ++n) {
+    result.probability[n] = dnfProbability(result.condition[n]);
+
+    const ResourceClass rc = resourceClassOf(g.kind(n));
+    if (rc == ResourceClass::None) continue;
+    result.averageExecuted[unitIndex(rc)] += result.probability[n];
+    ++result.totalOps[unitIndex(rc)];
+  }
+  return result;
+}
+
+double ActivationResult::expectedPower(const OpPowerModel& model) const {
+  double p = 0;
+  for (std::size_t i = 0; i < kNumUnitClasses; ++i)
+    p += averageExecuted[i].toDouble() * model.weight[i];
+  return p;
+}
+
+double ActivationResult::fullPower(const OpPowerModel& model) const {
+  double p = 0;
+  for (std::size_t i = 0; i < kNumUnitClasses; ++i)
+    p += static_cast<double>(totalOps[i]) * model.weight[i];
+  return p;
+}
+
+double ActivationResult::reductionPercent(const OpPowerModel& model) const {
+  const double full = fullPower(model);
+  if (full == 0) return 0;
+  return (full - expectedPower(model)) / full * 100.0;
+}
+
+}  // namespace pmsched

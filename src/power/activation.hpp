@@ -1,0 +1,50 @@
+#pragma once
+// Activation analysis: the exact probability that each operation executes
+// in a power-managed design, under the paper's model that every mux selects
+// each input with probability 1/2, independently.
+//
+// A gated node's activation condition is a DNF over "select signal s has
+// value v" literals: a single conjunction for the paper's per-mux gating
+// (nested gating composes by AND), and a genuine disjunction for nodes
+// gated by the Shared extension. Probabilities are dyadic rationals and are
+// computed exactly — Table II's "average number of operations executed"
+// columns fall out of summing them per unit class.
+
+#include <array>
+#include <vector>
+
+#include "power/power_model.hpp"
+#include "sched/power_transform.hpp"
+#include "support/rational.hpp"
+
+namespace pmsched {
+
+struct ActivationResult {
+  /// Exact execution probability per node (1 for ungated operations).
+  std::vector<Rational> probability;
+  /// Resolved activation condition per node (TRUE for ungated ones).
+  std::vector<GateDnf> condition;
+
+  /// Sum of probabilities per unit class — the paper's Table II
+  /// "Average Number of Operations Executed" columns.
+  std::array<Rational, kNumUnitClasses> averageExecuted{};
+  /// Static op counts per class (every op executes without PM).
+  std::array<int, kNumUnitClasses> totalOps{};
+
+  /// Expected datapath power with PM, in the model's relative units.
+  [[nodiscard]] double expectedPower(const OpPowerModel& model) const;
+  /// Datapath power without PM (all ops execute).
+  [[nodiscard]] double fullPower(const OpPowerModel& model) const;
+  /// The paper's "Power Red.(%)" column.
+  [[nodiscard]] double reductionPercent(const OpPowerModel& model) const;
+
+  [[nodiscard]] Rational averageOf(ResourceClass rc) const {
+    return averageExecuted[unitIndex(rc)];
+  }
+};
+
+/// Analyze a power-managed design; gating information comes from the
+/// transform (and the shared-gating pass, if it ran).
+[[nodiscard]] ActivationResult analyzeActivation(const PowerManagedDesign& design);
+
+}  // namespace pmsched

@@ -1,0 +1,62 @@
+#pragma once
+// Relative datapath power model.
+//
+// The paper (§V) weighs one execution of each operation type by power
+// measured from timing simulation with random vectors on an 8-bit datapath:
+// MUX:1, COMP:4, +:3, -:3, *:20. Those weights are the default here;
+// bench_opweights re-derives them from our own gate-level netlist simulator
+// so the model is calibrated rather than assumed.
+
+#include <array>
+
+#include "cdfg/analysis.hpp"
+#include "cdfg/op.hpp"
+
+namespace pmsched {
+
+struct OpPowerModel {
+  /// Energy per execution of one operation, by unit class (relative units).
+  std::array<double, kNumUnitClasses> weight{};
+
+  /// The paper's published weights (8-bit datapath).
+  [[nodiscard]] static OpPowerModel paperWeights() {
+    OpPowerModel m;
+    m.weight[unitIndex(ResourceClass::Mux)] = 1;
+    m.weight[unitIndex(ResourceClass::Comparator)] = 4;
+    m.weight[unitIndex(ResourceClass::Adder)] = 3;
+    m.weight[unitIndex(ResourceClass::Subtractor)] = 3;
+    m.weight[unitIndex(ResourceClass::Multiplier)] = 20;
+    m.weight[unitIndex(ResourceClass::Logic)] = 1;
+    m.weight[unitIndex(ResourceClass::Shifter)] = 2;
+    return m;
+  }
+
+  /// Width-scaled variant (extension): linear in width for mux/comp/add/sub/
+  /// logic/shift, quadratic for the array multiplier. Normalized so width 8
+  /// reproduces paperWeights().
+  [[nodiscard]] static OpPowerModel scaledToWidth(int width) {
+    OpPowerModel m = paperWeights();
+    const double lin = static_cast<double>(width) / 8.0;
+    for (const ResourceClass rc : kUnitClasses) {
+      const double factor = rc == ResourceClass::Multiplier ? lin * lin : lin;
+      m.weight[unitIndex(rc)] *= factor;
+    }
+    return m;
+  }
+
+  [[nodiscard]] double weightOf(ResourceClass rc) const { return weight[unitIndex(rc)]; }
+
+  /// Power of a graph when every operation executes every sample
+  /// (the no-power-management baseline).
+  [[nodiscard]] double fullPower(const OpStats& stats) const {
+    return stats.mux * weightOf(ResourceClass::Mux) +
+           stats.comp * weightOf(ResourceClass::Comparator) +
+           stats.add * weightOf(ResourceClass::Adder) +
+           stats.sub * weightOf(ResourceClass::Subtractor) +
+           stats.mul * weightOf(ResourceClass::Multiplier) +
+           stats.logic * weightOf(ResourceClass::Logic) +
+           stats.shift * weightOf(ResourceClass::Shifter);
+  }
+};
+
+}  // namespace pmsched

@@ -1,0 +1,56 @@
+#pragma once
+// RTL mapping: scheduled + bound + power-managed design -> gate netlist.
+//
+// The generated machine works exactly like the hardware the paper
+// describes:
+//   * a free-running one-hot state ring with one state per control step
+//     plus a load state (state 0) in which primary inputs are captured;
+//   * every execution unit has input latches per operand port; during the
+//     cycle before an operation's control step the latch captures the
+//     operand — and with power management enabled, ONLY when the
+//     operation's activation condition holds. A held latch freezes the
+//     unit's inputs, so the unit's combinational logic does not switch:
+//     that is the entire power-saving mechanism, reproduced structurally;
+//   * comparator select results are captured into 1-bit status registers
+//     that feed both datapath mux selects and the controller's gated
+//     enables;
+//   * values are captured into the shared registers chosen by the binder,
+//     gated by the same activation conditions.
+//
+// mapDesign(..., gating=false) produces the baseline machine (enables
+// depend only on the state ring), which is the paper's "Orig" column.
+
+#include <map>
+
+#include "alloc/binding.hpp"
+#include "ctrl/controller.hpp"
+#include "netlist/wordgen.hpp"
+#include "sched/schedule.hpp"
+
+namespace pmsched {
+
+struct RtlOptions {
+  bool latchGating = true;  ///< false = baseline ("Orig") machine
+};
+
+/// The mapped machine, with enough bookkeeping to drive simulations.
+struct RtlDesign {
+  Netlist netlist;
+  int steps = 0;  ///< control steps (the ring has steps+1 states)
+
+  /// External input words, keyed by Input-node name.
+  std::map<std::string, Word> inputPorts;
+  /// Output words, keyed by Output-node name.
+  std::map<std::string, Word> outputPorts;
+  /// Width per input, for stimulus generation.
+  std::map<std::string, int> inputWidths;
+
+  /// Cycles from presenting inputs to valid outputs: steps + 1.
+  [[nodiscard]] int cyclesPerSample() const { return steps + 1; }
+};
+
+[[nodiscard]] RtlDesign mapDesign(const PowerManagedDesign& design, const Schedule& sched,
+                                  const Binding& binding, const ActivationResult& activation,
+                                  const RtlOptions& opts = {});
+
+}  // namespace pmsched

@@ -1,0 +1,51 @@
+#include "rtl/power_harness.hpp"
+
+namespace pmsched {
+
+RtlPowerResult measurePower(const RtlDesign& rtl, const Graph& reference, int samples,
+                            Rng& rng, bool checkFunctional) {
+  RtlPowerResult result;
+  result.area = rtl.netlist.area();
+  result.combGates = rtl.netlist.combGateCount();
+  result.dffs = rtl.netlist.dffCount();
+
+  Simulator sim(rtl.netlist);
+
+  auto runSample = [&](bool count) {
+    // Draw one random value per input port.
+    std::map<std::string, std::int64_t> inputs;
+    for (const auto& [name, word] : rtl.inputPorts) {
+      const int width = rtl.inputWidths.at(name);
+      const auto raw = static_cast<std::int64_t>(rng.bits(static_cast<unsigned>(width)));
+      inputs[name] = truncateToWidth(raw, width);
+      for (std::size_t i = 0; i < word.size(); ++i)
+        sim.setInput(word[i], ((static_cast<std::uint64_t>(raw) >> i) & 1U) != 0);
+    }
+
+    for (int cycle = 0; cycle < rtl.cyclesPerSample(); ++cycle) sim.clock();
+
+    if (count && checkFunctional) {
+      const auto expected = evaluateGraph(reference, inputs);
+      bool ok = true;
+      for (const auto& [name, word] : rtl.outputPorts) {
+        const auto it = expected.find(name);
+        if (it == expected.end()) continue;
+        const auto got = truncateToWidth(static_cast<std::int64_t>(sim.wordValue(word)),
+                                         static_cast<int>(word.size()));
+        if (got != it->second) ok = false;
+      }
+      if (!ok) ++result.functionalMismatches;
+    }
+  };
+
+  runSample(false);  // warm-up: flush power-on transients
+  sim.resetCounters();
+  for (int s = 0; s < samples; ++s) {
+    runSample(true);
+    ++result.samples;
+  }
+  result.energy = sim.energy();
+  return result;
+}
+
+}  // namespace pmsched

@@ -1,0 +1,36 @@
+#pragma once
+// Random-vector power measurement over a mapped RTL design, with optional
+// functional checking against the CDFG interpreter. This is the experiment
+// the paper ran through Synopsys DesignPower (Table III), reproduced on our
+// own netlist simulator.
+
+#include <cstdint>
+
+#include "cdfg/interpreter.hpp"
+#include "rtl/mapper.hpp"
+#include "support/rng.hpp"
+
+namespace pmsched {
+
+struct RtlPowerResult {
+  double area = 0;             ///< NAND2-equivalent netlist area
+  std::size_t combGates = 0;
+  std::size_t dffs = 0;
+  std::uint64_t energy = 0;    ///< fanout-weighted toggles over all samples
+  int samples = 0;
+  int functionalMismatches = 0;  ///< samples whose outputs differ from the
+                                 ///< CDFG interpreter (must be 0)
+
+  [[nodiscard]] double energyPerSample() const {
+    return samples > 0 ? static_cast<double>(energy) / samples : 0.0;
+  }
+};
+
+/// Drive `samples` random input vectors through the machine (one warm-up
+/// sample excluded from the counters) and report weighted toggle counts.
+/// When `checkFunctional` is set, every sample's outputs are compared to
+/// evaluateGraph() on the same inputs.
+[[nodiscard]] RtlPowerResult measurePower(const RtlDesign& rtl, const Graph& reference,
+                                          int samples, Rng& rng, bool checkFunctional = true);
+
+}  // namespace pmsched

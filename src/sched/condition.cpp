@@ -1,0 +1,183 @@
+#include "sched/condition.hpp"
+
+#include <algorithm>
+
+namespace pmsched {
+
+bool normalizeTerm(GateTerm& term) {
+  std::sort(term.begin(), term.end());
+  for (std::size_t i = 1; i < term.size(); ++i) {
+    if (term[i].select == term[i - 1].select) {
+      if (term[i].value != term[i - 1].value) return false;  // contradiction
+    }
+  }
+  term.erase(std::unique(term.begin(), term.end()), term.end());
+  return true;
+}
+
+bool conjoinTerms(const GateTerm& a, const GateTerm& b, GateTerm& out) {
+  out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return normalizeTerm(out);
+}
+
+namespace {
+
+/// True if `a` subsumes `b`: every literal of `a` appears in `b`
+/// (a is weaker/more general, so b is redundant in a disjunction).
+bool subsumes(const GateTerm& a, const GateTerm& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+}  // namespace
+
+namespace {
+
+/// If `a` and `b` differ only in the polarity of one literal, merge them
+/// into the common remainder ((x&s=1)|(x&s=0) -> x). Returns true and fills
+/// `merged` on success.
+bool mergeAdjacent(const GateTerm& a, const GateTerm& b, GateTerm& merged) {
+  if (a.size() != b.size()) return false;
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].select != b[i].select) return false;
+    if (a[i].value != b[i].value) ++mismatches;
+  }
+  if (mismatches != 1) return false;
+  merged.clear();
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].value == b[i].value) merged.push_back(a[i]);
+  return true;
+}
+
+}  // namespace
+
+GateDnf simplifyDnf(GateDnf dnf) {
+  GateDnf normalized;
+  for (GateTerm& term : dnf) {
+    if (normalizeTerm(term)) normalized.push_back(std::move(term));
+  }
+
+  // Alternate complementary-pair merging and subsumption elimination until
+  // stable. The result is not a canonical minimum cover, but it removes
+  // every single-literal redundancy, which keeps latch-enable supports (and
+  // therefore the control edges the scheduler must respect) tight.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::sort(normalized.begin(), normalized.end());
+    normalized.erase(std::unique(normalized.begin(), normalized.end()), normalized.end());
+
+    // Merge one complementary pair at a time.
+    for (std::size_t i = 0; i < normalized.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < normalized.size() && !changed; ++j) {
+        GateTerm merged;
+        if (mergeAdjacent(normalized[i], normalized[j], merged)) {
+          normalized.erase(normalized.begin() + static_cast<std::ptrdiff_t>(j));
+          normalized.erase(normalized.begin() + static_cast<std::ptrdiff_t>(i));
+          normalized.push_back(std::move(merged));
+          changed = true;
+        }
+      }
+    }
+
+    // Drop subsumed terms (terms are unique, so subsumption is strict).
+    GateDnf kept;
+    for (std::size_t i = 0; i < normalized.size(); ++i) {
+      bool redundant = false;
+      for (std::size_t j = 0; j < normalized.size() && !redundant; ++j)
+        if (i != j && subsumes(normalized[j], normalized[i])) redundant = true;
+      if (!redundant) kept.push_back(normalized[i]);
+    }
+    if (kept.size() != normalized.size()) changed = true;
+    normalized = std::move(kept);
+  }
+  return normalized;
+}
+
+GateDnf dnfTrue() { return GateDnf{GateTerm{}}; }
+
+bool dnfIsTrue(const GateDnf& dnf) {
+  return std::any_of(dnf.begin(), dnf.end(), [](const GateTerm& t) { return t.empty(); });
+}
+
+GateDnf andDnf(const GateDnf& a, const GateDnf& b) {
+  GateDnf out;
+  for (const GateTerm& ta : a) {
+    for (const GateTerm& tb : b) {
+      GateTerm merged;
+      if (conjoinTerms(ta, tb, merged)) out.push_back(std::move(merged));
+    }
+  }
+  return simplifyDnf(std::move(out));
+}
+
+std::vector<NodeId> dnfSupport(const GateDnf& dnf) {
+  std::vector<NodeId> support;
+  for (const GateTerm& term : dnf)
+    for (const GateLiteral& lit : term) support.push_back(lit.select);
+  std::sort(support.begin(), support.end());
+  support.erase(std::unique(support.begin(), support.end()), support.end());
+  return support;
+}
+
+Rational dnfProbability(const GateDnf& dnf, unsigned maxSupport) {
+  if (dnf.empty()) return Rational::zero();
+  for (const GateTerm& term : dnf)
+    if (term.empty()) return Rational::one();
+
+  const std::vector<NodeId> support = dnfSupport(dnf);
+  if (support.size() > maxSupport)
+    throw SynthesisError("dnfProbability: support of " + std::to_string(support.size()) +
+                         " selects exceeds enumeration limit");
+
+  // Exact: count satisfying assignments of the support variables.
+  const unsigned k = static_cast<unsigned>(support.size());
+  std::uint64_t satisfying = 0;
+  for (std::uint64_t assign = 0; assign < (std::uint64_t{1} << k); ++assign) {
+    auto valueOf = [&](NodeId sel) {
+      const auto idx = static_cast<std::size_t>(
+          std::lower_bound(support.begin(), support.end(), sel) - support.begin());
+      return ((assign >> idx) & 1U) != 0;
+    };
+    bool sat = false;
+    for (const GateTerm& term : dnf) {
+      bool termSat = true;
+      for (const GateLiteral& lit : term) {
+        if (valueOf(lit.select) != lit.value) {
+          termSat = false;
+          break;
+        }
+      }
+      if (termSat) {
+        sat = true;
+        break;
+      }
+    }
+    if (sat) ++satisfying;
+  }
+  return Rational{static_cast<std::int64_t>(satisfying),
+                  static_cast<std::int64_t>(std::uint64_t{1} << k)};
+}
+
+std::string dnfToString(const GateDnf& dnf, const Graph& g) {
+  if (dnf.empty()) return "false";
+  std::string out;
+  for (std::size_t t = 0; t < dnf.size(); ++t) {
+    if (t != 0) out += " | ";
+    if (dnf[t].empty()) {
+      out += "true";
+      continue;
+    }
+    out += "(";
+    for (std::size_t i = 0; i < dnf[t].size(); ++i) {
+      if (i != 0) out += " & ";
+      out += g.node(dnf[t][i].select).name;
+      out += dnf[t][i].value ? "=1" : "=0";
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace pmsched

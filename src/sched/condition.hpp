@@ -1,0 +1,68 @@
+#pragma once
+// Activation conditions: boolean functions over multiplexor select signals.
+//
+// A gated operation's latch-enable is a function of select values. For the
+// paper's per-mux gating the function is a conjunction of literals; the
+// Shared extension (see shared_gating.hpp) produces a disjunction of
+// conjunctions (DNF): "this unit's result is used by AT LEAST ONE of these
+// conditional consumers". Probabilities are computed exactly under the
+// paper's model (independent fair selects).
+
+#include <string>
+#include <vector>
+
+#include "cdfg/graph.hpp"
+#include "support/rational.hpp"
+
+namespace pmsched {
+
+/// "Select signal `select` carries value `value`."
+struct GateLiteral {
+  NodeId select = kInvalidNode;
+  bool value = false;
+
+  friend bool operator==(const GateLiteral&, const GateLiteral&) = default;
+  friend auto operator<=>(const GateLiteral&, const GateLiteral&) = default;
+};
+
+/// Conjunction of literals. Invariant after normalizeTerm(): sorted by
+/// select id, no duplicate selects (a contradictory term is dropped by the
+/// caller instead of being represented).
+using GateTerm = std::vector<GateLiteral>;
+
+/// Disjunction of conjunctions. Empty DNF = FALSE; a DNF containing an
+/// empty term = TRUE.
+using GateDnf = std::vector<GateTerm>;
+
+/// Sort + dedupe; returns false (and leaves `term` unspecified) when the
+/// term contains contradictory literals.
+[[nodiscard]] bool normalizeTerm(GateTerm& term);
+
+/// AND of two normalized terms; false on contradiction.
+[[nodiscard]] bool conjoinTerms(const GateTerm& a, const GateTerm& b, GateTerm& out);
+
+/// Normalize a DNF: normalize terms, drop contradictions, remove duplicate
+/// and subsumed terms (a term absorbs any superset of itself).
+[[nodiscard]] GateDnf simplifyDnf(GateDnf dnf);
+
+/// The constant TRUE (one empty term).
+[[nodiscard]] GateDnf dnfTrue();
+/// True iff the DNF is the constant TRUE (contains an empty term).
+[[nodiscard]] bool dnfIsTrue(const GateDnf& dnf);
+
+/// AND of two simplified DNFs (cross product of terms, contradictions
+/// dropped, result simplified).
+[[nodiscard]] GateDnf andDnf(const GateDnf& a, const GateDnf& b);
+
+/// Exact satisfaction probability under independent fair selects.
+/// Throws SynthesisError if the support exceeds `maxSupport` variables
+/// (enumeration cost 2^support).
+[[nodiscard]] Rational dnfProbability(const GateDnf& dnf, unsigned maxSupport = 24);
+
+/// All distinct select signals referenced by the DNF.
+[[nodiscard]] std::vector<NodeId> dnfSupport(const GateDnf& dnf);
+
+/// Render for diagnostics/doc: e.g. "(t=1 & eq=0) | (start=0)".
+[[nodiscard]] std::string dnfToString(const GateDnf& dnf, const Graph& g);
+
+}  // namespace pmsched

@@ -1,0 +1,160 @@
+#include "sched/force_directed.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sched/timeframe.hpp"
+
+namespace pmsched {
+
+namespace {
+
+/// Time frames with some nodes pinned to fixed steps; pins propagate to
+/// predecessors/successors through the usual longest-path recurrences.
+struct PinnedFrames {
+  std::vector<int> asap;
+  std::vector<int> alap;
+};
+
+PinnedFrames framesWithPins(const Graph& g, int steps, const std::vector<int>& pin) {
+  const std::vector<NodeId> order = g.topoOrder();
+  PinnedFrames f;
+  f.asap.assign(g.size(), 0);
+  f.alap.assign(g.size(), steps);
+
+  for (const NodeId n : order) {
+    int avail = 0;
+    for (const NodeId p : g.fanins(n)) avail = std::max(avail, f.asap[p]);
+    for (const NodeId p : g.controlPredecessors(n)) avail = std::max(avail, f.asap[p]);
+    if (isScheduled(g.kind(n))) {
+      f.asap[n] = avail + 1;
+      if (pin[n] != 0) {
+        if (pin[n] < f.asap[n])
+          throw InfeasibleError("force-directed: pin below ASAP for '" + g.node(n).name + "'");
+        f.asap[n] = pin[n];
+      }
+    } else {
+      f.asap[n] = avail;
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId n = *it;
+    int latest = steps;
+    auto relax = [&](NodeId s) {
+      latest = std::min(latest, isScheduled(g.kind(s)) ? f.alap[s] - 1 : f.alap[s]);
+    };
+    for (const NodeId s : g.fanouts(n)) relax(s);
+    for (const NodeId s : g.controlSuccessors(n)) relax(s);
+    if (isScheduled(g.kind(n))) {
+      f.alap[n] = latest;
+      if (pin[n] != 0) {
+        if (pin[n] > f.alap[n])
+          throw InfeasibleError("force-directed: pin above ALAP for '" + g.node(n).name + "'");
+        f.alap[n] = pin[n];
+      }
+    } else {
+      f.alap[n] = latest;
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+Schedule forceDirectedSchedule(const Graph& g, int steps) {
+  const std::vector<NodeId> ops = g.scheduledNodes();
+  std::vector<int> pin(g.size(), 0);
+
+  {
+    const TimeFrames tf = computeTimeFrames(g, steps);
+    if (const auto bad = tf.firstInfeasible(g))
+      throw InfeasibleError("force-directed: node '" + g.node(*bad).name +
+                            "' cannot meet " + std::to_string(steps) + " steps");
+  }
+
+  // Iteratively pin the (node, step) pair of minimum force.
+  for (std::size_t iter = 0; iter < ops.size(); ++iter) {
+    const PinnedFrames f = framesWithPins(g, steps, pin);
+
+    // Distribution graphs: expected concurrency per class and step under
+    // uniform placement within each node's frame.
+    std::vector<std::array<double, kNumUnitClasses>> dg(static_cast<std::size_t>(steps) + 1);
+    for (auto& row : dg) row.fill(0.0);
+    for (const NodeId n : ops) {
+      const auto rc = unitIndex(resourceClassOf(g.kind(n)));
+      const int lo = f.asap[n];
+      const int hi = f.alap[n];
+      const double p = 1.0 / (hi - lo + 1);
+      for (int s = lo; s <= hi; ++s) dg[static_cast<std::size_t>(s)][rc] += p;
+    }
+
+    double bestForce = std::numeric_limits<double>::infinity();
+    NodeId bestNode = kInvalidNode;
+    int bestStep = 0;
+
+    for (const NodeId n : ops) {
+      if (pin[n] != 0) continue;
+      const auto rc = unitIndex(resourceClassOf(g.kind(n)));
+      const int lo = f.asap[n];
+      const int hi = f.alap[n];
+      if (lo == hi) {
+        // Forced placement; treat as zero-force so it is pinned first.
+        if (bestForce > -1e30) {
+          bestForce = -1e30;
+          bestNode = n;
+          bestStep = lo;
+        }
+        continue;
+      }
+      const double pOld = 1.0 / (hi - lo + 1);
+      for (int s = lo; s <= hi; ++s) {
+        // Self force of assigning n to s: sum_t DG(t) * (delta(s,t) - pOld).
+        double force = 0;
+        for (int t = lo; t <= hi; ++t) {
+          const double dp = (t == s ? 1.0 : 0.0) - pOld;
+          force += dg[static_cast<std::size_t>(t)][rc] * dp;
+        }
+        // Predecessor/successor forces: restricting n to s truncates
+        // neighbouring frames; approximate with the same-class DG change of
+        // direct scheduled neighbours (standard first-order approximation).
+        auto neighbourForce = [&](NodeId m, int newLo, int newHi) {
+          const int mLo = f.asap[m];
+          const int mHi = f.alap[m];
+          const int cLo = std::max(mLo, newLo);
+          const int cHi = std::min(mHi, newHi);
+          if (cLo > cHi || (cLo == mLo && cHi == mHi)) return 0.0;
+          const auto mrc = unitIndex(resourceClassOf(g.kind(m)));
+          const double was = 1.0 / (mHi - mLo + 1);
+          const double now = 1.0 / (cHi - cLo + 1);
+          double nf = 0;
+          for (int t = mLo; t <= mHi; ++t) {
+            const double dp = (t >= cLo && t <= cHi ? now : 0.0) - was;
+            nf += dg[static_cast<std::size_t>(t)][mrc] * dp;
+          }
+          return nf;
+        };
+        for (const NodeId p : g.fanins(n))
+          if (isScheduled(g.kind(p)) && pin[p] == 0) force += neighbourForce(p, 1, s - 1);
+        for (const NodeId q : g.fanouts(n))
+          if (isScheduled(g.kind(q)) && pin[q] == 0) force += neighbourForce(q, s + 1, steps);
+
+        if (force < bestForce) {
+          bestForce = force;
+          bestNode = n;
+          bestStep = s;
+        }
+      }
+    }
+
+    if (bestNode == kInvalidNode) break;  // everything pinned
+    pin[bestNode] = bestStep;
+  }
+
+  Schedule sched(g, steps);
+  for (const NodeId n : ops) sched.place(n, pin[n]);
+  sched.validate(g);
+  return sched;
+}
+
+}  // namespace pmsched

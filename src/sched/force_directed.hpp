@@ -1,0 +1,19 @@
+#pragma once
+// Force-directed scheduling (Paulin & Knight), the latency-constrained
+// minimum-resource scheduler HYPER-style flows use. We provide it alongside
+// the list scheduler so the power-management transform can be validated
+// against two independent scheduling engines.
+
+#include "cdfg/graph.hpp"
+#include "sched/schedule.hpp"
+
+namespace pmsched {
+
+/// Schedule `g` into `steps` control steps, choosing placements that balance
+/// per-class concurrency (and therefore minimize execution units).
+///
+/// Respects data and control edges. Throws InfeasibleError when the step
+/// budget is below the critical path.
+[[nodiscard]] Schedule forceDirectedSchedule(const Graph& g, int steps);
+
+}  // namespace pmsched

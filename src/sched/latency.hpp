@@ -1,0 +1,51 @@
+#pragma once
+// Operation latency model (extension beyond the paper).
+//
+// The paper assumes every operation fits one control step ("Assume that one
+// control step is required for each of the three operations"). Real
+// datapaths often give the multiplier two or more cycles; that changes both
+// time frames and — more interestingly — power-management feasibility,
+// because a multi-cycle consumer pushes its operand deadlines apart. The
+// model defaults to unit latency everywhere, so the paper's behaviour is
+// untouched unless a caller opts in.
+
+#include <array>
+
+#include "cdfg/op.hpp"
+
+namespace pmsched {
+
+struct LatencyModel {
+  /// Control steps occupied by one operation of each unit class.
+  std::array<int, kNumUnitClasses> cycles{};
+
+  [[nodiscard]] static LatencyModel unit() {
+    LatencyModel m;
+    m.cycles.fill(1);
+    return m;
+  }
+
+  /// The common realistic variant: everything single-cycle except the
+  /// multiplier.
+  [[nodiscard]] static LatencyModel multiCycleMultiplier(int mulCycles = 2) {
+    LatencyModel m = unit();
+    m.cycles[unitIndex(ResourceClass::Multiplier)] = mulCycles;
+    return m;
+  }
+
+  /// Latency of an operation; transparent kinds take zero steps.
+  [[nodiscard]] int latencyOf(OpKind kind) const {
+    const ResourceClass rc = resourceClassOf(kind);
+    return rc == ResourceClass::None ? 0 : cycles[unitIndex(rc)];
+  }
+
+  [[nodiscard]] bool isUnit() const {
+    for (const int c : cycles)
+      if (c != 1) return false;
+    return true;
+  }
+
+  friend bool operator==(const LatencyModel&, const LatencyModel&) = default;
+};
+
+}  // namespace pmsched

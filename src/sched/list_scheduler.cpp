@@ -1,0 +1,177 @@
+#include "sched/list_scheduler.hpp"
+
+#include <algorithm>
+
+namespace pmsched {
+
+namespace {
+// Sentinel availability for not-yet-placed scheduled nodes: larger than any
+// reachable step so consumers are never considered ready prematurely.
+constexpr int kNotReady = 1 << 20;
+}  // namespace
+
+ListScheduleResult listSchedule(const Graph& g, int steps, const ResourceVector& limits,
+                                int ii, const LatencyModel& model) {
+  ListScheduleResult result;
+
+  const TimeFrames tf = computeTimeFrames(g, steps, {}, model);
+  if (const auto bad = tf.firstInfeasible(g)) {
+    result.message = "no schedule in " + std::to_string(steps) + " steps: node '" +
+                     g.node(*bad).name + "' has empty time frame";
+    return result;
+  }
+
+  Schedule sched(g, steps);
+  const std::vector<NodeId> order = g.topoOrder();
+
+  // avail[n] = step after which n's value exists; kNotReady until the
+  // producing operation is placed (transparent chains propagate it).
+  std::vector<int> avail(g.size(), 0);
+  for (NodeId n = 0; n < g.size(); ++n)
+    if (isScheduled(g.kind(n))) avail[n] = kNotReady;
+
+  auto refreshTransparent = [&] {
+    for (const NodeId n : order) {
+      if (isScheduled(g.kind(n)) || g.fanins(n).empty()) continue;
+      int ready = 0;
+      for (const NodeId p : g.fanins(n)) ready = std::max(ready, avail[p]);
+      avail[n] = std::min(ready, kNotReady);
+    }
+  };
+  refreshTransparent();
+
+  // usage per step slot and class; folded modulo ii when pipelining.
+  const int slots = ii > 0 ? ii : steps;
+  std::vector<ResourceVector> usage(static_cast<std::size_t>(slots) + 1);
+  auto slotOf = [&](int step) { return ii > 0 ? (step - 1) % ii + 1 : step; };
+
+  // Deferral bookkeeping: when the budget runs out, the class that was
+  // actually starved (not the class of whichever op happened to remain)
+  // is what the minimum-resource search must grow.
+  std::array<int, kNumUnitClasses> deferrals{};
+
+  std::vector<NodeId> todo = g.scheduledNodes();
+  for (int step = 1; step <= steps && !todo.empty(); ++step) {
+    std::vector<NodeId> ready;
+    for (const NodeId n : todo) {
+      bool ok = true;
+      for (const NodeId p : g.fanins(n))
+        if (avail[p] >= step) ok = false;
+      for (const NodeId p : g.controlPredecessors(n))
+        if (avail[p] >= step) ok = false;
+      if (ok) ready.push_back(n);
+    }
+
+    std::sort(ready.begin(), ready.end(), [&](NodeId a, NodeId b) {
+      if (tf.alap[a] != tf.alap[b]) return tf.alap[a] < tf.alap[b];
+      if (tf.asap[a] != tf.asap[b]) return tf.asap[a] < tf.asap[b];
+      return a < b;
+    });
+
+    bool placedAny = false;
+    for (const NodeId n : ready) {
+      const ResourceClass rc = resourceClassOf(g.kind(n));
+      const int latency = model.latencyOf(g.kind(n));
+      // The unit is busy for `latency` consecutive steps (folded when
+      // pipelining); all of them must have a free instance.
+      bool fits = step + latency - 1 <= steps;
+      for (int t = step; fits && t < step + latency; ++t)
+        fits = usage[static_cast<std::size_t>(slotOf(t))].of(rc) < limits.of(rc);
+      if (fits) {
+        for (int t = step; t < step + latency; ++t)
+          ++usage[static_cast<std::size_t>(slotOf(t))].of(rc);
+        sched.place(n, step);
+        avail[n] = step + latency - 1;
+        placedAny = true;
+        todo.erase(std::remove(todo.begin(), todo.end(), n), todo.end());
+      } else {
+        ++deferrals[unitIndex(rc)];
+        if (tf.alap[n] <= step) {
+          // A zero-slack operation could not be placed: this resource class
+          // is the bottleneck at the current limits.
+          result.blockedOn = rc;
+          result.message = "resource-blocked at step " + std::to_string(step) + ": node '" +
+                           g.node(n).name + "' needs a free " + std::string(resourceName(rc));
+          return result;
+        }
+      }
+    }
+    if (placedAny) refreshTransparent();
+  }
+
+  if (!todo.empty()) {
+    // Ran out of steps. Blame the class with the most resource deferrals —
+    // the unplaced node itself may belong to a class that was never short
+    // (it just waited on starved producers).
+    const NodeId worst = *std::min_element(todo.begin(), todo.end(), [&](NodeId a, NodeId b) {
+      return tf.alap[a] < tf.alap[b];
+    });
+    result.blockedOn = resourceClassOf(g.kind(worst));
+    int most = 0;
+    for (std::size_t i = 0; i < kNumUnitClasses; ++i) {
+      if (deferrals[i] > most) {
+        most = deferrals[i];
+        result.blockedOn = kUnitClasses[i];
+      }
+    }
+    result.message = "ran out of steps with " + std::to_string(todo.size()) +
+                     " operations unplaced (first: '" + g.node(worst).name + "')";
+    return result;
+  }
+
+  sched.validate(g, model);
+  result.schedule = std::move(sched);
+  return result;
+}
+
+ResourceVector minimizeResources(const Graph& g, int steps, const UnitCosts& costs, int ii,
+                                 const LatencyModel& model) {
+  (void)costs;  // growth is demand-driven; costs kept in the API for callers
+                // that want to compare vectors (see analysis::areaIncrease).
+
+  // Lower bound: ceil(opsPerClass / effectiveSteps) — with pipelining the
+  // folded window has only `ii` slots.
+  const int window = ii > 0 ? std::min(ii, steps) : steps;
+  ResourceVector limits;
+  std::array<int, kNumUnitClasses> opCount{};
+  for (NodeId n = 0; n < g.size(); ++n) {
+    const ResourceClass rc = resourceClassOf(g.kind(n));
+    if (rc != ResourceClass::None) ++opCount[unitIndex(rc)];
+  }
+  for (std::size_t i = 0; i < kNumUnitClasses; ++i)
+    limits.count[i] = (opCount[i] + window - 1) / window;
+
+  // Demand-driven growth: whichever class blocks the schedule grows by one.
+  // A class never needs more units than it has operations; when the blamed
+  // class is already saturated the demand signal was indirect (a starved
+  // producer chain), so every unsaturated class grows instead. Once every
+  // class is saturated the scheduler degenerates to ASAP and must succeed
+  // whenever the frames are feasible.
+  for (;;) {
+    ListScheduleResult r = listSchedule(g, steps, limits, ii, model);
+    if (r.schedule) {
+      // The scheduler may have used fewer units than the limits allow;
+      // report what the schedule actually needs.
+      return ii > 0 ? r.schedule->unitsRequiredModulo(g, ii, model)
+                    : r.schedule->unitsRequired(g, model);
+    }
+    if (r.blockedOn == ResourceClass::None)
+      throw InfeasibleError("minimizeResources: " + r.message);
+
+    const std::size_t blocked = unitIndex(r.blockedOn);
+    if (limits.count[blocked] < opCount[blocked]) {
+      ++limits.count[blocked];
+      continue;
+    }
+    bool grew = false;
+    for (std::size_t i = 0; i < kNumUnitClasses; ++i) {
+      if (limits.count[i] < opCount[i]) {
+        ++limits.count[i];
+        grew = true;
+      }
+    }
+    if (!grew) throw InfeasibleError("minimizeResources (all classes saturated): " + r.message);
+  }
+}
+
+}  // namespace pmsched

@@ -1,0 +1,35 @@
+#include "sched/pipeline.hpp"
+
+#include "sched/shared_gating.hpp"
+
+namespace pmsched {
+
+PipelineResult pipelineSchedule(const Graph& g, const PipelineOptions& opts) {
+  if (opts.stages < 1) throw InfeasibleError("pipelineSchedule: stages must be >= 1");
+  if (opts.effectiveSteps < 1)
+    throw InfeasibleError("pipelineSchedule: effectiveSteps must be >= 1");
+
+  const int latency = opts.stages * opts.effectiveSteps;
+  const int ii = opts.stages > 1 ? opts.effectiveSteps : 0;
+
+  PipelineResult result;
+  result.latency = latency;
+
+  if (opts.powerManage) {
+    result.design = applyPowerManagement(g, latency, opts.ordering);
+    if (opts.sharedGating) applySharedGating(result.design);
+  } else {
+    result.design = unmanagedDesign(g, latency);  // same budget, no gating
+  }
+
+  const ResourceVector units = minimizeResources(result.design.graph, latency,
+                                                 UnitCosts::defaults(), ii);
+  ListScheduleResult sched = listSchedule(result.design.graph, latency, units, ii);
+  if (!sched.schedule)
+    throw InfeasibleError("pipelineSchedule: final scheduling failed: " + sched.message);
+  result.schedule = std::move(*sched.schedule);
+  result.units = units;
+  return result;
+}
+
+}  // namespace pmsched

@@ -1,0 +1,39 @@
+#pragma once
+// Pipelining as a power-management enabler (paper §IV-B).
+//
+// A k-stage pipeline processes k samples concurrently: the schedule may use
+// k * T control steps of latency while a new sample still enters every T
+// steps. The extra latency is slack, and slack is exactly what the
+// power-management transform needs to schedule control signals first.
+// Execution units are shared across overlapping samples, so resource usage
+// folds modulo the initiation interval T.
+
+#include <optional>
+
+#include "sched/list_scheduler.hpp"
+#include "sched/power_transform.hpp"
+#include "sched/schedule.hpp"
+
+namespace pmsched {
+
+struct PipelineOptions {
+  int stages = 1;          ///< k: concurrent samples
+  int effectiveSteps = 0;  ///< T: control steps between samples (throughput)
+  MuxOrdering ordering = MuxOrdering::OutputFirst;
+  bool powerManage = true;   ///< false = baseline pipeline without PM
+  bool sharedGating = true;  ///< also run the OR-composed gating pass
+};
+
+struct PipelineResult {
+  PowerManagedDesign design;   ///< PM transform over the widened budget
+  Schedule schedule;           ///< latency = stages * effectiveSteps
+  ResourceVector units;        ///< folded (modulo T) unit requirement
+  int latency = 0;             ///< total control steps for one sample
+};
+
+/// Schedule `g` as a `stages`-deep pipeline with throughput
+/// `effectiveSteps`. Throws InfeasibleError when even the widened latency
+/// cannot hold the critical path.
+[[nodiscard]] PipelineResult pipelineSchedule(const Graph& g, const PipelineOptions& opts);
+
+}  // namespace pmsched

@@ -1,0 +1,369 @@
+#include "sched/power_transform.hpp"
+
+#include <algorithm>
+
+#include "cdfg/analysis.hpp"
+
+namespace pmsched {
+
+namespace {
+
+/// Relative power weights used only to order muxes for the BySavings
+/// strategy (the paper's §V weights; the real power model lives in
+/// src/power and is configurable).
+double orderingWeight(ResourceClass rc) {
+  switch (rc) {
+    case ResourceClass::Mux: return 1;
+    case ResourceClass::Comparator: return 4;
+    case ResourceClass::Adder: return 3;
+    case ResourceClass::Subtractor: return 3;
+    case ResourceClass::Multiplier: return 20;
+    case ResourceClass::Logic: return 1;
+    case ResourceClass::Shifter: return 2;
+    case ResourceClass::None: return 0;
+  }
+  return 0;
+}
+
+double potentialSavings(const Graph& g, const GatedSets& sets) {
+  double s = 0;
+  for (const NodeId n : sets.gatedTrue)
+    if (isScheduled(g.kind(n))) s += orderingWeight(resourceClassOf(g.kind(n))) * 0.5;
+  for (const NodeId n : sets.gatedFalse)
+    if (isScheduled(g.kind(n))) s += orderingWeight(resourceClassOf(g.kind(n))) * 0.5;
+  return s;
+}
+
+bool anyScheduled(const Graph& g, const std::vector<NodeId>& nodes) {
+  return std::any_of(nodes.begin(), nodes.end(),
+                     [&](NodeId n) { return isScheduled(g.kind(n)); });
+}
+
+/// One side's gated set: start from the exclusive cone and shrink to the
+/// nodes whose every data fanout stays inside the set (or is the mux).
+std::vector<NodeId> gatedSide(const Graph& g, NodeId mux, const std::vector<bool>& coneSide,
+                              const std::vector<bool>& coneOther,
+                              const std::vector<bool>& coneSel) {
+  std::vector<bool> in(g.size(), false);
+  for (NodeId n = 0; n < g.size(); ++n) {
+    if (!coneSide[n] || coneOther[n] || coneSel[n]) continue;
+    const OpKind k = g.kind(n);
+    if (k == OpKind::Input || k == OpKind::Const || k == OpKind::Output) continue;
+    in[n] = true;
+  }
+  // Fixed point: drop nodes with a fanout escaping (set ∪ {mux}); a removal
+  // can expose its producers, so iterate until stable.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId n = 0; n < g.size(); ++n) {
+      if (!in[n]) continue;
+      for (const NodeId f : g.fanouts(n)) {
+        if (f == mux || in[f]) continue;
+        in[n] = false;
+        changed = true;
+        break;
+      }
+    }
+  }
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < g.size(); ++n)
+    if (in[n]) out.push_back(n);
+  return out;
+}
+
+/// Scheduled members of `set` with no scheduled in-set ancestor (looking
+/// through in-set wires): the targets of the paper's control edges.
+std::vector<NodeId> topNodes(const Graph& g, const std::vector<NodeId>& set) {
+  std::vector<bool> in(g.size(), false);
+  for (const NodeId n : set) in[n] = true;
+
+  std::vector<NodeId> tops;
+  for (const NodeId n : set) {
+    if (!isScheduled(g.kind(n))) continue;
+    // DFS backwards staying inside the set; finding any scheduled in-set
+    // ancestor disqualifies n.
+    bool hasAncestor = false;
+    std::vector<NodeId> stack(g.fanins(n).begin(), g.fanins(n).end());
+    std::vector<bool> seen(g.size(), false);
+    while (!stack.empty() && !hasAncestor) {
+      const NodeId p = stack.back();
+      stack.pop_back();
+      if (seen[p] || !in[p]) continue;
+      seen[p] = true;
+      if (isScheduled(g.kind(p))) {
+        hasAncestor = true;
+        break;
+      }
+      for (const NodeId q : g.fanins(p)) stack.push_back(q);
+    }
+    if (!hasAncestor) tops.push_back(n);
+  }
+  return tops;
+}
+
+/// Processing order of the mux list under a strategy.
+std::vector<NodeId> orderMuxes(const Graph& g, MuxOrdering ordering) {
+  std::vector<NodeId> muxes = g.nodesOfKind(OpKind::Mux);
+  switch (ordering) {
+    case MuxOrdering::OutputFirst: {
+      const std::vector<int> dist = distanceToOutput(g);
+      std::stable_sort(muxes.begin(), muxes.end(), [&](NodeId a, NodeId b) {
+        if (dist[a] != dist[b]) return dist[a] < dist[b];
+        return a < b;
+      });
+      break;
+    }
+    case MuxOrdering::InputFirst: {
+      const std::vector<int> dist = distanceToOutput(g);
+      std::stable_sort(muxes.begin(), muxes.end(), [&](NodeId a, NodeId b) {
+        if (dist[a] != dist[b]) return dist[a] > dist[b];
+        return a < b;
+      });
+      break;
+    }
+    case MuxOrdering::BySavings: {
+      std::vector<double> savings(g.size(), 0);
+      for (const NodeId m : muxes) savings[m] = potentialSavings(g, computeGatedSets(g, m));
+      std::stable_sort(muxes.begin(), muxes.end(), [&](NodeId a, NodeId b) {
+        if (savings[a] != savings[b]) return savings[a] > savings[b];
+        return a < b;
+      });
+      break;
+    }
+  }
+  return muxes;
+}
+
+}  // namespace
+
+NodeId traceSelectProducer(const Graph& g, NodeId mux) {
+  if (g.kind(mux) != OpKind::Mux) throw SynthesisError("traceSelectProducer: not a mux");
+  NodeId n = g.fanins(mux)[0];
+  while (g.kind(n) == OpKind::Wire) n = g.fanins(n)[0];
+  return n;
+}
+
+GatedSets computeGatedSets(const Graph& g, NodeId mux) {
+  if (g.kind(mux) != OpKind::Mux) throw SynthesisError("computeGatedSets: not a mux");
+  const std::vector<bool> coneSel = g.operandCone(mux, 0);
+  const std::vector<bool> coneT = g.operandCone(mux, 1);
+  const std::vector<bool> coneF = g.operandCone(mux, 2);
+
+  GatedSets sets;
+  sets.gatedTrue = gatedSide(g, mux, coneT, coneF, coneSel);
+  sets.gatedFalse = gatedSide(g, mux, coneF, coneT, coneSel);
+  sets.topTrue = topNodes(g, sets.gatedTrue);
+  sets.topFalse = topNodes(g, sets.gatedFalse);
+  return sets;
+}
+
+PowerManagedDesign unmanagedDesign(const Graph& g, int steps) {
+  PowerManagedDesign design;
+  design.graph = g.clone();
+  design.steps = steps;
+  design.gates.assign(g.size(), {});
+  design.sharedGating.assign(g.size(), {});
+  design.frames = computeTimeFrames(design.graph, steps);
+  return design;
+}
+
+namespace {
+PowerManagedDesign runTransformWithModel(const Graph& g, int steps,
+                                         const std::vector<NodeId>& candidates,
+                                         const LatencyModel& model);
+}  // namespace
+
+std::vector<GateDnf> resolveActivationConditions(const PowerManagedDesign& design) {
+  const Graph& g = design.graph;
+  std::vector<GateDnf> cond(g.size());
+
+  // A node is gated only by muxes downstream of it, so resolving in reverse
+  // topological order guarantees every gating mux is finished first.
+  const std::vector<NodeId> order = g.topoOrder();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId n = *it;
+    if (!design.sharedGating[n].empty()) {
+      cond[n] = simplifyDnf(design.sharedGating[n]);
+      continue;
+    }
+    GateDnf c = dnfTrue();
+    for (const NodeGate& gate : design.gates[n]) {
+      const GateDnf lit{
+          GateTerm{GateLiteral{traceSelectProducer(g, gate.mux), gate.side == MuxSide::True}}};
+      c = andDnf(c, lit);
+      c = andDnf(c, cond[gate.mux]);
+    }
+    cond[n] = std::move(c);
+  }
+  return cond;
+}
+
+int PowerManagedDesign::managedCount() const {
+  int count = 0;
+  for (const MuxPmInfo& info : muxes)
+    if (info.managed && info.hasGatedWork()) ++count;
+  return count;
+}
+
+int PowerManagedDesign::sharedGatedCount() const {
+  int count = 0;
+  for (const GateDnf& dnf : sharedGating)
+    if (!dnf.empty()) ++count;
+  return count;
+}
+
+namespace {
+
+/// Shared driver: offer power management to `candidates` in order, keeping
+/// each mux whose control edges leave the frames feasible.
+PowerManagedDesign runTransformWithModel(const Graph& g, int steps,
+                                         const std::vector<NodeId>& candidates,
+                                         const LatencyModel& model) {
+  PowerManagedDesign design;
+  design.graph = g.clone();
+  design.steps = steps;
+  design.latency = model;
+  design.gates.assign(g.size(), {});
+  design.sharedGating.assign(g.size(), {});
+
+  Graph& work = design.graph;
+  std::vector<std::pair<NodeId, NodeId>> committed;
+
+  for (const NodeId m : candidates) {
+    MuxPmInfo info;
+    info.mux = m;
+
+    GatedSets sets = computeGatedSets(work, m);
+    info.gatedTrue = std::move(sets.gatedTrue);
+    info.gatedFalse = std::move(sets.gatedFalse);
+    info.topTrue = std::move(sets.topTrue);
+    info.topFalse = std::move(sets.topFalse);
+
+    if (!anyScheduled(work, info.gatedTrue) && !anyScheduled(work, info.gatedFalse)) {
+      info.reason = "no operations are exclusive to one data input";
+      design.muxes.push_back(std::move(info));
+      continue;
+    }
+
+    const NodeId ctrl = traceSelectProducer(work, m);
+    std::vector<std::pair<NodeId, NodeId>> tentative = committed;
+    if (isScheduled(work.kind(ctrl))) {
+      info.lastControl = ctrl;
+      for (const NodeId t : info.topTrue) tentative.emplace_back(ctrl, t);
+      for (const NodeId t : info.topFalse) tentative.emplace_back(ctrl, t);
+    }
+    // A select driven directly by an input or constant needs no control
+    // step, so gating it is always feasible (lastControl stays invalid).
+
+    const TimeFrames frames = computeTimeFrames(work, steps, tentative, model);
+    if (const auto bad = frames.firstInfeasible(work)) {
+      info.reason = "insufficient slack: node '" + work.node(*bad).name +
+                    "' would need ASAP > ALAP";
+      design.muxes.push_back(std::move(info));
+      continue;  // revert (tentative edges dropped)
+    }
+
+    committed = std::move(tentative);  // commit (steps 8)
+    info.managed = true;
+    for (const NodeId n : info.gatedTrue) design.gates[n].push_back({m, MuxSide::True});
+    for (const NodeId n : info.gatedFalse) design.gates[n].push_back({m, MuxSide::False});
+    design.muxes.push_back(std::move(info));
+  }
+
+  // Step 10: materialize the committed precedence as control edges.
+  for (const auto& [before, after] : committed) work.addControlEdge(before, after);
+  design.frames = computeTimeFrames(work, steps, {}, model);
+  return design;
+}
+
+PowerManagedDesign runTransform(const Graph& g, int steps,
+                                const std::vector<NodeId>& candidates) {
+  return runTransformWithModel(g, steps, candidates, LatencyModel::unit());
+}
+
+}  // namespace
+
+PowerManagedDesign applyPowerManagement(const Graph& g, int steps, MuxOrdering ordering,
+                                        const LatencyModel& model) {
+  g.validate();
+  return runTransformWithModel(g, steps, orderMuxes(g, ordering), model);
+}
+
+PowerManagedDesign applyPowerManagementOptimal(const Graph& g, int steps,
+                                               std::size_t maxMuxes) {
+  g.validate();
+
+  // Candidates: muxes with gated work, most promising first.
+  std::vector<NodeId> candidates;
+  std::vector<double> savings(g.size(), 0);
+  for (const NodeId m : g.nodesOfKind(OpKind::Mux)) {
+    const GatedSets sets = computeGatedSets(g, m);
+    if (!anyScheduled(g, sets.gatedTrue) && !anyScheduled(g, sets.gatedFalse)) continue;
+    savings[m] = potentialSavings(g, sets);
+    candidates.push_back(m);
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](NodeId a, NodeId b) { return savings[a] > savings[b]; });
+
+  // Exact search over the head of the candidate list; anything beyond
+  // maxMuxes is handled greedily afterwards (documented in the header).
+  const std::size_t exactCount = std::min(candidates.size(), maxMuxes);
+
+  // Precompute each candidate's control edges (schedule-independent).
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> muxEdges(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const NodeId m = candidates[i];
+    const GatedSets sets = computeGatedSets(g, m);
+    const NodeId ctrl = traceSelectProducer(g, m);
+    if (!isScheduled(g.kind(ctrl))) continue;  // always feasible, no edges
+    for (const NodeId t : sets.topTrue) muxEdges[i].emplace_back(ctrl, t);
+    for (const NodeId t : sets.topFalse) muxEdges[i].emplace_back(ctrl, t);
+  }
+
+  auto feasible = [&](const std::vector<bool>& chosen) {
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    for (std::size_t i = 0; i < chosen.size(); ++i)
+      if (chosen[i])
+        edges.insert(edges.end(), muxEdges[i].begin(), muxEdges[i].end());
+    return computeTimeFrames(g, steps, edges).feasible(g);
+  };
+
+  std::vector<bool> best(candidates.size(), false);
+  double bestValue = -1;
+  std::vector<bool> current(candidates.size(), false);
+
+  // Suffix sums of savings for pruning.
+  std::vector<double> suffix(exactCount + 1, 0);
+  for (std::size_t i = exactCount; i-- > 0;)
+    suffix[i] = suffix[i + 1] + savings[candidates[i]];
+
+  auto dfs = [&](auto&& self, std::size_t i, double value) -> void {
+    if (value + suffix[i] <= bestValue) return;  // cannot beat the best
+    if (i == exactCount) {
+      if (value > bestValue) {
+        bestValue = value;
+        best = current;
+      }
+      return;
+    }
+    current[i] = true;
+    if (feasible(current)) self(self, i + 1, value + savings[candidates[i]]);
+    current[i] = false;
+    self(self, i + 1, value);
+  };
+  dfs(dfs, 0, 0);
+
+  // Greedy tail beyond the exact window.
+  for (std::size_t i = exactCount; i < candidates.size(); ++i) {
+    best[i] = true;
+    if (!feasible(best)) best[i] = false;
+  }
+
+  std::vector<NodeId> chosen;
+  for (std::size_t i = 0; i < candidates.size(); ++i)
+    if (best[i]) chosen.push_back(candidates[i]);
+  return runTransform(g, steps, chosen);
+}
+
+}  // namespace pmsched

@@ -1,0 +1,125 @@
+#pragma once
+// The paper's contribution: power-management-aware scheduling (Fig. 3).
+//
+// For every multiplexor the transform identifies the operations that are
+// needed only when the mux selects one particular side (the "gated sets"),
+// checks that the select-producing operation can be scheduled before all of
+// them within the step budget, and — if so — inserts control precedence
+// edges so the downstream scheduler orders control computation first. At
+// run time the controller then loads the input latches of a gated unit only
+// when the select value actually calls for its result.
+//
+// Faithful points of the implementation, matching the paper's text:
+//  * muxes are processed one at a time, closest-to-the-outputs first (§III);
+//  * a node that lies in the fanin cones of BOTH data inputs is never gated;
+//  * a node with any data fanout escaping the gated region is never gated
+//    (computed to a fixed point, since removing one node can expose another);
+//  * ASAP/ALAP tightening is tentative per mux: committed when every node
+//    keeps ASAP <= ALAP, reverted otherwise (steps 4-8 of Fig. 3);
+//  * control edges run from the last control-fanin node to the top nodes of
+//    the gated cones (step 10); scheduling is delegated to the ordinary
+//    resource-minimizing scheduler (step 11).
+
+#include <string>
+#include <vector>
+
+#include "cdfg/graph.hpp"
+#include "sched/condition.hpp"
+#include "sched/timeframe.hpp"
+
+namespace pmsched {
+
+/// Order in which muxes are offered power management (§III default is
+/// OutputFirst; the alternatives implement the §IV-A reordering study).
+enum class MuxOrdering {
+  OutputFirst,  ///< paper default: closest to the primary outputs first
+  InputFirst,   ///< reverse order (ablation)
+  BySavings,    ///< largest potential gated power first (§IV-A greedy)
+};
+
+/// Per-mux outcome of the transform.
+struct MuxPmInfo {
+  NodeId mux = kInvalidNode;
+  bool managed = false;
+  std::string reason;  ///< why not managed (empty when managed)
+
+  /// Select-signal producer (traced through wires); kInvalidNode when the
+  /// select comes directly from an input/constant (control needs no step).
+  NodeId lastControl = kInvalidNode;
+
+  std::vector<NodeId> gatedTrue;   ///< nodes needed only when select is true
+  std::vector<NodeId> gatedFalse;  ///< nodes needed only when select is false
+  std::vector<NodeId> topTrue;     ///< control-edge targets, true side
+  std::vector<NodeId> topFalse;    ///< control-edge targets, false side
+
+  [[nodiscard]] bool hasGatedWork() const { return !gatedTrue.empty() || !gatedFalse.empty(); }
+};
+
+/// One gating applied to a node: "needed only when `mux` selects `side`".
+struct NodeGate {
+  NodeId mux = kInvalidNode;
+  MuxSide side = MuxSide::False;
+};
+
+/// Result of the transform: the augmented graph plus everything the
+/// activation analysis and the controller generator need.
+struct PowerManagedDesign {
+  Graph graph;  ///< clone of the input with control edges inserted
+  int steps = 0;
+  LatencyModel latency = LatencyModel::unit();  ///< model used for feasibility
+  std::vector<MuxPmInfo> muxes;              ///< in processing order
+  std::vector<std::vector<NodeGate>> gates;  ///< per node: gatings applied
+  TimeFrames frames;                         ///< final committed frames
+
+  /// Extension (shared gating): per node, a fully-resolved DNF activation
+  /// condition installed by applySharedGating(); empty = not shared-gated.
+  /// Nodes with a shared condition have empty `gates`.
+  std::vector<GateDnf> sharedGating;
+
+  /// Muxes that were selected AND gate at least one operation — the paper's
+  /// Table II "P.Man. Muxs" column.
+  [[nodiscard]] int managedCount() const;
+  /// Nodes gated by the shared extension.
+  [[nodiscard]] int sharedGatedCount() const;
+};
+
+/// A no-op design wrapper: same graph, no gating. Baselines use it so that
+/// every downstream consumer (analysis, controller, RTL) sees one type.
+[[nodiscard]] PowerManagedDesign unmanagedDesign(const Graph& g, int steps);
+
+/// Fully-resolved activation condition of every node: per-mux gates and
+/// shared gating composed into one DNF over select literals. Ungated nodes
+/// get TRUE. Used by the activation analysis and the controller generator.
+[[nodiscard]] std::vector<GateDnf> resolveActivationConditions(const PowerManagedDesign& design);
+
+/// Static (schedule-independent) gated-set computation for one mux.
+/// Exposed for tests and for the §IV-A savings-ordering heuristic.
+struct GatedSets {
+  std::vector<NodeId> gatedTrue;
+  std::vector<NodeId> gatedFalse;
+  std::vector<NodeId> topTrue;
+  std::vector<NodeId> topFalse;
+};
+[[nodiscard]] GatedSets computeGatedSets(const Graph& g, NodeId mux);
+
+/// Producer of a mux's select signal traced through wires; Input/Const ids
+/// are returned as-is (caller decides they need no control step).
+[[nodiscard]] NodeId traceSelectProducer(const Graph& g, NodeId mux);
+
+/// The paper's algorithm (Fig. 3, steps 1-10). Does not run the final
+/// scheduler; callers combine the result with listSchedule /
+/// forceDirectedSchedule on `result.graph` (step 11).
+[[nodiscard]] PowerManagedDesign applyPowerManagement(
+    const Graph& g, int steps, MuxOrdering ordering = MuxOrdering::OutputFirst,
+    const LatencyModel& model = LatencyModel::unit());
+
+/// Extension (beyond the paper's greedy): exact maximum-savings subset of
+/// muxes, found by depth-first search with infeasibility pruning. Because a
+/// mux's control edges are schedule-independent, joint feasibility depends
+/// only on the chosen subset, making exact search well-defined. Practical
+/// for the paper-scale circuits (<= ~50 muxes with shallow conflict
+/// structure); `maxMuxes` guards runaway search.
+[[nodiscard]] PowerManagedDesign applyPowerManagementOptimal(const Graph& g, int steps,
+                                                             std::size_t maxMuxes = 24);
+
+}  // namespace pmsched

@@ -1,0 +1,36 @@
+#include "sched/resources.hpp"
+
+#include <sstream>
+
+namespace pmsched {
+
+std::string ResourceVector::toString() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (const ResourceClass rc : kUnitClasses) {
+    const int c = count[unitIndex(rc)];
+    if (c == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << resourceName(rc) << ":" << c;
+  }
+  os << '}';
+  return os.str();
+}
+
+UnitCosts UnitCosts::defaults() {
+  // NAND2-equivalent gate counts for 8-bit units (matching src/netlist
+  // generators; the multiplier dominates, as in the paper's power weights).
+  UnitCosts c;
+  c.area[unitIndex(ResourceClass::Mux)] = 24;          // 8 x (2:1 mux = 3 gates)
+  c.area[unitIndex(ResourceClass::Comparator)] = 38;   // magnitude comparator
+  c.area[unitIndex(ResourceClass::Adder)] = 44;        // ripple-carry adder
+  c.area[unitIndex(ResourceClass::Subtractor)] = 48;   // RCA + operand inverts
+  c.area[unitIndex(ResourceClass::Multiplier)] = 340;  // 8x8 array multiplier
+  c.area[unitIndex(ResourceClass::Logic)] = 8;
+  c.area[unitIndex(ResourceClass::Shifter)] = 56;      // 8-bit barrel shifter
+  return c;
+}
+
+}  // namespace pmsched

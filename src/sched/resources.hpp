@@ -1,0 +1,67 @@
+#pragma once
+// Resource vectors: how many execution units of each class are available
+// (a constraint) or used (a result), plus default per-unit cost weights for
+// the "Area Incr." columns of the paper's Table II.
+
+#include <array>
+#include <limits>
+#include <string>
+
+#include "cdfg/op.hpp"
+
+namespace pmsched {
+
+/// Units per ResourceClass (dense array indexed by unitIndex()).
+struct ResourceVector {
+  std::array<int, kNumUnitClasses> count{};
+
+  [[nodiscard]] static ResourceVector unlimited() {
+    ResourceVector r;
+    r.count.fill(std::numeric_limits<int>::max() / 2);
+    return r;
+  }
+  [[nodiscard]] static ResourceVector zero() { return ResourceVector{}; }
+
+  [[nodiscard]] int of(ResourceClass rc) const { return count[unitIndex(rc)]; }
+  int& of(ResourceClass rc) { return count[unitIndex(rc)]; }
+
+  /// Component-wise max (used to merge per-step usage into requirements).
+  [[nodiscard]] ResourceVector max(const ResourceVector& o) const {
+    ResourceVector r;
+    for (std::size_t i = 0; i < kNumUnitClasses; ++i)
+      r.count[i] = count[i] > o.count[i] ? count[i] : o.count[i];
+    return r;
+  }
+
+  /// True if every component of *this is <= the corresponding limit.
+  [[nodiscard]] bool fitsWithin(const ResourceVector& limit) const {
+    for (std::size_t i = 0; i < kNumUnitClasses; ++i)
+      if (count[i] > limit.count[i]) return false;
+    return true;
+  }
+
+  friend bool operator==(const ResourceVector& a, const ResourceVector& b) {
+    return a.count == b.count;
+  }
+
+  [[nodiscard]] std::string toString() const;
+};
+
+/// Relative area cost per unit class at a given datapath width.
+///
+/// Defaults are NAND2-equivalent gate counts of the generators in
+/// src/netlist at 8 bits (see bench_opweights for the measured values);
+/// only ratios matter for the paper's "Area Incr." column.
+struct UnitCosts {
+  std::array<double, kNumUnitClasses> area{};
+
+  [[nodiscard]] static UnitCosts defaults();
+
+  [[nodiscard]] double costOf(const ResourceVector& units) const {
+    double total = 0;
+    for (std::size_t i = 0; i < kNumUnitClasses; ++i) total += area[i] * units.count[i];
+    return total;
+  }
+};
+
+}  // namespace pmsched

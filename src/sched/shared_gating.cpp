@@ -1,0 +1,139 @@
+#include "sched/shared_gating.hpp"
+
+#include <algorithm>
+#include <optional>
+
+namespace pmsched {
+
+namespace {
+
+class SharedGatingPass {
+ public:
+  explicit SharedGatingPass(PowerManagedDesign& design) : design_(design), g_(design.graph) {
+    cond_.resize(g_.size());
+    need_.resize(g_.size());
+  }
+
+  int run() {
+    const std::vector<NodeId> order = g_.topoOrder();
+    int gated = 0;
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const NodeId n = *it;
+      if (!isScheduled(g_.kind(n))) continue;
+      if (!design_.gates[n].empty() || !design_.sharedGating[n].empty()) continue;
+      if (tryGate(n)) ++gated;
+    }
+    design_.frames = computeTimeFrames(g_, design_.steps, {}, design_.latency);
+    return gated;
+  }
+
+ private:
+  /// Activation condition of node n as a resolved DNF.
+  const GateDnf& condOf(NodeId n) {
+    if (cond_[n]) return *cond_[n];
+    GateDnf result;
+    if (!design_.sharedGating[n].empty()) {
+      result = design_.sharedGating[n];
+    } else {
+      result = dnfTrue();
+      for (const NodeGate& gate : design_.gates[n]) {
+        GateDnf lit{GateTerm{
+            GateLiteral{traceSelectProducer(g_, gate.mux), gate.side == MuxSide::True}}};
+        result = andDnf(result, lit);
+        result = andDnf(result, condOf(gate.mux));
+      }
+    }
+    cond_[n] = std::move(result);
+    return *cond_[n];
+  }
+
+  /// Union of the conditions under which n's *value* is used, over all data
+  /// consumers. TRUE as soon as any consumer needs it unconditionally.
+  const GateDnf& needOf(NodeId n) {
+    if (need_[n]) return *need_[n];
+    GateDnf result;  // FALSE
+    bool saturated = false;
+    for (const NodeId f : g_.fanouts(n)) {
+      if (saturated) break;
+      const Node& consumer = g_.node(f);
+      GateDnf use;
+      if (consumer.kind == OpKind::Output) {
+        use = dnfTrue();
+      } else if (consumer.kind == OpKind::Wire) {
+        use = needOf(f);  // transparent: whoever needs the wire needs n
+      } else if (consumer.kind == OpKind::Mux) {
+        // Which operand(s) of the mux does n feed?
+        use.clear();
+        const NodeId sel = traceSelectProducer(g_, f);
+        for (std::size_t idx = 0; idx < consumer.operands.size(); ++idx) {
+          if (consumer.operands[idx] != n) continue;
+          if (idx == 0) {
+            // Select input: needed whenever the mux computes at all.
+            for (const GateTerm& t : condOf(f)) use.push_back(t);
+          } else {
+            // Data input: needed when the mux computes AND selects it. This
+            // holds for unmanaged muxes too; it is a property of the value's
+            // use, not of the gating hardware.
+            const GateLiteral lit{sel, idx == 1};
+            GateDnf sideCond = andDnf(condOf(f), GateDnf{GateTerm{lit}});
+            for (GateTerm& t : sideCond) use.push_back(std::move(t));
+          }
+        }
+        use = simplifyDnf(std::move(use));
+      } else {
+        use = condOf(f);
+      }
+      for (GateTerm& t : use) result.push_back(std::move(t));
+      result = simplifyDnf(std::move(result));
+      if (dnfIsTrue(result)) {
+        result = dnfTrue();
+        saturated = true;
+      }
+    }
+    need_[n] = std::move(result);
+    return *need_[n];
+  }
+
+  bool tryGate(NodeId n) {
+    if (g_.fanouts(n).empty()) return false;
+    const GateDnf& need = needOf(n);
+    if (dnfIsTrue(need) || need.empty()) return false;
+
+    // The latch-enable for n must see every select in the (simplified)
+    // condition before n executes.
+    const std::vector<NodeId> support = dnfSupport(need);
+    for (const NodeId sel : support) {
+      if (sel == n) return false;
+      if (!isScheduled(g_.kind(sel))) continue;  // PI-driven select: free
+      // A select downstream of n would make the edge cyclic.
+      const std::vector<bool> fanin = g_.transitiveFanin(sel);
+      if (fanin[n]) return false;
+    }
+
+    std::vector<std::pair<NodeId, NodeId>> tentative;
+    for (const NodeId sel : support)
+      if (isScheduled(g_.kind(sel))) tentative.emplace_back(sel, n);
+
+    const TimeFrames frames = computeTimeFrames(g_, design_.steps, tentative, design_.latency);
+    if (!frames.feasible(g_)) return false;
+
+    for (const auto& [before, after] : tentative) g_.addControlEdge(before, after);
+    design_.sharedGating[n] = need;
+    cond_[n].reset();  // recompute on demand with the new gating
+    return true;
+  }
+
+  PowerManagedDesign& design_;
+  Graph& g_;
+  std::vector<std::optional<GateDnf>> cond_;
+  std::vector<std::optional<GateDnf>> need_;
+};
+
+}  // namespace
+
+int applySharedGating(PowerManagedDesign& design) {
+  SharedGatingPass pass(design);
+  return pass.run();
+}
+
+}  // namespace pmsched

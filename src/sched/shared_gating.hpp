@@ -1,0 +1,36 @@
+#pragma once
+// Shared (OR-composed) gating — an extension beyond the paper's per-mux rule.
+//
+// The paper's transform skips any operation whose result fans out "to other
+// nodes besides the current multiplexor". Yet the paper's own dealer row
+// (+ = 1.75 at 6 control steps) implies an adder that runs 3 cycles in 4 —
+// a probability only reachable when a unit shared by several conditional
+// consumers is activated under the OR of their conditions. This pass
+// implements exactly that:
+//
+//   For every operation not already gated, if EVERY data use of its result
+//   is conditional (an input of a managed mux's gated side, or a gated /
+//   shared-gated consumer), the union of the consumers' activation
+//   conditions — a DNF over select literals — becomes the operation's
+//   latch-enable, provided the schedule can place the operation after all
+//   selects in the (simplified) union's support.
+//
+// Consumers are processed before producers (reverse topological order), so
+// shared conditions cascade upstream.
+
+#include "sched/power_transform.hpp"
+
+namespace pmsched {
+
+/// Which gating rule the evaluation flow applies.
+enum class GatingMode {
+  Strict,  ///< paper's rule only (per-mux exclusive cones)
+  Shared,  ///< paper's rule + OR-composed gating of shared operations
+};
+
+/// Run the shared-gating pass over an already-transformed design.
+/// Inserts the required control edges into design.graph and fills
+/// design.sharedGating. Returns the number of newly gated operations.
+int applySharedGating(PowerManagedDesign& design);
+
+}  // namespace pmsched

@@ -1,0 +1,44 @@
+#pragma once
+// Error reporting shared by the DSL frontend and the synthesis passes.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace pmsched {
+
+/// A position in DSL source text (1-based line/column, 0 meaning unknown).
+struct SourceLoc {
+  std::size_t line = 0;
+  std::size_t column = 0;
+
+  [[nodiscard]] std::string toString() const {
+    if (line == 0) return "<unknown>";
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+/// Raised by the frontend for malformed source text.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(SourceLoc loc, const std::string& message)
+      : std::runtime_error(loc.toString() + ": " + message), loc_(loc) {}
+
+  [[nodiscard]] SourceLoc loc() const { return loc_; }
+
+ private:
+  SourceLoc loc_;
+};
+
+/// Raised by synthesis passes when the input violates a structural
+/// precondition (cyclic graph, dangling operand, malformed mux, ...).
+class SynthesisError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Raised when constraints (steps/resources) admit no schedule.
+class InfeasibleError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace pmsched

@@ -1,0 +1,122 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pmsched {
+
+void JsonWriter::beforeValue() {
+  if (done_) throw std::logic_error("JsonWriter: document already complete");
+  if (top() == Ctx::Object) throw std::logic_error("JsonWriter: expected key inside object");
+  if (top() == Ctx::Array) {
+    if (needComma_.back()) out_ << ',';
+    needComma_.back() = true;
+  } else if (top() == Ctx::ExpectValue) {
+    stack_.pop_back();  // the pending key consumed exactly one value
+  }
+}
+
+JsonWriter& JsonWriter::beginObject() {
+  beforeValue();
+  out_ << '{';
+  push(Ctx::Object);
+  needComma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  if (top() != Ctx::Object) throw std::logic_error("JsonWriter: endObject outside object");
+  out_ << '}';
+  stack_.pop_back();
+  needComma_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  beforeValue();
+  out_ << '[';
+  push(Ctx::Array);
+  needComma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  if (top() != Ctx::Array) throw std::logic_error("JsonWriter: endArray outside array");
+  out_ << ']';
+  stack_.pop_back();
+  needComma_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  if (top() != Ctx::Object) throw std::logic_error("JsonWriter: key outside object");
+  if (needComma_.back()) out_ << ',';
+  needComma_.back() = true;
+  out_ << '"' << escape(name) << "\":";
+  push(Ctx::ExpectValue);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  beforeValue();
+  out_ << '"' << escape(v) << '"';
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  beforeValue();
+  out_ << v;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  beforeValue();
+  if (!std::isfinite(v)) throw std::domain_error("JsonWriter: non-finite double");
+  std::ostringstream tmp;
+  tmp.precision(12);
+  tmp << v;
+  out_ << tmp.str();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  beforeValue();
+  out_ << (v ? "true" : "false");
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  if (!done_ && !stack_.empty()) throw std::logic_error("JsonWriter: document incomplete");
+  return out_.str();
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace pmsched

@@ -1,0 +1,51 @@
+#pragma once
+// Minimal JSON writer used by benches to emit machine-readable results next
+// to the human-readable tables (so EXPERIMENTS.md numbers can be regenerated
+// by a script rather than transcribed).
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pmsched {
+
+/// Streaming JSON writer; produces compact, valid JSON.
+///
+/// The writer enforces well-formedness dynamically (keys only inside
+/// objects, values only where a value is expected) and throws
+/// std::logic_error on misuse, which keeps the bench emitters honest.
+class JsonWriter {
+ public:
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(std::size_t v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  enum class Ctx { Top, Object, Array, ExpectValue };
+
+  void beforeValue();
+  void push(Ctx c) { stack_.push_back(c); }
+  [[nodiscard]] Ctx top() const { return stack_.empty() ? Ctx::Top : stack_.back(); }
+
+  static std::string escape(const std::string& s);
+
+  std::ostringstream out_;
+  std::vector<Ctx> stack_;
+  std::vector<bool> needComma_{false};
+  bool done_ = false;
+};
+
+}  // namespace pmsched

@@ -1,0 +1,41 @@
+#include "support/rational.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace pmsched {
+
+std::string Rational::toFixed(int places) const {
+  if (places < 0 || places > 15) throw std::domain_error("Rational::toFixed: places out of range");
+  std::int64_t scale = 1;
+  for (int i = 0; i < places; ++i) scale = mulChecked(scale, 10);
+
+  const bool negative = num_ < 0;
+  const auto absNum = static_cast<unsigned __int128>(negative ? -static_cast<__int128>(num_)
+                                                              : static_cast<__int128>(num_));
+  const auto scaled = absNum * static_cast<unsigned __int128>(scale);
+  const auto den = static_cast<unsigned __int128>(den_);
+  unsigned __int128 q = scaled / den;
+  const unsigned __int128 rem = scaled % den;
+  if (rem * 2 >= den) ++q;  // round half away from zero
+
+  const auto whole = static_cast<std::uint64_t>(q / static_cast<unsigned __int128>(scale));
+  const auto frac = static_cast<std::uint64_t>(q % static_cast<unsigned __int128>(scale));
+
+  std::string out = negative && (whole != 0 || frac != 0) ? "-" : "";
+  out += std::to_string(whole);
+  if (places > 0) {
+    std::string f = std::to_string(frac);
+    out += '.';
+    out += std::string(static_cast<std::size_t>(places) - f.size(), '0');
+    out += f;
+  }
+  return out;
+}
+
+std::string Rational::toString() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+}  // namespace pmsched

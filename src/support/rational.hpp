@@ -1,0 +1,126 @@
+#pragma once
+// Exact rational arithmetic for activation probabilities.
+//
+// The power-management analysis of Monteiro et al. (DAC'96) assumes every
+// multiplexor selects each input with probability 1/2, so all execution
+// probabilities are dyadic rationals. Floating point would accumulate error
+// across the inclusion-exclusion sums used for shared cones; this class keeps
+// every probability exact so Table II averages reproduce to the last digit.
+
+#include <cstdint>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace pmsched {
+
+/// Exact rational number with 64-bit numerator/denominator.
+///
+/// Invariants: den > 0; gcd(|num|, den) == 1. All arithmetic throws
+/// std::overflow_error on overflow rather than silently wrapping.
+class Rational {
+ public:
+  constexpr Rational() = default;
+  constexpr Rational(std::int64_t value) : num_(value), den_(1) {}  // NOLINT(google-explicit-constructor)
+
+  Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+    if (den_ == 0) throw std::domain_error("Rational: zero denominator");
+    normalize();
+  }
+
+  [[nodiscard]] constexpr std::int64_t num() const { return num_; }
+  [[nodiscard]] constexpr std::int64_t den() const { return den_; }
+
+  [[nodiscard]] static Rational zero() { return Rational{0}; }
+  [[nodiscard]] static Rational one() { return Rational{1}; }
+  /// 2^-k, the probability of one outcome of k fair coins.
+  [[nodiscard]] static Rational dyadic(unsigned k) {
+    if (k > 62) throw std::overflow_error("Rational::dyadic: exponent too large");
+    return Rational{1, std::int64_t{1} << k};
+  }
+
+  friend Rational operator+(const Rational& a, const Rational& b) {
+    const std::int64_t g = std::gcd(a.den_, b.den_);
+    const std::int64_t lhs = mulChecked(a.num_, b.den_ / g);
+    const std::int64_t rhs = mulChecked(b.num_, a.den_ / g);
+    return Rational{addChecked(lhs, rhs), mulChecked(a.den_, b.den_ / g)};
+  }
+  friend Rational operator-(const Rational& a, const Rational& b) { return a + (-b); }
+  friend Rational operator*(const Rational& a, const Rational& b) {
+    const std::int64_t g1 = std::gcd(std::abs(a.num_), b.den_);
+    const std::int64_t g2 = std::gcd(std::abs(b.num_), a.den_);
+    return Rational{mulChecked(a.num_ / g1, b.num_ / g2),
+                    mulChecked(a.den_ / g2, b.den_ / g1)};
+  }
+  friend Rational operator/(const Rational& a, const Rational& b) {
+    if (b.num_ == 0) throw std::domain_error("Rational: division by zero");
+    return a * Rational{b.den_, b.num_};
+  }
+  Rational operator-() const {
+    Rational r;
+    r.num_ = -num_;
+    r.den_ = den_;
+    return r;
+  }
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) { return !(a == b); }
+  friend bool operator<(const Rational& a, const Rational& b) {
+    // Compare via cross multiplication in 128-bit to avoid overflow.
+    return static_cast<__int128>(a.num_) * b.den_ < static_cast<__int128>(b.num_) * a.den_;
+  }
+  friend bool operator>(const Rational& a, const Rational& b) { return b < a; }
+  friend bool operator<=(const Rational& a, const Rational& b) { return !(b < a); }
+  friend bool operator>=(const Rational& a, const Rational& b) { return !(a < b); }
+
+  [[nodiscard]] double toDouble() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  /// Render with fixed decimal places (round half away from zero), e.g. "5.50".
+  [[nodiscard]] std::string toFixed(int places) const;
+
+  /// "num/den" (or just "num" when integral).
+  [[nodiscard]] std::string toString() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Rational& r) {
+    return os << r.toString();
+  }
+
+ private:
+  void normalize() {
+    if (den_ < 0) {
+      num_ = -num_;
+      den_ = -den_;
+    }
+    const std::int64_t g = std::gcd(std::abs(num_), den_);
+    if (g > 1) {
+      num_ /= g;
+      den_ /= g;
+    }
+  }
+
+  static std::int64_t addChecked(std::int64_t a, std::int64_t b) {
+    std::int64_t out = 0;
+    if (__builtin_add_overflow(a, b, &out)) throw std::overflow_error("Rational: add overflow");
+    return out;
+  }
+  static std::int64_t mulChecked(std::int64_t a, std::int64_t b) {
+    std::int64_t out = 0;
+    if (__builtin_mul_overflow(a, b, &out)) throw std::overflow_error("Rational: mul overflow");
+    return out;
+  }
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+}  // namespace pmsched

@@ -1,0 +1,76 @@
+#pragma once
+// Deterministic pseudo-random number generation.
+//
+// Everything that consumes randomness in this project (random input vectors
+// for the netlist power simulation, random DFGs for scheduler stress tests)
+// takes an explicit Rng so experiments are reproducible from a seed printed
+// in the bench output.
+
+#include <cstdint>
+#include <limits>
+
+namespace pmsched {
+
+/// xorshift128+ generator: fast, decent quality, fully deterministic across
+/// platforms (unlike std::mt19937 distributions, whose mapping is
+/// implementation-defined through std::uniform_int_distribution).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding, as recommended by Vigna, so nearby seeds diverge.
+    auto next = [&seed]() {
+      seed += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      return z ^ (z >> 31);
+    };
+    s0_ = next();
+    s1_ = next();
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  std::uint64_t next() {
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, bound). bound == 0 yields 0.
+  std::uint64_t below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t limit = std::numeric_limits<std::uint64_t>::max() -
+                                std::numeric_limits<std::uint64_t>::max() % bound;
+    std::uint64_t v = next();
+    while (v >= limit) v = next();
+    return v % bound;
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  bool coin() { return (next() & 1U) != 0; }
+
+  /// n-bit random word, n in [0, 64].
+  std::uint64_t bits(unsigned n) {
+    if (n == 0) return 0;
+    if (n >= 64) return next();
+    return next() >> (64 - n);
+  }
+
+  double unit() {  // uniform in [0, 1)
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t s0_ = 0;
+  std::uint64_t s1_ = 0;
+};
+
+}  // namespace pmsched

@@ -1,0 +1,69 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace pmsched {
+
+AsciiTable::AsciiTable(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("AsciiTable: empty header");
+  alignments_.assign(header_.size(), Align::Right);
+  alignments_.front() = Align::Left;
+}
+
+void AsciiTable::setAlignments(std::vector<Align> alignments) {
+  if (alignments.size() != header_.size())
+    throw std::invalid_argument("AsciiTable: alignment count mismatch");
+  alignments_ = std::move(alignments);
+}
+
+void AsciiTable::addRow(std::vector<std::string> cells) {
+  if (cells.size() != header_.size())
+    throw std::invalid_argument("AsciiTable: cell count mismatch");
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void AsciiTable::addSeparator() { rows_.push_back(Row{{}, true}); }
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      width[c] = std::max(width[c], row.cells[c].size());
+  }
+
+  auto pad = [&](const std::string& s, std::size_t c) {
+    const std::size_t fill = width[c] - s.size();
+    if (alignments_[c] == Align::Left) return s + std::string(fill, ' ');
+    return std::string(fill, ' ') + s;
+  };
+
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < width.size(); ++c) os << std::string(width[c] + 2, '-') << '+';
+    os << '\n';
+  };
+
+  rule();
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) os << ' ' << pad(header_[c], c) << " |";
+  os << '\n';
+  rule();
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      rule();
+      continue;
+    }
+    os << '|';
+    for (std::size_t c = 0; c < row.cells.size(); ++c) os << ' ' << pad(row.cells[c], c) << " |";
+    os << '\n';
+  }
+  rule();
+  return os.str();
+}
+
+}  // namespace pmsched

@@ -1,0 +1,48 @@
+#pragma once
+// ASCII table rendering for bench output.
+//
+// Every bench binary reproduces one of the paper's tables; this formatter
+// renders rows the same way the paper prints them (fixed-point numbers,
+// right-aligned columns) so the output can be compared side by side.
+
+#include <string>
+#include <vector>
+
+namespace pmsched {
+
+/// Column alignment within an AsciiTable.
+enum class Align { Left, Right };
+
+/// Minimal monospace table builder.
+///
+/// Usage:
+///   AsciiTable t({"Circuit", "Steps", "Power Red.(%)"});
+///   t.addRow({"gcd", "5", "11.76"});
+///   std::cout << t.render();
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Per-column alignment; defaults to Right for all but the first column.
+  void setAlignments(std::vector<Align> alignments);
+
+  void addRow(std::vector<std::string> cells);
+  /// A horizontal rule between row groups (e.g. between circuits in Table II).
+  void addSeparator();
+
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rowCount() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Align> alignments_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace pmsched

@@ -1,0 +1,39 @@
+#pragma once
+// VHDL emission: the paper's flow generated "VHDL code for the controller
+// as well as the datapath corresponding to the power-management-aware
+// schedule" and pushed it through Synopsys. We emit the same two entities
+// plus a self-checking testbench whose expected outputs come from the CDFG
+// interpreter.
+//
+// The datapath is emitted at value level (one register per live value with
+// a load enable, combinational operator expressions); the controller is a
+// state-per-control-step FSM whose load enables are ANDed with the
+// activation conditions over captured status bits. Unit-level sharing is
+// what src/rtl builds for power measurement; a synthesis tool re-shares
+// this RTL equivalently.
+
+#include <string>
+
+#include "ctrl/controller.hpp"
+#include "sched/schedule.hpp"
+
+namespace pmsched {
+namespace vhdl {
+
+/// Datapath entity `<name>_datapath`: registers with load enables, operator
+/// network, status-bit outputs for every captured select.
+[[nodiscard]] std::string emitDatapath(const PowerManagedDesign& design, const Schedule& sched,
+                                       const ControllerSpec& ctrl);
+
+/// Controller entity `<name>_controller`: state ring, gated load enables.
+[[nodiscard]] std::string emitController(const PowerManagedDesign& design,
+                                         const Schedule& sched, const ControllerSpec& ctrl);
+
+/// Self-checking testbench: drives `vectors` random samples (seeded) and
+/// asserts the interpreter's outputs.
+[[nodiscard]] std::string emitTestbench(const PowerManagedDesign& design, const Schedule& sched,
+                                        const ControllerSpec& ctrl, int vectors,
+                                        std::uint64_t seed);
+
+}  // namespace vhdl
+}  // namespace pmsched

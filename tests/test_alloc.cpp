@@ -1,0 +1,160 @@
+// Tests for functional-unit binding, register allocation, and the area
+// model.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "alloc/binding.hpp"
+#include "circuits/circuits.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/shared_gating.hpp"
+
+namespace pmsched {
+namespace {
+
+Binding bindCircuit(const Graph& g, int steps) {
+  const ResourceVector units = minimizeResources(g, steps);
+  const ListScheduleResult r = listSchedule(g, steps, units);
+  return bindDesign(g, *r.schedule);
+}
+
+TEST(Binding, EveryScheduledOpGetsAUnit) {
+  const Graph g = circuits::gcd();
+  const Binding binding = bindCircuit(g, 6);
+  for (const NodeId n : g.scheduledNodes()) {
+    ASSERT_GE(binding.unitOf[n], 0) << g.node(n).name;
+    const FunctionalUnit& unit = binding.units[static_cast<std::size_t>(binding.unitOf[n])];
+    EXPECT_EQ(unit.cls, resourceClassOf(g.kind(n)));
+    EXPECT_TRUE(std::find(unit.ops.begin(), unit.ops.end(), n) != unit.ops.end());
+  }
+}
+
+TEST(Binding, NoUnitRunsTwoOpsInOneStep) {
+  const Graph g = circuits::vender();
+  const ResourceVector units = minimizeResources(g, 6);
+  const ListScheduleResult r = listSchedule(g, 6, units);
+  const Binding binding = bindDesign(g, *r.schedule);
+  for (const FunctionalUnit& unit : binding.units) {
+    std::vector<int> steps;
+    for (const NodeId op : unit.ops) steps.push_back(r.schedule->stepOf(op));
+    std::sort(steps.begin(), steps.end());
+    EXPECT_TRUE(std::adjacent_find(steps.begin(), steps.end()) == steps.end())
+        << "unit " << resourceName(unit.cls) << unit.index;
+  }
+}
+
+TEST(Binding, UnitCountsMatchScheduleRequirement) {
+  const Graph g = circuits::dealer();
+  const ResourceVector units = minimizeResources(g, 5);
+  const ListScheduleResult r = listSchedule(g, 5, units);
+  const Binding binding = bindDesign(g, *r.schedule);
+  const ResourceVector used = r.schedule->unitsRequired(g);
+  for (const ResourceClass rc : kUnitClasses)
+    EXPECT_EQ(binding.unitCount(rc), used.of(rc)) << resourceName(rc);
+}
+
+TEST(Binding, RegisterLifetimesDisjoint) {
+  const Graph g = circuits::cordic();
+  const int steps = 48;
+  const ResourceVector units = minimizeResources(g, steps);
+  const ListScheduleResult r = listSchedule(g, steps, units);
+  const Binding binding = bindDesign(g, *r.schedule);
+
+  for (const RegisterInfo& reg : binding.registers) {
+    // Values sharing a register must have non-overlapping [def, lastUse].
+    std::vector<std::pair<int, int>> spans;
+    for (const NodeId v : reg.values) {
+      int lastUse = r.schedule->stepOf(v);
+      std::vector<NodeId> stack{v};
+      while (!stack.empty()) {
+        const NodeId x = stack.back();
+        stack.pop_back();
+        for (const NodeId f : g.fanouts(x)) {
+          if (g.kind(f) == OpKind::Wire) stack.push_back(f);
+          else if (g.kind(f) == OpKind::Output) lastUse = std::max(lastUse, steps);
+          else lastUse = std::max(lastUse, r.schedule->stepOf(f));
+        }
+      }
+      spans.emplace_back(r.schedule->stepOf(v), lastUse);
+    }
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i)
+      EXPECT_GT(spans[i].first, spans[i - 1].second)
+          << "register " << reg.index << " overlaps";
+  }
+}
+
+TEST(Binding, DeadValuesGetNoRegister) {
+  Graph g;
+  const NodeId a = g.addInput("a");
+  const NodeId b = g.addInput("b");
+  const NodeId used = g.addOp(OpKind::Add, {a, b}, "used");
+  (void)g.addOp(OpKind::Sub, {a, b}, "dead");  // no consumers
+  g.addOutput(used, "out");
+
+  const Binding binding = bindCircuit(g, 2);
+  EXPECT_GE(binding.registerOf[used], 0);
+  EXPECT_EQ(binding.registerOf[*g.findByName("dead")], -1);
+}
+
+TEST(Binding, MutexSharingPutsExclusiveOpsOnOneUnit) {
+  // absdiff at 2 steps forces both subtractions into step 1; with the
+  // mutual-exclusion extension they may share one subtractor because their
+  // activation conditions are disjoint.
+  const Graph g = circuits::absdiff();
+  PowerManagedDesign design = applyPowerManagement(g, 3);
+  const ActivationResult activation = analyzeActivation(design);
+
+  // Schedule both subs in the same step (step 2, after the comparison).
+  Schedule sched(design.graph, 3);
+  sched.place(*g.findByName("a_gt_b"), 1);
+  sched.place(*g.findByName("a_minus_b"), 2);
+  sched.place(*g.findByName("b_minus_a"), 2);
+  sched.place(*g.findByName("abs_mux"), 3);
+  sched.validate(design.graph);
+
+  BindingOptions plain;
+  const Binding without = bindDesign(design.graph, sched, plain);
+  EXPECT_EQ(without.unitCount(ResourceClass::Subtractor), 2);
+
+  BindingOptions mutex;
+  mutex.allowMutexSharing = true;
+  mutex.activation = &activation;
+  const Binding with = bindDesign(design.graph, sched, mutex);
+  EXPECT_EQ(with.unitCount(ResourceClass::Subtractor), 1);
+}
+
+TEST(Binding, MutexSharingRequiresActivation) {
+  const Graph g = circuits::absdiff();
+  const ResourceVector units = minimizeResources(g, 3);
+  const ListScheduleResult r = listSchedule(g, 3, units);
+  BindingOptions opts;
+  opts.allowMutexSharing = true;
+  EXPECT_THROW(bindDesign(g, *r.schedule, opts), SynthesisError);
+}
+
+TEST(Binding, InterconnectCountsDistinctSources) {
+  const Graph g = circuits::gcd();
+  const Binding binding = bindCircuit(g, 7);
+  EXPECT_GT(binding.interconnectMuxes, 0);
+}
+
+TEST(Area, ComponentsAddUp) {
+  const Graph g = circuits::dealer();
+  const Binding binding = bindCircuit(g, 5);
+  const AreaModel area = estimateArea(binding);
+  EXPECT_GT(area.unitArea, 0);
+  EXPECT_GT(area.registerArea, 0);
+  EXPECT_DOUBLE_EQ(area.total(), area.unitArea + area.registerArea + area.interconnectArea);
+}
+
+TEST(Area, MoreStepsShrinkUnitArea) {
+  const Graph g = circuits::vender();
+  const AreaModel tight = estimateArea(bindCircuit(g, 5));
+  const AreaModel relaxed = estimateArea(bindCircuit(g, 10));
+  EXPECT_LE(relaxed.unitArea, tight.unitArea);
+}
+
+}  // namespace
+}  // namespace pmsched

@@ -1,0 +1,195 @@
+// Unit tests for the CDFG data structure and its structural analyses.
+
+#include <gtest/gtest.h>
+
+#include "cdfg/analysis.hpp"
+#include "cdfg/graph.hpp"
+#include "circuits/circuits.hpp"
+
+namespace pmsched {
+namespace {
+
+Graph diamond() {
+  // a,b -> add, sub -> mux(select by cmp) -> out
+  Graph g("diamond");
+  const NodeId a = g.addInput("a");
+  const NodeId b = g.addInput("b");
+  const NodeId c = g.addOp(OpKind::CmpGt, {a, b}, "c");
+  const NodeId s = g.addOp(OpKind::Add, {a, b}, "s");
+  const NodeId d = g.addOp(OpKind::Sub, {a, b}, "d");
+  const NodeId m = g.addMux(c, s, d, "m");
+  g.addOutput(m, "out");
+  return g;
+}
+
+TEST(Graph, BuildAndQuery) {
+  const Graph g = diamond();
+  EXPECT_EQ(g.size(), 7u);
+  const NodeId m = *g.findByName("m");
+  EXPECT_EQ(g.kind(m), OpKind::Mux);
+  EXPECT_EQ(g.fanins(m).size(), 3u);
+  EXPECT_EQ(g.fanouts(m).size(), 1u);  // the output marker
+  EXPECT_FALSE(g.findByName("nonexistent").has_value());
+}
+
+TEST(Graph, OperandCountEnforced) {
+  Graph g;
+  const NodeId a = g.addInput("a");
+  EXPECT_THROW(g.addOp(OpKind::Add, {a}), SynthesisError);
+  EXPECT_THROW(g.addOp(OpKind::Not, {a, a}), SynthesisError);
+}
+
+TEST(Graph, ForwardReferencesRejected) {
+  Graph g;
+  const NodeId a = g.addInput("a");
+  EXPECT_THROW(g.addOp(OpKind::Add, {a, static_cast<NodeId>(99)}), SynthesisError);
+}
+
+TEST(Graph, ValidateCatchesDuplicateNames) {
+  Graph g;
+  g.addInput("x");
+  g.addInput("x");
+  EXPECT_THROW(g.validate(), SynthesisError);
+}
+
+TEST(Graph, ValidateCatchesWideMuxSelect) {
+  Graph g;
+  const NodeId a = g.addInput("a", 8);
+  const NodeId b = g.addInput("b", 8);
+  const NodeId m = g.addOp(OpKind::Mux, {a, b, b}, "m");  // 8-bit select
+  g.addOutput(m, "out");
+  EXPECT_THROW(g.validate(), SynthesisError);
+}
+
+TEST(Graph, ComparisonWidthIsOne) {
+  Graph g;
+  const NodeId a = g.addInput("a");
+  const NodeId b = g.addInput("b");
+  const NodeId c = g.addOp(OpKind::CmpLe, {a, b});
+  EXPECT_EQ(g.node(c).width, 1);
+}
+
+TEST(Graph, MuxWidthFollowsDataNotSelect) {
+  Graph g;
+  const NodeId a = g.addInput("a", 16);
+  const NodeId b = g.addInput("b", 16);
+  const NodeId c = g.addOp(OpKind::CmpGt, {a, b});
+  const NodeId m = g.addMux(c, a, b);
+  EXPECT_EQ(g.node(m).width, 16);
+}
+
+TEST(Graph, ControlEdgesAreDeduplicated) {
+  Graph g = diamond();
+  const NodeId c = *g.findByName("c");
+  const NodeId s = *g.findByName("s");
+  g.addControlEdge(c, s);
+  g.addControlEdge(c, s);
+  EXPECT_EQ(g.controlEdgeCount(), 1u);
+  EXPECT_EQ(g.controlSuccessors(c).size(), 1u);
+  EXPECT_EQ(g.controlPredecessors(s).size(), 1u);
+}
+
+TEST(Graph, SelfControlEdgeRejected) {
+  Graph g = diamond();
+  const NodeId c = *g.findByName("c");
+  EXPECT_THROW(g.addControlEdge(c, c), SynthesisError);
+}
+
+TEST(Graph, ControlCycleDetectedByTopoOrder) {
+  Graph g = diamond();
+  const NodeId c = *g.findByName("c");
+  const NodeId m = *g.findByName("m");
+  g.addControlEdge(m, c);  // m depends on c through data: cycle
+  EXPECT_THROW(g.topoOrder(), SynthesisError);
+}
+
+TEST(Graph, TopoOrderRespectsAllEdges) {
+  Graph g = diamond();
+  const NodeId c = *g.findByName("c");
+  const NodeId s = *g.findByName("s");
+  g.addControlEdge(c, s);
+  const std::vector<NodeId> order = g.topoOrder();
+  std::vector<std::size_t> position(g.size());
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (NodeId n = 0; n < g.size(); ++n) {
+    for (const NodeId p : g.fanins(n)) EXPECT_LT(position[p], position[n]);
+    for (const NodeId p : g.controlPredecessors(n)) EXPECT_LT(position[p], position[n]);
+  }
+}
+
+TEST(Graph, OperandConesAreClosed) {
+  const Graph g = diamond();
+  const NodeId m = *g.findByName("m");
+  const auto selCone = g.operandCone(m, 0);
+  const auto trueCone = g.operandCone(m, 1);
+  EXPECT_TRUE(selCone[*g.findByName("c")]);
+  EXPECT_TRUE(selCone[*g.findByName("a")]);
+  EXPECT_FALSE(selCone[*g.findByName("s")]);
+  EXPECT_TRUE(trueCone[*g.findByName("s")]);
+  EXPECT_FALSE(trueCone[*g.findByName("d")]);
+}
+
+TEST(Analysis, DepthsAndCriticalPath) {
+  const Graph g = diamond();
+  const std::vector<int> depth = nodeDepths(g);
+  EXPECT_EQ(depth[*g.findByName("c")], 1);
+  EXPECT_EQ(depth[*g.findByName("m")], 2);
+  EXPECT_EQ(criticalPathLength(g), 2);
+}
+
+TEST(Analysis, WiresAreTransparentForDepth) {
+  Graph g;
+  const NodeId a = g.addInput("a");
+  const NodeId w = g.addWire(a, 2);
+  const NodeId b = g.addInput("b");
+  const NodeId s = g.addOp(OpKind::Add, {w, b}, "s");
+  g.addOutput(s, "out");
+  EXPECT_EQ(criticalPathLength(g), 1);
+}
+
+TEST(Analysis, ControlEdgesLengthenCriticalPath) {
+  Graph g = diamond();
+  EXPECT_EQ(criticalPathLength(g), 2);
+  g.addControlEdge(*g.findByName("c"), *g.findByName("s"));
+  EXPECT_EQ(criticalPathLength(g), 3);  // c -> s -> m
+}
+
+TEST(Analysis, DistanceToOutput) {
+  const Graph g = diamond();
+  const std::vector<int> dist = distanceToOutput(g);
+  EXPECT_EQ(dist[*g.findByName("m")], 0);
+  EXPECT_EQ(dist[*g.findByName("s")], 1);
+  EXPECT_EQ(dist[*g.findByName("a")], 2);
+}
+
+TEST(Analysis, CountOpsMatchesConstruction) {
+  const OpStats stats = countOps(diamond());
+  EXPECT_EQ(stats.mux, 1);
+  EXPECT_EQ(stats.comp, 1);
+  EXPECT_EQ(stats.add, 1);
+  EXPECT_EQ(stats.sub, 1);
+  EXPECT_EQ(stats.mul, 0);
+  EXPECT_EQ(stats.totalUnits(), 4);
+}
+
+TEST(Analysis, DotExportMentionsEveryNode) {
+  Graph g = diamond();
+  g.addControlEdge(*g.findByName("c"), *g.findByName("s"));
+  const std::string dot = toDot(g);
+  for (NodeId n = 0; n < g.size(); ++n)
+    EXPECT_NE(dot.find(g.node(n).name), std::string::npos) << g.node(n).name;
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // the control edge
+}
+
+TEST(Analysis, PaperCircuitsHaveConsistentDepths) {
+  for (const auto& circuit : circuits::paperCircuits()) {
+    const Graph g = circuit.build();
+    const std::vector<int> depth = nodeDepths(g);
+    for (const NodeId n : g.topoOrder())
+      for (const NodeId p : g.fanins(n))
+        EXPECT_LE(depth[p], depth[n]) << circuit.name << ": " << g.node(n).name;
+  }
+}
+
+}  // namespace
+}  // namespace pmsched

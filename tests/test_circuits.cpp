@@ -1,0 +1,81 @@
+// The reconstructed benchmark circuits must match the paper's Table I
+// exactly: critical path plus MUX/COMP/+/-/* operation counts.
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiments.hpp"
+#include "circuits/circuits.hpp"
+
+namespace pmsched {
+namespace {
+
+struct Table1Expectation {
+  const char* name;
+  int criticalPath;
+  int mux;
+  int comp;
+  int add;
+  int sub;
+  int mul;
+};
+
+// The paper's Table I, verbatim.
+constexpr Table1Expectation kTable1[] = {
+    {"dealer", 4, 3, 3, 2, 1, 0},
+    {"gcd", 5, 6, 2, 0, 1, 0},
+    {"vender", 5, 6, 3, 3, 3, 2},
+    {"cordic", 48, 47, 16, 43, 46, 0},
+};
+
+class Table1Test : public ::testing::TestWithParam<Table1Expectation> {};
+
+TEST_P(Table1Test, MatchesPaper) {
+  const Table1Expectation& expect = GetParam();
+  Graph g;
+  for (const auto& c : circuits::paperCircuits())
+    if (std::string_view(c.name) == expect.name) g = c.build();
+  ASSERT_GT(g.size(), 0u) << "circuit not found: " << expect.name;
+
+  const analysis::Table1Row row = analysis::table1Row(expect.name, g);
+  EXPECT_EQ(row.criticalPath, expect.criticalPath) << expect.name << ": critical path";
+  EXPECT_EQ(row.ops.mux, expect.mux) << expect.name << ": MUX count";
+  EXPECT_EQ(row.ops.comp, expect.comp) << expect.name << ": COMP count";
+  EXPECT_EQ(row.ops.add, expect.add) << expect.name << ": + count";
+  EXPECT_EQ(row.ops.sub, expect.sub) << expect.name << ": - count";
+  EXPECT_EQ(row.ops.mul, expect.mul) << expect.name << ": * count";
+}
+
+INSTANTIATE_TEST_SUITE_P(Paper, Table1Test, ::testing::ValuesIn(kTable1),
+                         [](const auto& info) { return std::string(info.param.name); });
+
+TEST(Circuits, AllValidate) {
+  for (const auto& c : circuits::paperCircuits()) EXPECT_NO_THROW(c.build().validate());
+  EXPECT_NO_THROW(circuits::absdiff().validate());
+  EXPECT_NO_THROW(circuits::diffeq().validate());
+  EXPECT_NO_THROW(circuits::ewf().validate());
+}
+
+TEST(Circuits, AbsdiffMatchesFigure1) {
+  const Graph g = circuits::absdiff();
+  const OpStats ops = countOps(g);
+  EXPECT_EQ(ops.mux, 1);
+  EXPECT_EQ(ops.comp, 1);
+  EXPECT_EQ(ops.sub, 2);
+  EXPECT_EQ(criticalPathLength(g), 2);  // subs then mux
+}
+
+TEST(Circuits, NegativeControlsHaveNoMuxes) {
+  EXPECT_EQ(countOps(circuits::diffeq()).mux, 0);
+  EXPECT_EQ(countOps(circuits::ewf()).mux, 0);
+}
+
+TEST(Circuits, StepBudgetsMatchPaper) {
+  EXPECT_EQ(circuits::tableIISteps("dealer"), (std::vector<int>{4, 5, 6}));
+  EXPECT_EQ(circuits::tableIISteps("gcd"), (std::vector<int>{5, 6, 7}));
+  EXPECT_EQ(circuits::tableIISteps("vender"), (std::vector<int>{5, 6}));
+  EXPECT_EQ(circuits::tableIISteps("cordic"), (std::vector<int>{48, 52}));
+  EXPECT_THROW(circuits::tableIISteps("nonesuch"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pmsched

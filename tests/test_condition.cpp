@@ -1,0 +1,127 @@
+// Tests for the activation-condition algebra (terms, DNFs, exact
+// probabilities) that Table II's averages rest on.
+
+#include <gtest/gtest.h>
+
+#include "sched/condition.hpp"
+
+namespace pmsched {
+namespace {
+
+GateLiteral lit(NodeId sel, bool v) { return GateLiteral{sel, v}; }
+
+TEST(Condition, NormalizeSortsAndDedupes) {
+  GateTerm term{lit(3, true), lit(1, false), lit(3, true)};
+  ASSERT_TRUE(normalizeTerm(term));
+  ASSERT_EQ(term.size(), 2u);
+  EXPECT_EQ(term[0].select, 1u);
+  EXPECT_EQ(term[1].select, 3u);
+}
+
+TEST(Condition, NormalizeDetectsContradiction) {
+  GateTerm term{lit(2, true), lit(2, false)};
+  EXPECT_FALSE(normalizeTerm(term));
+}
+
+TEST(Condition, ConjoinMergesAndDetectsConflict) {
+  GateTerm a{lit(1, true)};
+  GateTerm b{lit(2, false)};
+  GateTerm out;
+  ASSERT_TRUE(conjoinTerms(a, b, out));
+  EXPECT_EQ(out.size(), 2u);
+
+  GateTerm conflicting{lit(1, false)};
+  EXPECT_FALSE(conjoinTerms(a, conflicting, out));
+}
+
+TEST(Condition, SimplifyDropsSubsumedTerms) {
+  // (s1) | (s1 & s2) == (s1)
+  GateDnf dnf{{lit(1, true)}, {lit(1, true), lit(2, true)}};
+  const GateDnf simplified = simplifyDnf(dnf);
+  ASSERT_EQ(simplified.size(), 1u);
+  EXPECT_EQ(simplified[0].size(), 1u);
+}
+
+TEST(Condition, SimplifyMergesComplementaryPairs) {
+  // (s1 & s2) | (s1 & !s2) == (s1)
+  GateDnf dnf{{lit(1, true), lit(2, true)}, {lit(1, true), lit(2, false)}};
+  const GateDnf simplified = simplifyDnf(dnf);
+  ASSERT_EQ(simplified.size(), 1u);
+  EXPECT_EQ(simplified[0], (GateTerm{lit(1, true)}));
+}
+
+TEST(Condition, SimplifyRecognizesTautology) {
+  // (s1) | (!s1) == true (empty term)
+  GateDnf dnf{{lit(1, true)}, {lit(1, false)}};
+  const GateDnf simplified = simplifyDnf(dnf);
+  EXPECT_TRUE(dnfIsTrue(simplified));
+}
+
+TEST(Condition, DealerSharedConditionSimplifies) {
+  // The dealer's shared adder: (c1=0 & c3=1) | (c1=0 & c3=0) | (c1=1 & c2=0)
+  // must simplify to (c1=0) | (c1=1 & c2=0), dropping c3 from the support.
+  GateDnf dnf{{lit(1, false), lit(3, true)},
+              {lit(1, false), lit(3, false)},
+              {lit(1, true), lit(2, false)}};
+  const GateDnf simplified = simplifyDnf(dnf);
+  EXPECT_EQ(simplified.size(), 2u);
+  const std::vector<NodeId> support = dnfSupport(simplified);
+  EXPECT_EQ(support, (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(dnfProbability(simplified), Rational(3, 4));
+}
+
+TEST(Condition, AndDnfDistributes) {
+  const GateDnf a{{lit(1, true)}, {lit(2, true)}};
+  const GateDnf b{{lit(3, false)}};
+  const GateDnf c = andDnf(a, b);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(dnfProbability(c), Rational(3, 8));  // P((s1|s2) & !s3)
+}
+
+TEST(Condition, AndDnfDropsContradictions) {
+  const GateDnf a{{lit(1, true)}};
+  const GateDnf b{{lit(1, false)}};
+  EXPECT_TRUE(andDnf(a, b).empty());  // FALSE
+}
+
+TEST(Condition, TrueAndFalseProbability) {
+  EXPECT_EQ(dnfProbability(dnfTrue()), Rational(1));
+  EXPECT_EQ(dnfProbability(GateDnf{}), Rational(0));
+}
+
+TEST(Condition, SingleLiteralIsHalf) {
+  EXPECT_EQ(dnfProbability(GateDnf{{lit(7, true)}}), Rational(1, 2));
+}
+
+TEST(Condition, ConjunctionIsProductOfHalves) {
+  EXPECT_EQ(dnfProbability(GateDnf{{lit(1, true), lit(2, false), lit(3, true)}}),
+            Rational(1, 8));
+}
+
+TEST(Condition, UnionWithOverlapIsInclusionExclusion) {
+  // P(s1 | s2) = 3/4 even though terms overlap.
+  EXPECT_EQ(dnfProbability(GateDnf{{lit(1, true)}, {lit(2, true)}}), Rational(3, 4));
+}
+
+TEST(Condition, SupportLimitEnforced) {
+  GateDnf big;
+  GateTerm term;
+  for (NodeId i = 0; i < 30; ++i) term.push_back(lit(i, true));
+  big.push_back(term);
+  EXPECT_THROW((void)dnfProbability(big, 24), SynthesisError);
+  EXPECT_NO_THROW((void)dnfProbability(big, 30));
+}
+
+TEST(Condition, ToStringReadable) {
+  Graph g;
+  const NodeId a = g.addInput("flagA", 1);
+  const NodeId b = g.addInput("flagB", 1);
+  const GateDnf dnf{{lit(a, true), lit(b, false)}, {lit(b, true)}};
+  const std::string text = dnfToString(dnf, g);
+  EXPECT_EQ(text, "(flagA=1 & flagB=0) | (flagB=1)");
+  EXPECT_EQ(dnfToString(GateDnf{}, g), "false");
+  EXPECT_EQ(dnfToString(dnfTrue(), g), "true");
+}
+
+}  // namespace
+}  // namespace pmsched

@@ -1,0 +1,194 @@
+// Tests for the SIL frontend: lexer, parser, elaborator, and the library
+// sources.
+
+#include <gtest/gtest.h>
+
+#include "cdfg/analysis.hpp"
+#include "cdfg/interpreter.hpp"
+#include "lang/elaborate.hpp"
+#include "lang/lexer.hpp"
+#include "lang/library.hpp"
+#include "lang/parser.hpp"
+
+namespace pmsched {
+namespace lang {
+namespace {
+
+TEST(Lexer, TokenizesOperatorsAndKeywords) {
+  Lexer lexer("circuit x; a = b >= 3 << 2; -- comment\n c = if d then 1 else 0 end;");
+  const std::vector<Token> tokens = lexer.tokenize();
+  ASSERT_GE(tokens.size(), 10u);
+  EXPECT_EQ(tokens[0].kind, TokKind::KwCircuit);
+  EXPECT_EQ(tokens[1].kind, TokKind::Ident);
+  EXPECT_EQ(tokens[1].text, "x");
+  EXPECT_EQ(tokens.back().kind, TokKind::End);
+
+  bool sawGe = false;
+  bool sawShl = false;
+  bool sawIf = false;
+  for (const Token& t : tokens) {
+    if (t.kind == TokKind::Ge) sawGe = true;
+    if (t.kind == TokKind::Shl) sawShl = true;
+    if (t.kind == TokKind::KwIf) sawIf = true;
+  }
+  EXPECT_TRUE(sawGe);
+  EXPECT_TRUE(sawShl);
+  EXPECT_TRUE(sawIf);
+}
+
+TEST(Lexer, TracksLocations) {
+  Lexer lexer("circuit x;\n  bad!");
+  try {
+    (void)lexer.tokenize();
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.loc().line, 2u);
+  }
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  Lexer lexer("# hash comment\n-- dash comment\ncircuit x;");
+  const std::vector<Token> tokens = lexer.tokenize();
+  EXPECT_EQ(tokens[0].kind, TokKind::KwCircuit);
+}
+
+TEST(Lexer, NumericOverflowRejected) {
+  Lexer lexer("99999999999999999999999");
+  EXPECT_THROW((void)lexer.tokenize(), ParseError);
+}
+
+TEST(Parser, PrecedenceMulOverAdd) {
+  const Module mod = parse("circuit p; input a, b, c : num<8>; x = a + b * c;");
+  ASSERT_EQ(mod.defs.size(), 1u);
+  const Expr& top = *mod.defs[0].value;
+  EXPECT_EQ(top.binOp, BinOp::Add);
+  EXPECT_EQ(top.rhs->binOp, BinOp::Mul);
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  const Module mod = parse("circuit p; input a, b, c : num<8>; x = (a + b) * c;");
+  EXPECT_EQ(mod.defs[0].value->binOp, BinOp::Mul);
+}
+
+TEST(Parser, IfRequiresAllKeywords) {
+  EXPECT_THROW(parse("circuit p; input a : bool; x = if a then 1 else 2;"), ParseError);
+  EXPECT_NO_THROW(parse("circuit p; input a : bool; x = if a then 1 else 2 end;"));
+}
+
+TEST(Parser, TypeWidthValidated) {
+  EXPECT_THROW(parse("circuit p; input a : num<0>;"), ParseError);
+  EXPECT_THROW(parse("circuit p; input a : num<65>;"), ParseError);
+  EXPECT_NO_THROW(parse("circuit p; input a : num<64>;"));
+}
+
+TEST(Parser, ShiftTakesConstantAmount) {
+  EXPECT_THROW(parse("circuit p; input a, b : num<8>; x = a >> b;"), ParseError);
+  const Module mod = parse("circuit p; input a : num<8>; x = a >> 3;");
+  EXPECT_EQ(mod.defs[0].value->kind, Expr::Kind::Shift);
+  EXPECT_EQ(mod.defs[0].value->shiftAmount, 3);
+}
+
+TEST(Elaborate, SingleAssignmentEnforced) {
+  EXPECT_THROW(compile("circuit p; input a : num<8>; x = a; x = a;"), ParseError);
+  EXPECT_THROW(compile("circuit p; input a : num<8>; a = a;"), ParseError);
+}
+
+TEST(Elaborate, UndefinedNamesRejected) {
+  EXPECT_THROW(compile("circuit p; x = y + 1;"), ParseError);
+  EXPECT_THROW(compile("circuit p; input a : num<8>; output nothing;"), ParseError);
+}
+
+TEST(Elaborate, ConditionMustBeBoolean) {
+  EXPECT_THROW(compile("circuit p; input a, b : num<8>; x = if a then a else b end;"),
+               ParseError);
+}
+
+TEST(Elaborate, ConstantsInheritSiblingWidth) {
+  const Graph g = compile("circuit p; input a : num<12>; x = a + 1; output x;");
+  const NodeId x = *g.findByName("x");
+  EXPECT_EQ(g.node(x).width, 12);
+  for (const NodeId op : g.fanins(x)) EXPECT_EQ(g.node(op).width, 12);
+}
+
+TEST(Elaborate, UnaryMinusLowersToSubtractFromZero) {
+  const Graph g = compile("circuit p; input a : num<8>; x = -a; output x;");
+  const NodeId x = *g.findByName("x");
+  EXPECT_EQ(g.kind(x), OpKind::Sub);
+  EXPECT_EQ(g.kind(g.fanins(x)[0]), OpKind::Const);
+}
+
+TEST(Elaborate, IfLowersToMux) {
+  const Graph g = compile(
+      "circuit p; input a, b : num<8>; c = a > b; x = if c then a else b end; output x;");
+  EXPECT_EQ(countOps(g).mux, 1);
+  EXPECT_EQ(countOps(g).comp, 1);
+}
+
+TEST(Elaborate, OutputNameCollisionGetsSuffix) {
+  const Graph g = compile("circuit p; input a : num<8>; x = a + 1; output x;");
+  EXPECT_TRUE(g.findByName("x_out").has_value());
+}
+
+TEST(Library, AbsdiffMatchesHandBuiltStats) {
+  const Graph g = compile(absdiffSource());
+  const OpStats stats = countOps(g);
+  EXPECT_EQ(stats.mux, 1);
+  EXPECT_EQ(stats.comp, 1);
+  EXPECT_EQ(stats.sub, 2);
+  EXPECT_EQ(criticalPathLength(g), 2);
+}
+
+TEST(Library, GcdMatchesHandBuiltStats) {
+  const Graph g = compile(gcdSource());
+  const OpStats stats = countOps(g);
+  EXPECT_EQ(stats.mux, 6);
+  EXPECT_EQ(stats.comp, 2);
+  EXPECT_EQ(stats.sub, 1);
+  EXPECT_EQ(stats.add, 0);
+  EXPECT_EQ(criticalPathLength(g), 5);
+}
+
+TEST(Library, DealerMatchesHandBuiltStats) {
+  const Graph g = compile(dealerSource());
+  const OpStats stats = countOps(g);
+  EXPECT_EQ(stats.mux, 3);
+  EXPECT_EQ(stats.comp, 3);
+  EXPECT_EQ(stats.add, 2);
+  EXPECT_EQ(stats.sub, 1);
+  EXPECT_EQ(criticalPathLength(g), 4);
+}
+
+TEST(Library, CompiledAbsdiffComputesCorrectly) {
+  const Graph g = compile(absdiffSource());
+  EXPECT_EQ(evaluateGraph(g, {{"a", 11}, {"b", 4}}).at("abs"), 7);
+  EXPECT_EQ(evaluateGraph(g, {{"a", 4}, {"b", 11}}).at("abs"), 7);
+}
+
+TEST(Library, CompiledGcdConverges) {
+  const Graph g = compile(gcdSource());
+  std::int64_t a = 54;
+  std::int64_t b = 24;
+  auto out = evaluateGraph(g, {{"a_init", a}, {"b_init", b}, {"start", 1}});
+  a = out.at("a_out");
+  b = out.at("b_out");
+  for (int i = 0; i < 25; ++i) {
+    out = evaluateGraph(g, {{"a", a}, {"b", b}, {"start", 0}});
+    a = out.at("a_out");
+    b = out.at("b_out");
+  }
+  EXPECT_EQ(out.at("gcd_out"), 6);
+}
+
+TEST(Library, ClippedAverageSaturates) {
+  const Graph g = compile(clippedAverageSource());
+  const auto clipped =
+      evaluateGraph(g, {{"x", 30}, {"y", 10}, {"limit", 20}, {"heavy", 1}});
+  EXPECT_EQ(clipped.at("avg"), 20);  // (30*3 + 10)/2 = 50 > 20 -> clipped
+  const auto normal =
+      evaluateGraph(g, {{"x", 6}, {"y", 10}, {"limit", 20}, {"heavy", 0}});
+  EXPECT_EQ(normal.at("avg"), 8);  // (6 + 10) / 2
+}
+
+}  // namespace
+}  // namespace lang
+}  // namespace pmsched

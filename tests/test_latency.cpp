@@ -1,0 +1,135 @@
+// Tests for the multi-cycle operation extension (LatencyModel).
+
+#include <gtest/gtest.h>
+
+#include "power/activation.hpp"
+#include "circuits/circuits.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/shared_gating.hpp"
+
+namespace pmsched {
+namespace {
+
+/// mul feeding an add: CP is 2 with unit latency, 3 with a 2-cycle mul.
+Graph mulAdd() {
+  Graph g("muladd");
+  const NodeId a = g.addInput("a");
+  const NodeId b = g.addInput("b");
+  const NodeId m = g.addOp(OpKind::Mul, {a, b}, "m");
+  const NodeId s = g.addOp(OpKind::Add, {m, a}, "s");
+  g.addOutput(s, "out");
+  return g;
+}
+
+TEST(Latency, UnitModelIsDefaultAndIdempotent) {
+  EXPECT_TRUE(LatencyModel::unit().isUnit());
+  EXPECT_FALSE(LatencyModel::multiCycleMultiplier(2).isUnit());
+  EXPECT_EQ(LatencyModel::unit().latencyOf(OpKind::Wire), 0);
+  EXPECT_EQ(LatencyModel::multiCycleMultiplier(3).latencyOf(OpKind::Mul), 3);
+  EXPECT_EQ(LatencyModel::multiCycleMultiplier(3).latencyOf(OpKind::Add), 1);
+}
+
+TEST(Latency, FramesStretchWithMultiCycleMul) {
+  const Graph g = mulAdd();
+  const LatencyModel two = LatencyModel::multiCycleMultiplier(2);
+
+  const TimeFrames unit = computeTimeFrames(g, 4);
+  EXPECT_EQ(unit.asap[*g.findByName("s")], 2);
+
+  const TimeFrames stretched = computeTimeFrames(g, 4, {}, two);
+  EXPECT_EQ(stretched.asap[*g.findByName("s")], 3);  // mul occupies 1-2
+  // The mul must finish before the add's latest start (step 4): it can
+  // start no later than step 2 (occupying steps 2-3).
+  EXPECT_EQ(stretched.alap[*g.findByName("m")], 2);
+  EXPECT_FALSE(computeTimeFrames(g, 2, {}, two).feasible(g));
+  EXPECT_TRUE(computeTimeFrames(g, 3, {}, two).feasible(g));
+}
+
+TEST(Latency, ListScheduleOccupiesUnitsAcrossSteps) {
+  // Two independent muls with one multiplier and 2-cycle latency: the
+  // second mul cannot start until step 3.
+  Graph g("twomuls");
+  const NodeId a = g.addInput("a");
+  const NodeId b = g.addInput("b");
+  const NodeId m1 = g.addOp(OpKind::Mul, {a, b}, "m1");
+  const NodeId m2 = g.addOp(OpKind::Mul, {b, a}, "m2");
+  g.addOutput(m1, "o1");
+  g.addOutput(m2, "o2");
+
+  const LatencyModel two = LatencyModel::multiCycleMultiplier(2);
+  ResourceVector limits = ResourceVector::unlimited();
+  limits.of(ResourceClass::Multiplier) = 1;
+
+  EXPECT_FALSE(listSchedule(g, 3, limits, 0, two).schedule.has_value());
+  const ListScheduleResult r = listSchedule(g, 4, limits, 0, two);
+  ASSERT_TRUE(r.schedule.has_value()) << r.message;
+  const int s1 = r.schedule->stepOf(m1);
+  const int s2 = r.schedule->stepOf(m2);
+  EXPECT_EQ(std::abs(s1 - s2), 2) << "2-cycle occupancy must separate the muls";
+  EXPECT_EQ(r.schedule->unitsRequired(g, two).of(ResourceClass::Multiplier), 1);
+}
+
+TEST(Latency, ValidateRejectsOverlapWithBudgetEnd) {
+  const Graph g = mulAdd();
+  const LatencyModel two = LatencyModel::multiCycleMultiplier(2);
+  Schedule bad(g, 3);
+  bad.place(*g.findByName("m"), 3);  // would occupy steps 3-4 > budget
+  bad.place(*g.findByName("s"), 3);
+  EXPECT_THROW(bad.validate(g, two), SynthesisError);
+}
+
+TEST(Latency, MinimizeResourcesAccountsForOccupancy) {
+  // vender has 2 muls; at the paper's 6-step budget with 2-cycle muls, the
+  // minimum multiplier count can only grow or stay equal vs unit latency.
+  const Graph g = circuits::vender();
+  const LatencyModel two = LatencyModel::multiCycleMultiplier(2);
+  const int unitMuls = minimizeResources(g, 7).of(ResourceClass::Multiplier);
+  const int twoMuls =
+      minimizeResources(g, 7, UnitCosts::defaults(), 0, two).of(ResourceClass::Multiplier);
+  EXPECT_GE(twoMuls, unitMuls);
+}
+
+TEST(Latency, PowerManagementFeasibilityShiftsWithLatency) {
+  // vender's coin-value chain contains a multiplier; making it 2-cycle
+  // lengthens the chain, so gating needs a larger budget. The transform
+  // must stay sound either way.
+  const Graph g = circuits::vender();
+  const LatencyModel two = LatencyModel::multiCycleMultiplier(2);
+
+  const int cpUnit = criticalPathLength(g);  // 5 under unit latency
+  const TimeFrames framesTwo = computeTimeFrames(g, cpUnit, {}, two);
+  EXPECT_FALSE(framesTwo.feasible(g)) << "2-cycle muls must stretch the critical path";
+
+  PowerManagedDesign design = applyPowerManagement(g, 7, MuxOrdering::OutputFirst, two);
+  EXPECT_TRUE(design.frames.feasible(design.graph));
+  EXPECT_EQ(design.latency, two);
+  EXPECT_GT(design.managedCount(), 0);
+
+  // The final schedule under the same model respects the gating edges.
+  const ResourceVector units = minimizeResources(design.graph, 7, UnitCosts::defaults(), 0, two);
+  const ListScheduleResult r = listSchedule(design.graph, 7, units, 0, two);
+  ASSERT_TRUE(r.schedule.has_value()) << r.message;
+  EXPECT_NO_THROW(r.schedule->validate(design.graph, two));
+}
+
+TEST(Latency, SharedGatingHonoursTheModel) {
+  const Graph g = circuits::dealer();
+  // Dealer has no multipliers: identical behaviour under either model.
+  PowerManagedDesign unitDesign = applyPowerManagement(g, 6);
+  PowerManagedDesign twoDesign =
+      applyPowerManagement(g, 6, MuxOrdering::OutputFirst, LatencyModel::multiCycleMultiplier(2));
+  EXPECT_EQ(applySharedGating(unitDesign), applySharedGating(twoDesign));
+}
+
+TEST(Latency, UnitModelReproducesAllPaperRows) {
+  // Guard: the default path must be bit-identical to the pre-extension
+  // behaviour (paper rows re-checked through the latency-aware code).
+  const Graph g = circuits::gcd();
+  PowerManagedDesign design = applyPowerManagement(g, 7, MuxOrdering::OutputFirst,
+                                                   LatencyModel::unit());
+  const ActivationResult activation = analyzeActivation(design);
+  EXPECT_NEAR(activation.reductionPercent(OpPowerModel::paperWeights()), 16.18, 0.01);
+}
+
+}  // namespace
+}  // namespace pmsched

@@ -1,0 +1,242 @@
+// Tests for the gate-level netlist, the word generators, and the
+// unit-delay simulator (the Synopsys-substitute substrate).
+
+#include <gtest/gtest.h>
+
+#include "cdfg/interpreter.hpp"
+#include "netlist/wordgen.hpp"
+#include "support/rng.hpp"
+
+namespace pmsched {
+namespace {
+
+/// Drive both operand words, clock once, return the output word value
+/// (sign-extended).
+struct UnitFixture {
+  Netlist nl;
+  Word a, b, out;
+  SignalId sel = kNoSignal;
+
+  std::int64_t run(Simulator& sim, std::int64_t av, std::int64_t bv, int width) {
+    for (int i = 0; i < width; ++i) {
+      sim.setInput(a[static_cast<std::size_t>(i)],
+                   ((static_cast<std::uint64_t>(av) >> i) & 1U) != 0);
+      sim.setInput(b[static_cast<std::size_t>(i)],
+                   ((static_cast<std::uint64_t>(bv) >> i) & 1U) != 0);
+    }
+    sim.settle();
+    return truncateToWidth(static_cast<std::int64_t>(sim.wordValue(out)),
+                           static_cast<int>(out.size()));
+  }
+};
+
+UnitFixture makeUnit(const std::string& kind, int width) {
+  UnitFixture f;
+  f.a = inputWord(f.nl, "a", width);
+  f.b = inputWord(f.nl, "b", width);
+  if (kind == "add") f.out = adderWord(f.nl, f.a, f.b);
+  if (kind == "sub") f.out = subtractorWord(f.nl, f.a, f.b);
+  if (kind == "mul") f.out = multiplierWord(f.nl, f.a, f.b);
+  if (kind == "gt") f.out = {compareGtWord(f.nl, f.a, f.b)};
+  if (kind == "ge") f.out = {compareGeWord(f.nl, f.a, f.b)};
+  if (kind == "eq") f.out = {compareEqWord(f.nl, f.a, f.b)};
+  return f;
+}
+
+class ArithmeticSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ArithmeticSweep, MatchesReferenceOnRandomOperands) {
+  const std::string kind = GetParam();
+  constexpr int kWidth = 8;
+  UnitFixture f = makeUnit(kind, kWidth);
+  Simulator sim(f.nl);
+  Rng rng(123);
+
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto av = truncateToWidth(static_cast<std::int64_t>(rng.bits(kWidth)), kWidth);
+    const auto bv = truncateToWidth(static_cast<std::int64_t>(rng.bits(kWidth)), kWidth);
+    const std::int64_t got = f.run(sim, av, bv, kWidth);
+
+    std::int64_t want = 0;
+    if (kind == "add") want = truncateToWidth(av + bv, kWidth);
+    if (kind == "sub") want = truncateToWidth(av - bv, kWidth);
+    if (kind == "mul") want = truncateToWidth(av * bv, kWidth);
+    if (kind == "gt") want = truncateToWidth(av > bv ? 1 : 0, 1);
+    if (kind == "ge") want = truncateToWidth(av >= bv ? 1 : 0, 1);
+    if (kind == "eq") want = truncateToWidth(av == bv ? 1 : 0, 1);
+    ASSERT_EQ(got, want) << kind << "(" << av << ", " << bv << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Units, ArithmeticSweep,
+                         ::testing::Values("add", "sub", "mul", "gt", "ge", "eq"),
+                         [](const auto& info) { return std::string(info.param); });
+
+TEST(WordGen, MuxSelectsAndShiftRewires) {
+  Netlist nl;
+  const Word a = inputWord(nl, "a", 8);
+  const Word b = inputWord(nl, "b", 8);
+  const SignalId sel = nl.addInput("sel");
+  const Word m = mux2Word(nl, sel, a, b);
+  const Word sh = shiftWord(nl, m, 2);
+
+  Simulator sim(nl);
+  for (int i = 0; i < 8; ++i) {
+    sim.setInput(a[static_cast<std::size_t>(i)], (40 >> i) & 1);
+    sim.setInput(b[static_cast<std::size_t>(i)], (12 >> i) & 1);
+  }
+  sim.setInput(sel, true);
+  sim.settle();
+  EXPECT_EQ(sim.wordValue(m), 40u);
+  EXPECT_EQ(sim.wordValue(sh), 10u);  // 40 >> 2
+  sim.setInput(sel, false);
+  sim.settle();
+  EXPECT_EQ(sim.wordValue(m), 12u);
+  EXPECT_EQ(sim.wordValue(sh), 3u);
+}
+
+TEST(WordGen, ShiftLeftFillsZero) {
+  Netlist nl;
+  const Word a = inputWord(nl, "a", 8);
+  const Word sh = shiftWord(nl, a, -2);
+  Simulator sim(nl);
+  for (int i = 0; i < 8; ++i) sim.setInput(a[static_cast<std::size_t>(i)], (5 >> i) & 1);
+  sim.settle();
+  EXPECT_EQ(sim.wordValue(sh), 20u);
+}
+
+TEST(WordGen, ArithmeticRightShiftSignExtends) {
+  Netlist nl;
+  const Word a = inputWord(nl, "a", 8);
+  const Word sh = shiftWord(nl, a, 1);
+  Simulator sim(nl);
+  const std::int64_t v = -6;
+  for (int i = 0; i < 8; ++i)
+    sim.setInput(a[static_cast<std::size_t>(i)], ((static_cast<std::uint64_t>(v) >> i) & 1U) != 0);
+  sim.settle();
+  EXPECT_EQ(truncateToWidth(static_cast<std::int64_t>(sim.wordValue(sh)), 8), -3);
+}
+
+TEST(Netlist, DffEnableHoldsValue) {
+  Netlist nl;
+  const SignalId d = nl.addInput("d");
+  const SignalId en = nl.addInput("en");
+  const SignalId q = nl.addDff(d, en);
+  nl.markOutput(q, "q");
+
+  Simulator sim(nl);
+  sim.setInput(d, true);
+  sim.setInput(en, true);
+  sim.clock();
+  EXPECT_TRUE(sim.value(q));
+  sim.setInput(d, false);
+  sim.setInput(en, false);
+  sim.clock();
+  EXPECT_TRUE(sim.value(q)) << "disabled DFF must hold";
+  sim.setInput(en, true);
+  sim.clock();
+  EXPECT_FALSE(sim.value(q));
+}
+
+TEST(Netlist, DffInitValue) {
+  Netlist nl;
+  const SignalId zero = nl.constant(false);
+  const SignalId q = nl.addDff(zero, kNoSignal, true);
+  Simulator sim(nl);
+  EXPECT_TRUE(sim.value(q));
+  sim.clock();
+  EXPECT_FALSE(sim.value(q));
+}
+
+TEST(Netlist, OneHotRingRotates) {
+  // The RTL mapper's state ring pattern: s0 closes the ring via patchDffData.
+  Netlist nl;
+  const SignalId ph = nl.constant(false);
+  const SignalId s0 = nl.addDff(ph, kNoSignal, true);
+  const SignalId s1 = nl.addDff(s0);
+  const SignalId s2 = nl.addDff(s1);
+  nl.patchDffData(s0, s2);
+
+  Simulator sim(nl);
+  EXPECT_TRUE(sim.value(s0));
+  sim.clock();
+  EXPECT_TRUE(sim.value(s1));
+  EXPECT_FALSE(sim.value(s0));
+  sim.clock();
+  EXPECT_TRUE(sim.value(s2));
+  sim.clock();
+  EXPECT_TRUE(sim.value(s0)) << "ring must wrap";
+}
+
+TEST(Netlist, PatchingValidatesKinds) {
+  Netlist nl;
+  const SignalId in = nl.addInput("in");
+  const SignalId g = nl.addGate(GateKind::Inv, in);
+  EXPECT_THROW(nl.patchBufData(g, in), SynthesisError);
+  EXPECT_THROW(nl.patchDffData(g, in), SynthesisError);
+}
+
+TEST(Netlist, CombinationalCycleDetected) {
+  Netlist nl;
+  const SignalId in = nl.addInput("in");
+  const SignalId buf = nl.addGate(GateKind::Buf, in);
+  const SignalId inv = nl.addGate(GateKind::Inv, buf);
+  nl.patchBufData(buf, inv);  // buf -> inv -> buf
+  EXPECT_THROW(nl.combOrder(), SynthesisError);
+}
+
+TEST(Simulator, GlitchesAreCounted) {
+  // z = (a AND b) XOR a with unit delays: flipping a can glitch z because
+  // the AND arrives one delay later than the direct input.
+  Netlist nl;
+  const SignalId a = nl.addInput("a");
+  const SignalId b = nl.addInput("b");
+  const SignalId ab = nl.addGate(GateKind::And2, a, b);
+  const SignalId z = nl.addGate(GateKind::Xor2, ab, a);
+  nl.markOutput(z, "z");
+
+  Simulator sim(nl);
+  sim.setInput(a, false);
+  sim.setInput(b, true);
+  sim.settle();
+  sim.resetCounters();
+
+  sim.setInput(a, true);  // a: 0->1; z goes 0 ->(glitch) 1 -> 0
+  sim.settle();
+  // Transitions: a, then z (from a's direct edge), then ab, then z again.
+  EXPECT_GE(sim.toggles(), 4u);
+  EXPECT_FALSE(sim.value(z));
+}
+
+TEST(Simulator, EnergyWeightsByFanout) {
+  Netlist nl;
+  const SignalId a = nl.addInput("a");
+  // A signal with three consumers costs more per toggle than a leaf.
+  const SignalId i1 = nl.addGate(GateKind::Inv, a);
+  (void)nl.addGate(GateKind::Inv, i1);
+  (void)nl.addGate(GateKind::Inv, i1);
+  (void)nl.addGate(GateKind::Inv, i1);
+
+  Simulator sim(nl);
+  sim.settle();
+  sim.resetCounters();
+  sim.setInput(a, true);
+  sim.settle();
+  // a toggles (weight 1+1), i1 toggles (weight 1+3), leaves toggle 3x(1+0).
+  EXPECT_EQ(sim.energy(), 2u + 4u + 3u);
+}
+
+TEST(Netlist, AreaAccounting) {
+  Netlist nl;
+  const SignalId a = nl.addInput("a");
+  const SignalId b = nl.addInput("b");
+  (void)nl.addGate(GateKind::Nand2, a, b);
+  (void)nl.addGate(GateKind::Xor2, a, b);
+  (void)nl.addDff(a);
+  EXPECT_DOUBLE_EQ(nl.area(), 1.0 + 2.5 + 4.0);
+  EXPECT_EQ(nl.combGateCount(), 2u);
+  EXPECT_EQ(nl.dffCount(), 1u);
+}
+
+}  // namespace
+}  // namespace pmsched

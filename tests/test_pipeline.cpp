@@ -1,0 +1,95 @@
+// Tests for §IV-B pipelining support.
+
+#include <gtest/gtest.h>
+
+#include "power/activation.hpp"
+#include "circuits/circuits.hpp"
+#include "sched/pipeline.hpp"
+#include "sched/shared_gating.hpp"
+
+namespace pmsched {
+namespace {
+
+TEST(Pipeline, SingleStageEqualsPlainScheduling) {
+  const Graph g = circuits::gcd();
+  PipelineOptions opts;
+  opts.stages = 1;
+  opts.effectiveSteps = 7;
+  const PipelineResult r = pipelineSchedule(g, opts);
+  EXPECT_EQ(r.latency, 7);
+  EXPECT_NO_THROW(r.schedule.validate(r.design.graph));
+}
+
+TEST(Pipeline, StagesMultiplyLatency) {
+  const Graph g = circuits::gcd();
+  PipelineOptions opts;
+  opts.stages = 3;
+  opts.effectiveSteps = 5;
+  const PipelineResult r = pipelineSchedule(g, opts);
+  EXPECT_EQ(r.latency, 15);
+  EXPECT_TRUE(r.schedule.unitsRequiredModulo(r.design.graph, 5).fitsWithin(r.units));
+}
+
+TEST(Pipeline, ThroughputBelowCriticalPathNeedsStages) {
+  const Graph g = circuits::cordic();  // CP 48
+  PipelineOptions opts;
+  opts.effectiveSteps = 16;
+  opts.stages = 1;
+  EXPECT_THROW(pipelineSchedule(g, opts), InfeasibleError);
+  opts.stages = 3;  // latency 48 == CP: feasible
+  EXPECT_NO_THROW(pipelineSchedule(g, opts));
+}
+
+TEST(Pipeline, MoreStagesEnableMoreGating) {
+  // The §IV-B claim: extra stages create slack for power management at the
+  // same throughput.
+  const Graph g = circuits::dealer();  // CP 4
+  const OpPowerModel model = OpPowerModel::paperWeights();
+
+  auto reductionWithStages = [&](int stages) {
+    PipelineOptions opts;
+    opts.stages = stages;
+    opts.effectiveSteps = 4;
+    const PipelineResult r = pipelineSchedule(g, opts);
+    return analyzeActivation(r.design).reductionPercent(model);
+  };
+  const double oneStage = reductionWithStages(1);
+  const double twoStages = reductionWithStages(2);
+  EXPECT_GE(twoStages + 1e-9, oneStage);
+  EXPECT_GT(twoStages, 30.0);  // reaches the 6-step (shared-gating) level
+}
+
+TEST(Pipeline, BaselineModeSkipsGating) {
+  const Graph g = circuits::dealer();
+  PipelineOptions opts;
+  opts.stages = 2;
+  opts.effectiveSteps = 4;
+  opts.powerManage = false;
+  const PipelineResult r = pipelineSchedule(g, opts);
+  EXPECT_EQ(r.design.managedCount(), 0);
+  EXPECT_EQ(r.design.graph.controlEdgeCount(), 0u);
+}
+
+TEST(Pipeline, RejectsBadOptions) {
+  const Graph g = circuits::gcd();
+  PipelineOptions opts;
+  opts.stages = 0;
+  opts.effectiveSteps = 5;
+  EXPECT_THROW(pipelineSchedule(g, opts), InfeasibleError);
+  opts.stages = 1;
+  opts.effectiveSteps = 0;
+  EXPECT_THROW(pipelineSchedule(g, opts), InfeasibleError);
+}
+
+TEST(Pipeline, FoldedUnitsAtLeastUnfoldedPeak) {
+  const Graph g = circuits::ewf();
+  PipelineOptions opts;
+  opts.stages = 2;
+  opts.effectiveSteps = (criticalPathLength(g) + 1) / 2;
+  const PipelineResult r = pipelineSchedule(g, opts);
+  const ResourceVector plain = r.schedule.unitsRequired(r.design.graph);
+  EXPECT_TRUE(plain.fitsWithin(r.units));
+}
+
+}  // namespace
+}  // namespace pmsched

@@ -1,0 +1,96 @@
+// Unit tests for the exact rational type underpinning all probabilities.
+
+#include <gtest/gtest.h>
+
+#include "support/rational.hpp"
+
+namespace pmsched {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  const Rational r;
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, NormalizesSignAndGcd) {
+  const Rational r{6, -8};
+  EXPECT_EQ(r.num(), -3);
+  EXPECT_EQ(r.den(), 4);
+}
+
+TEST(Rational, ZeroDenominatorThrows) { EXPECT_THROW(Rational(1, 0), std::domain_error); }
+
+TEST(Rational, Arithmetic) {
+  const Rational half{1, 2};
+  const Rational quarter{1, 4};
+  EXPECT_EQ(half + quarter, Rational(3, 4));
+  EXPECT_EQ(half - quarter, quarter);
+  EXPECT_EQ(half * quarter, Rational(1, 8));
+  EXPECT_EQ(half / quarter, Rational(2));
+  EXPECT_EQ(-half, Rational(-1, 2));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1) / Rational(0), std::domain_error);
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(2, 3), Rational(1, 2));
+  EXPECT_LE(Rational(1, 2), Rational(1, 2));
+  EXPECT_GE(Rational(1, 2), Rational(1, 2));
+  EXPECT_NE(Rational(1, 2), Rational(1, 3));
+}
+
+TEST(Rational, DyadicProbabilities) {
+  EXPECT_EQ(Rational::dyadic(0), Rational(1));
+  EXPECT_EQ(Rational::dyadic(1), Rational(1, 2));
+  EXPECT_EQ(Rational::dyadic(10), Rational(1, 1024));
+  EXPECT_THROW((void)Rational::dyadic(63), std::overflow_error);
+}
+
+TEST(Rational, ToFixedMatchesPaperFormatting) {
+  // The paper prints two decimals: 5.50, 2.00, 0.25, 1.75 ...
+  EXPECT_EQ(Rational(11, 2).toFixed(2), "5.50");
+  EXPECT_EQ(Rational(2).toFixed(2), "2.00");
+  EXPECT_EQ(Rational(1, 4).toFixed(2), "0.25");
+  EXPECT_EQ(Rational(7, 4).toFixed(2), "1.75");
+}
+
+TEST(Rational, ToFixedRounding) {
+  EXPECT_EQ(Rational(1, 3).toFixed(2), "0.33");
+  EXPECT_EQ(Rational(2, 3).toFixed(2), "0.67");
+  EXPECT_EQ(Rational(1, 8).toFixed(2), "0.13");  // round half away from zero
+  EXPECT_EQ(Rational(-1, 8).toFixed(2), "-0.13");
+  EXPECT_EQ(Rational(5, 2).toFixed(0), "3");
+}
+
+TEST(Rational, ToStringForms) {
+  EXPECT_EQ(Rational(3, 4).toString(), "3/4");
+  EXPECT_EQ(Rational(7).toString(), "7");
+}
+
+TEST(Rational, SumsStayExactOverManyTerms) {
+  Rational sum;
+  for (int i = 0; i < 1000; ++i) sum += Rational(1, 1000);
+  EXPECT_EQ(sum, Rational(1));
+}
+
+TEST(Rational, OverflowIsDetectedNotWrapped) {
+  const Rational big{(std::int64_t{1} << 62), 1};
+  EXPECT_THROW(big + big, std::overflow_error);
+  EXPECT_THROW(big * Rational(3), std::overflow_error);
+}
+
+TEST(Rational, CrossReductionAvoidsSpuriousOverflow) {
+  // (2^40 / 3) * (3 / 2^40) must not overflow despite large intermediates.
+  const Rational a{std::int64_t{1} << 40, 3};
+  const Rational b{3, std::int64_t{1} << 40};
+  EXPECT_EQ(a * b, Rational(1));
+}
+
+TEST(Rational, ToDouble) { EXPECT_DOUBLE_EQ(Rational(1, 2).toDouble(), 0.5); }
+
+}  // namespace
+}  // namespace pmsched

@@ -1,0 +1,121 @@
+// End-to-end reproduction checks against the paper's Table II. Where our
+// faithful implementation deviates from a published row, the deviation is
+// asserted here too (and explained in EXPERIMENTS.md) so it cannot drift
+// silently.
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiments.hpp"
+
+namespace pmsched {
+namespace {
+
+analysis::Table2Row rowFor(const std::string& name, int steps) {
+  for (const auto& c : circuits::paperCircuits()) {
+    if (std::string_view(c.name) == name)
+      return analysis::table2Row(name, c.build(), steps);
+  }
+  throw std::runtime_error("unknown circuit " + name);
+}
+
+TEST(TableII, Dealer4Steps) {
+  const auto row = rowFor("dealer", 4);
+  EXPECT_EQ(row.pmMuxes, 1);
+  EXPECT_EQ(row.avgMux, Rational(2));
+  EXPECT_EQ(row.avgComp, Rational(2));
+  EXPECT_EQ(row.avgAdd, Rational(2));
+  EXPECT_EQ(row.avgSub, Rational(1, 2));
+  EXPECT_NEAR(row.powerReductionPct, 27.08, 0.01);  // paper prints 27.00
+}
+
+TEST(TableII, Dealer6Steps) {
+  const auto row = rowFor("dealer", 6);
+  EXPECT_EQ(row.pmMuxes, 2);
+  EXPECT_EQ(row.avgMux, Rational(2));
+  EXPECT_EQ(row.avgComp, Rational(2));
+  EXPECT_EQ(row.avgAdd, Rational(7, 4));  // the shared adder: 1.75
+  EXPECT_EQ(row.avgSub, Rational(1, 4));
+  EXPECT_NEAR(row.powerReductionPct, 33.33, 0.01);
+}
+
+TEST(TableII, Gcd5Steps) {
+  const auto row = rowFor("gcd", 5);
+  EXPECT_EQ(row.pmMuxes, 1);
+  EXPECT_EQ(row.avgMux, Rational(11, 2));
+  EXPECT_EQ(row.avgComp, Rational(2));
+  EXPECT_EQ(row.avgSub, Rational(1, 2));
+  EXPECT_NEAR(row.powerReductionPct, 11.76, 0.01);
+}
+
+TEST(TableII, Gcd7Steps) {
+  const auto row = rowFor("gcd", 7);
+  EXPECT_EQ(row.pmMuxes, 2);
+  EXPECT_EQ(row.avgMux, Rational(11, 2));
+  EXPECT_EQ(row.avgComp, Rational(2));
+  EXPECT_EQ(row.avgSub, Rational(1, 4));
+  EXPECT_NEAR(row.powerReductionPct, 16.18, 0.01);
+}
+
+TEST(TableII, VenderMatchesPaperAveragesAtSixSteps) {
+  // The paper reports these averages for 5 and 6 steps; our faithful
+  // transform reaches them at 6 (see EXPERIMENTS.md).
+  const auto row = rowFor("vender", 6);
+  EXPECT_EQ(row.pmMuxes, 4);
+  EXPECT_EQ(row.avgMux, Rational(9, 2));
+  EXPECT_EQ(row.avgComp, Rational(5, 2));
+  EXPECT_EQ(row.avgAdd, Rational(3, 2));
+  EXPECT_EQ(row.avgSub, Rational(1));
+  EXPECT_EQ(row.avgMul, Rational(1));
+  // Recomputing the reduction from the paper's own averages gives 44.74%,
+  // not the printed 41.67% — we assert our (consistent) value.
+  EXPECT_NEAR(row.powerReductionPct, 44.74, 0.01);
+}
+
+TEST(TableII, Cordic48Steps) {
+  const auto row = rowFor("cordic", 48);
+  EXPECT_EQ(row.pmMuxes, 40);  // paper reports 38
+  EXPECT_EQ(row.avgMux, Rational(47));
+  EXPECT_EQ(row.avgComp, Rational(16));
+  // Our reconstruction gates one add/sub pair differently from the paper's
+  // (25.00/26.00 vs 24.00/27.00) but add+sub match, so the total datapath
+  // power reduction reproduces the paper's 30.16% exactly.
+  EXPECT_EQ(row.avgAdd, Rational(25));
+  EXPECT_EQ(row.avgSub, Rational(26));
+  EXPECT_NEAR(row.powerReductionPct, 30.16, 0.05);
+}
+
+TEST(TableII, Cordic52StepsGainsFromSlack) {
+  const auto row = rowFor("cordic", 52);
+  EXPECT_GT(row.pmMuxes, 40);  // more slack, more gated muxes (paper: 46)
+  const auto at48 = rowFor("cordic", 48);
+  EXPECT_GT(row.powerReductionPct, at48.powerReductionPct);
+}
+
+TEST(Figures, AbsdiffTwoStepsHasNoPowerManagement) {
+  const auto figures = analysis::absdiffFigures();
+  // Figure 1: 2 steps, PM attempted -> nothing manageable, 2 subtractors.
+  for (const auto& fig : figures) {
+    if (fig.steps == 2) {
+      EXPECT_EQ(fig.pmMuxes, 0);
+      EXPECT_EQ(fig.subtractors, 2);
+      EXPECT_DOUBLE_EQ(fig.powerReductionPct, 0.0);
+    }
+  }
+}
+
+TEST(Figures, AbsdiffThreeStepsEnablesGating) {
+  const auto figures = analysis::absdiffFigures();
+  bool found = false;
+  for (const auto& fig : figures) {
+    if (fig.steps == 3 && fig.powerManaged) {
+      found = true;
+      EXPECT_EQ(fig.pmMuxes, 1);
+      // Both subtractions gated at 1/2: power drops by 3/11.
+      EXPECT_NEAR(fig.powerReductionPct, 100.0 * 3 / 11, 0.01);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace pmsched

@@ -1,0 +1,89 @@
+// Tests for ResourceVector, UnitCosts, and op-kind classification.
+
+#include <gtest/gtest.h>
+
+#include "cdfg/op.hpp"
+#include "sched/resources.hpp"
+
+namespace pmsched {
+namespace {
+
+TEST(OpKind, ResourceClassesPartitionTheOps) {
+  EXPECT_EQ(resourceClassOf(OpKind::Add), ResourceClass::Adder);
+  EXPECT_EQ(resourceClassOf(OpKind::Sub), ResourceClass::Subtractor);
+  EXPECT_EQ(resourceClassOf(OpKind::Mul), ResourceClass::Multiplier);
+  EXPECT_EQ(resourceClassOf(OpKind::Mux), ResourceClass::Mux);
+  for (const OpKind cmp : {OpKind::CmpGt, OpKind::CmpGe, OpKind::CmpLt, OpKind::CmpLe,
+                           OpKind::CmpEq, OpKind::CmpNe})
+    EXPECT_EQ(resourceClassOf(cmp), ResourceClass::Comparator);
+  for (const OpKind freeKind :
+       {OpKind::Input, OpKind::Const, OpKind::Output, OpKind::Wire}) {
+    EXPECT_EQ(resourceClassOf(freeKind), ResourceClass::None);
+    EXPECT_FALSE(isScheduled(freeKind));
+  }
+}
+
+TEST(OpKind, OperandCounts) {
+  EXPECT_EQ(operandCount(OpKind::Input), 0);
+  EXPECT_EQ(operandCount(OpKind::Const), 0);
+  EXPECT_EQ(operandCount(OpKind::Not), 1);
+  EXPECT_EQ(operandCount(OpKind::Wire), 1);
+  EXPECT_EQ(operandCount(OpKind::Output), 1);
+  EXPECT_EQ(operandCount(OpKind::Add), 2);
+  EXPECT_EQ(operandCount(OpKind::Mux), 3);
+}
+
+TEST(OpKind, NamesAreUniqueAndStable) {
+  EXPECT_EQ(opName(OpKind::Mux), "mux");
+  EXPECT_EQ(opName(OpKind::CmpEq), "eq");
+  EXPECT_EQ(resourceName(ResourceClass::Adder), "+");
+  EXPECT_EQ(resourceName(ResourceClass::Multiplier), "*");
+}
+
+TEST(OpKind, UnitIndexIsDense) {
+  for (std::size_t i = 0; i < kNumUnitClasses; ++i)
+    EXPECT_EQ(unitIndex(kUnitClasses[i]), i);
+}
+
+TEST(ResourceVector, MaxAndFitsWithin) {
+  ResourceVector a;
+  a.of(ResourceClass::Adder) = 2;
+  ResourceVector b;
+  b.of(ResourceClass::Multiplier) = 1;
+
+  const ResourceVector m = a.max(b);
+  EXPECT_EQ(m.of(ResourceClass::Adder), 2);
+  EXPECT_EQ(m.of(ResourceClass::Multiplier), 1);
+  EXPECT_TRUE(a.fitsWithin(m));
+  EXPECT_TRUE(b.fitsWithin(m));
+  EXPECT_FALSE(m.fitsWithin(a));
+  EXPECT_TRUE(m.fitsWithin(ResourceVector::unlimited()));
+}
+
+TEST(ResourceVector, ToStringSkipsZeroClasses) {
+  ResourceVector v;
+  v.of(ResourceClass::Comparator) = 1;
+  v.of(ResourceClass::Subtractor) = 2;
+  EXPECT_EQ(v.toString(), "{COMP:1, -:2}");
+  EXPECT_EQ(ResourceVector::zero().toString(), "{}");
+}
+
+TEST(UnitCosts, MultiplierDominates) {
+  const UnitCosts costs = UnitCosts::defaults();
+  const double mul = costs.area[unitIndex(ResourceClass::Multiplier)];
+  for (const ResourceClass rc :
+       {ResourceClass::Mux, ResourceClass::Comparator, ResourceClass::Adder,
+        ResourceClass::Subtractor})
+    EXPECT_GT(mul, 3 * costs.area[unitIndex(rc)]);
+}
+
+TEST(UnitCosts, CostOfIsLinear) {
+  const UnitCosts costs = UnitCosts::defaults();
+  ResourceVector v;
+  v.of(ResourceClass::Adder) = 3;
+  EXPECT_DOUBLE_EQ(costs.costOf(v), 3 * costs.area[unitIndex(ResourceClass::Adder)]);
+  EXPECT_DOUBLE_EQ(costs.costOf(ResourceVector::zero()), 0.0);
+}
+
+}  // namespace
+}  // namespace pmsched

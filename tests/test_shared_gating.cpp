@@ -1,0 +1,107 @@
+// Tests for the shared (OR-composed) gating extension.
+
+#include <gtest/gtest.h>
+
+#include "circuits/circuits.hpp"
+#include "power/activation.hpp"
+#include "sched/shared_gating.hpp"
+
+namespace pmsched {
+namespace {
+
+TEST(SharedGating, DealerSharedAdderGatedAtSixSteps) {
+  const Graph g = circuits::dealer();
+  PowerManagedDesign design = applyPowerManagement(g, 6);
+  const int gated = applySharedGating(design);
+  EXPECT_EQ(gated, 1);
+
+  const NodeId s2 = *design.graph.findByName("s2");
+  ASSERT_FALSE(design.sharedGating[s2].empty());
+  // Condition: needed unless (c1 picks the true side AND c2 picks s1):
+  // (c1=0) | (c1=1 & c2=0), probability 3/4.
+  EXPECT_EQ(dnfProbability(design.sharedGating[s2]), Rational(3, 4));
+  const std::string text = dnfToString(design.sharedGating[s2], design.graph);
+  EXPECT_NE(text.find("c1=0"), std::string::npos);
+  EXPECT_NE(text.find("c2=0"), std::string::npos);
+}
+
+TEST(SharedGating, DealerInfeasibleAtFourAndFiveSteps) {
+  const Graph g = circuits::dealer();
+  for (const int steps : {4, 5}) {
+    PowerManagedDesign design = applyPowerManagement(g, steps);
+    EXPECT_EQ(applySharedGating(design), 0) << steps << " steps";
+  }
+}
+
+TEST(SharedGating, AddsControlEdgesForTheSupport) {
+  const Graph g = circuits::dealer();
+  PowerManagedDesign design = applyPowerManagement(g, 6);
+  const std::size_t edgesBefore = design.graph.controlEdgeCount();
+  applySharedGating(design);
+  EXPECT_GT(design.graph.controlEdgeCount(), edgesBefore);
+  // s2 must now be schedulable only after c1 and c2.
+  const NodeId s2 = *design.graph.findByName("s2");
+  const auto preds = design.graph.controlPredecessors(s2);
+  EXPECT_EQ(preds.size(), 2u);
+}
+
+TEST(SharedGating, FramesStayFeasible) {
+  const Graph g = circuits::dealer();
+  PowerManagedDesign design = applyPowerManagement(g, 6);
+  applySharedGating(design);
+  EXPECT_TRUE(design.frames.feasible(design.graph));
+}
+
+TEST(SharedGating, NeverGatesOutputFeedingValues) {
+  const Graph g = circuits::dealer();
+  PowerManagedDesign design = applyPowerManagement(g, 8);
+  applySharedGating(design);
+  const NodeId s1 = *design.graph.findByName("s1");  // feeds output "total"
+  EXPECT_TRUE(design.sharedGating[s1].empty());
+  EXPECT_TRUE(design.gates[s1].empty());
+}
+
+TEST(SharedGating, SkipsWhenSelectIsDownstream) {
+  // small feeds gcd's eq comparator (its own select source): gating small
+  // on eq would be cyclic and must be refused.
+  const Graph g = circuits::gcd();
+  PowerManagedDesign design = applyPowerManagement(g, 7);
+  applySharedGating(design);
+  const NodeId small = *design.graph.findByName("small");
+  EXPECT_TRUE(design.sharedGating[small].empty());
+}
+
+TEST(SharedGating, NoEffectOnPureDataflow) {
+  const Graph g = circuits::ewf();
+  PowerManagedDesign design = applyPowerManagement(g, criticalPathLength(g) + 4);
+  EXPECT_EQ(applySharedGating(design), 0);
+}
+
+TEST(SharedGating, OnlyEverImprovesPower) {
+  const OpPowerModel model = OpPowerModel::paperWeights();
+  for (const auto& circuit : circuits::paperCircuits()) {
+    const Graph g = circuit.build();
+    for (const int steps : circuits::tableIISteps(circuit.name)) {
+      PowerManagedDesign strict = applyPowerManagement(g, steps);
+      const double strictRed = analyzeActivation(strict).reductionPercent(model);
+      applySharedGating(strict);
+      const double sharedRed = analyzeActivation(strict).reductionPercent(model);
+      EXPECT_GE(sharedRed + 1e-9, strictRed) << circuit.name << "@" << steps;
+    }
+  }
+}
+
+TEST(SharedGating, ConditionsComposeDownstreamFirst) {
+  // After the pass, conditions of strictly-gated nodes are unchanged while
+  // the shared node's condition reflects its consumers' final conditions.
+  const Graph g = circuits::dealer();
+  PowerManagedDesign design = applyPowerManagement(g, 6);
+  applySharedGating(design);
+  const ActivationResult activation = analyzeActivation(design);
+  EXPECT_EQ(activation.probability[*design.graph.findByName("d")], Rational(1, 4));
+  EXPECT_EQ(activation.probability[*design.graph.findByName("s2")], Rational(3, 4));
+  EXPECT_EQ(activation.probability[*design.graph.findByName("c3")], Rational(1, 2));
+}
+
+}  // namespace
+}  // namespace pmsched

@@ -1,0 +1,149 @@
+// Tests for the support utilities: strings, tables, JSON, RNG.
+
+#include <gtest/gtest.h>
+
+#include "support/json.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace pmsched {
+namespace {
+
+TEST(Strings, Fixed) {
+  EXPECT_EQ(fixed(27.083, 2), "27.08");
+  EXPECT_EQ(fixed(1.0, 2), "1.00");
+  EXPECT_EQ(fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Strings, JoinAndSplit) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim("solid"), "solid");
+}
+
+TEST(Strings, StartsWithAndLower) {
+  EXPECT_TRUE(startsWith("circuit x", "circuit"));
+  EXPECT_FALSE(startsWith("cir", "circuit"));
+  EXPECT_EQ(toLower("AbC"), "abc");
+}
+
+TEST(Strings, SanitizeIdentifier) {
+  EXPECT_EQ(sanitizeIdentifier("abs_mux"), "abs_mux");
+  EXPECT_EQ(sanitizeIdentifier("x[3]"), "x_3");
+  EXPECT_EQ(sanitizeIdentifier("3value"), "n3value");
+  EXPECT_EQ(sanitizeIdentifier("a__b__"), "a_b");
+  EXPECT_EQ(sanitizeIdentifier(""), "n");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  AsciiTable t({"Name", "Value"});
+  t.addRow({"x", "1"});
+  t.addSeparator();
+  t.addRow({"longer", "23"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| Name   | Value |"), std::string::npos);
+  EXPECT_NE(out.find("| x      |     1 |"), std::string::npos);
+  EXPECT_NE(out.find("| longer |    23 |"), std::string::npos);
+  EXPECT_EQ(t.rowCount(), 3u);
+}
+
+TEST(Table, RejectsMismatchedRows) {
+  AsciiTable t({"A", "B"});
+  EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(t.setAlignments({Align::Left}), std::invalid_argument);
+}
+
+TEST(Json, WritesNestedStructures) {
+  JsonWriter json;
+  json.beginObject()
+      .key("name").value("pmsched")
+      .key("tables").beginArray().value(1).value(2).value(3).endArray()
+      .key("nested").beginObject().key("pi").value(3.5).key("ok").value(true).endObject()
+      .endObject();
+  EXPECT_EQ(json.str(),
+            R"({"name":"pmsched","tables":[1,2,3],"nested":{"pi":3.5,"ok":true}})");
+}
+
+TEST(Json, EscapesStrings) {
+  JsonWriter json;
+  json.beginObject().key("s").value("a\"b\\c\nd").endObject();
+  EXPECT_EQ(json.str(), R"({"s":"a\"b\\c\nd"})");
+}
+
+TEST(Json, MisuseThrows) {
+  {
+    JsonWriter json;
+    json.beginObject();
+    EXPECT_THROW(json.value(1), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter json;
+    json.beginArray();
+    EXPECT_THROW(json.key("k"), std::logic_error);  // key inside array
+  }
+  {
+    JsonWriter json;
+    json.beginObject();
+    EXPECT_THROW((void)json.str(), std::logic_error);  // incomplete
+  }
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversValues) {
+  Rng rng(7);
+  std::array<int, 10> histogram{};
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    ++histogram[static_cast<std::size_t>(v)];
+  }
+  for (const int count : histogram) EXPECT_GT(count, 700);  // roughly uniform
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(3);
+  bool sawLo = false;
+  bool sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.range(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    if (v == -2) sawLo = true;
+    if (v == 2) sawHi = true;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, BitsMasksWidth) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(rng.bits(8), 256u);
+    EXPECT_EQ(rng.bits(0), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace pmsched

@@ -1,0 +1,90 @@
+// Tests for CDFG text serialization: round-trips, error reporting.
+
+#include <gtest/gtest.h>
+
+#include "cdfg/interpreter.hpp"
+#include "cdfg/textio.hpp"
+#include "circuits/circuits.hpp"
+#include "sched/power_transform.hpp"
+
+namespace pmsched {
+namespace {
+
+void expectGraphsEqual(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.name(), b.name());
+  for (NodeId n = 0; n < a.size(); ++n) {
+    EXPECT_EQ(a.node(n).kind, b.node(n).kind) << n;
+    EXPECT_EQ(a.node(n).name, b.node(n).name) << n;
+    EXPECT_EQ(a.node(n).width, b.node(n).width) << n;
+    EXPECT_EQ(a.node(n).constValue, b.node(n).constValue) << n;
+    EXPECT_EQ(a.node(n).shift, b.node(n).shift) << n;
+    ASSERT_EQ(a.fanins(n).size(), b.fanins(n).size()) << n;
+    for (std::size_t i = 0; i < a.fanins(n).size(); ++i)
+      EXPECT_EQ(a.node(a.fanins(n)[i]).name, b.node(b.fanins(n)[i]).name);
+  }
+  EXPECT_EQ(a.controlEdgeCount(), b.controlEdgeCount());
+}
+
+TEST(TextIo, RoundTripsEveryPaperCircuit) {
+  for (const auto& circuit : circuits::paperCircuits()) {
+    const Graph original = circuit.build();
+    const Graph reloaded = loadGraphText(saveGraphText(original));
+    expectGraphsEqual(original, reloaded);
+  }
+}
+
+TEST(TextIo, RoundTripsControlEdges) {
+  const Graph g = circuits::absdiff();
+  const PowerManagedDesign design = applyPowerManagement(g, 3);
+  const Graph reloaded = loadGraphText(saveGraphText(design.graph));
+  expectGraphsEqual(design.graph, reloaded);
+  EXPECT_EQ(reloaded.controlEdgeCount(), 2u);
+}
+
+TEST(TextIo, ReloadedGraphComputesIdentically) {
+  const Graph original = circuits::dealer();
+  const Graph reloaded = loadGraphText(saveGraphText(original));
+  const std::map<std::string, std::int64_t> in{{"p", 7}, {"q", 2}, {"r", 9}, {"s", 4}};
+  EXPECT_EQ(evaluateGraph(original, in), evaluateGraph(reloaded, in));
+}
+
+TEST(TextIo, ParsesHandWrittenText) {
+  const Graph g = loadGraphText(R"(# a tiny graph
+graph tiny
+input a 8
+input b 8
+const k 8 -3
+node gt c 1 a b
+node add s 8 a k
+node sub d 8 b k
+node mux m 8 c s d
+output out m
+ctrl c s
+ctrl c d
+)");
+  EXPECT_EQ(g.name(), "tiny");
+  EXPECT_EQ(g.size(), 8u);  // 2 inputs, 1 const, 4 ops, 1 output
+  EXPECT_EQ(g.node(*g.findByName("k")).constValue, -3);
+  EXPECT_EQ(g.controlEdgeCount(), 2u);
+}
+
+TEST(TextIo, ErrorsCarryLineNumbers) {
+  try {
+    (void)loadGraphText("graph x\ninput a 8\nnode add s 8 a missing\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.loc().line, 3u);
+    EXPECT_NE(std::string(e.what()).find("missing"), std::string::npos);
+  }
+}
+
+TEST(TextIo, RejectsMalformedStatements) {
+  EXPECT_THROW((void)loadGraphText("input a 8\n"), ParseError);            // no header
+  EXPECT_THROW((void)loadGraphText("graph x\nfrobnicate y\n"), ParseError);  // keyword
+  EXPECT_THROW((void)loadGraphText("graph x\ninput a\n"), ParseError);     // width missing
+  EXPECT_THROW((void)loadGraphText("graph x\nnode bogus n 8\n"), ParseError);  // kind
+}
+
+}  // namespace
+}  // namespace pmsched

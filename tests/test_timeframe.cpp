@@ -1,0 +1,117 @@
+// Tests for ASAP/ALAP time frames, including the tentative-edge semantics
+// the power-management transform depends on.
+
+#include <gtest/gtest.h>
+
+#include "circuits/circuits.hpp"
+#include "cdfg/analysis.hpp"
+#include "sched/timeframe.hpp"
+
+namespace pmsched {
+namespace {
+
+Graph chain3() {
+  Graph g("chain3");
+  const NodeId a = g.addInput("a");
+  const NodeId b = g.addInput("b");
+  const NodeId x = g.addOp(OpKind::Add, {a, b}, "x");
+  const NodeId y = g.addOp(OpKind::Add, {x, b}, "y");
+  const NodeId z = g.addOp(OpKind::Add, {y, a}, "z");
+  g.addOutput(z, "out");
+  return g;
+}
+
+TEST(TimeFrames, ChainAsapAlap) {
+  const Graph g = chain3();
+  const TimeFrames tf = computeTimeFrames(g, 5);
+  EXPECT_EQ(tf.asap[*g.findByName("x")], 1);
+  EXPECT_EQ(tf.asap[*g.findByName("z")], 3);
+  EXPECT_EQ(tf.alap[*g.findByName("z")], 5);
+  EXPECT_EQ(tf.alap[*g.findByName("x")], 3);
+  EXPECT_EQ(tf.mobility(*g.findByName("x")), 2);
+  EXPECT_TRUE(tf.feasible(g));
+}
+
+TEST(TimeFrames, InfeasibleBelowCriticalPath) {
+  const Graph g = chain3();
+  const TimeFrames tf = computeTimeFrames(g, 2);
+  EXPECT_FALSE(tf.feasible(g));
+  EXPECT_TRUE(tf.firstInfeasible(g).has_value());
+}
+
+TEST(TimeFrames, ZeroStepsRejected) {
+  EXPECT_THROW(computeTimeFrames(chain3(), 0), InfeasibleError);
+}
+
+TEST(TimeFrames, ExtraEdgesTightenFrames) {
+  const Graph g = circuits::absdiff();
+  const NodeId cmp = *g.findByName("a_gt_b");
+  const NodeId sub1 = *g.findByName("a_minus_b");
+
+  const TimeFrames plain = computeTimeFrames(g, 3);
+  EXPECT_EQ(plain.asap[sub1], 1);
+
+  const TimeFrames tightened = computeTimeFrames(g, 3, {{cmp, sub1}});
+  EXPECT_EQ(tightened.asap[sub1], 2);         // after the comparison
+  EXPECT_LE(tightened.alap[cmp], plain.alap[cmp]);
+  EXPECT_TRUE(tightened.feasible(g));
+}
+
+TEST(TimeFrames, ExtraEdgesInfeasibleAtTwoSteps) {
+  // The paper's Figure 1 argument: with 2 steps the comparison cannot
+  // precede the subtractions.
+  const Graph g = circuits::absdiff();
+  const NodeId cmp = *g.findByName("a_gt_b");
+  const TimeFrames tf = computeTimeFrames(
+      g, 2, {{cmp, *g.findByName("a_minus_b")}, {cmp, *g.findByName("b_minus_a")}});
+  EXPECT_FALSE(tf.feasible(g));
+}
+
+TEST(TimeFrames, ExtraEdgeFromLaterCreatedNodePropagates) {
+  // Regression: the tentative edge source can have a LARGER node id than
+  // its target; propagation order must respect the edge anyway.
+  Graph g("regress");
+  const NodeId a = g.addInput("a");
+  const NodeId b = g.addInput("b");
+  const NodeId early = g.addOp(OpKind::Add, {a, b}, "early");  // small id
+  const NodeId late = g.addOp(OpKind::CmpGt, {a, b}, "late");  // larger id
+  const NodeId sink = g.addOp(OpKind::Add, {early, b}, "sink");
+  g.addOutput(sink, "out");
+  g.addOutput(late, "flag");
+
+  const TimeFrames tf = computeTimeFrames(g, 4, {{late, early}});
+  EXPECT_EQ(tf.asap[early], 2);  // must see late's time, not a stale 0
+  EXPECT_EQ(tf.asap[sink], 3);
+}
+
+TEST(TimeFrames, CyclicExtraEdgesThrow) {
+  const Graph g = chain3();
+  const NodeId x = *g.findByName("x");
+  const NodeId z = *g.findByName("z");
+  EXPECT_THROW(computeTimeFrames(g, 5, {{z, x}}), SynthesisError);
+}
+
+TEST(TimeFrames, PaperCircuitsFeasibleAtCriticalPath) {
+  for (const auto& circuit : circuits::paperCircuits()) {
+    const Graph g = circuit.build();
+    const int cp = criticalPathLength(g);
+    EXPECT_TRUE(computeTimeFrames(g, cp).feasible(g)) << circuit.name;
+    EXPECT_FALSE(computeTimeFrames(g, cp - 1).feasible(g)) << circuit.name;
+  }
+}
+
+TEST(TimeFrames, AsapNeverExceedsAlapWithinBudget) {
+  for (const auto& circuit : circuits::paperCircuits()) {
+    const Graph g = circuit.build();
+    const int cp = criticalPathLength(g);
+    const TimeFrames tf = computeTimeFrames(g, cp + 3);
+    for (const NodeId n : g.scheduledNodes()) {
+      EXPECT_GE(tf.asap[n], 1);
+      EXPECT_LE(tf.asap[n], tf.alap[n]);
+      EXPECT_LE(tf.alap[n], cp + 3);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pmsched
