@@ -1,6 +1,11 @@
 // Runtime micro-benchmarks (google-benchmark): cost of the
 // power-management transform and the schedulers as a function of CDFG
 // size, on random layered DFGs and on the paper circuits.
+//
+// BM_ForceDirected (incremental) and BM_ForceDirectedReference (the
+// retained from-scratch algorithm) run on identical graphs, so one
+// --benchmark_format=json dump (see tools/bench_report.sh) records the
+// speedup of the incremental scheduler at every size.
 
 #include <benchmark/benchmark.h>
 
@@ -10,59 +15,24 @@
 #include "sched/list_scheduler.hpp"
 #include "sched/power_transform.hpp"
 #include "sched/shared_gating.hpp"
-#include "support/rng.hpp"
+#include "support/random_dfg.hpp"
 
 namespace {
 
 using namespace pmsched;
 
-/// Random layered DFG with conditionals: `layers` layers of `perLayer`
-/// binary ops; every third op is a mux selected by a fresh comparison.
-Graph randomDfg(int layers, int perLayer, std::uint64_t seed) {
-  Rng rng(seed);
-  Graph g("random_" + std::to_string(layers) + "x" + std::to_string(perLayer));
-  std::vector<NodeId> previous;
-  for (int i = 0; i < perLayer; ++i)
-    previous.push_back(g.addInput("in" + std::to_string(i)));
-
-  int counter = 0;
-  for (int layer = 0; layer < layers; ++layer) {
-    std::vector<NodeId> current;
-    for (int i = 0; i < perLayer; ++i) {
-      const NodeId a = previous[rng.below(previous.size())];
-      const NodeId b = previous[rng.below(previous.size())];
-      const std::string name = "n" + std::to_string(counter++);
-      if (counter % 3 == 0) {
-        const NodeId c = previous[rng.below(previous.size())];
-        const NodeId d = previous[rng.below(previous.size())];
-        const NodeId cmp = g.addOp(OpKind::CmpGt, {c, d}, name + "_c");
-        current.push_back(g.addMux(cmp, a, b, name));
-      } else if (counter % 7 == 0) {
-        current.push_back(g.addOp(OpKind::Mul, {a, b}, name));
-      } else {
-        current.push_back(
-            g.addOp(counter % 2 == 0 ? OpKind::Add : OpKind::Sub, {a, b}, name));
-      }
-    }
-    previous = current;
-  }
-  for (std::size_t i = 0; i < previous.size(); ++i)
-    g.addOutput(previous[i], "out" + std::to_string(i));
-  return g;
-}
-
 void BM_PowerTransform(benchmark::State& state) {
-  const Graph g = randomDfg(static_cast<int>(state.range(0)), 8, 42);
+  const Graph g = randomLayeredDfg(static_cast<int>(state.range(0)), 8, 42);
   const int steps = criticalPathLength(g) + 4;
   for (auto _ : state) {
     benchmark::DoNotOptimize(applyPowerManagement(g, steps));
   }
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_PowerTransform)->RangeMultiplier(2)->Range(4, 32)->Complexity();
+BENCHMARK(BM_PowerTransform)->RangeMultiplier(2)->Range(4, 48)->Complexity();
 
 void BM_SharedGating(benchmark::State& state) {
-  const Graph g = randomDfg(static_cast<int>(state.range(0)), 8, 42);
+  const Graph g = randomLayeredDfg(static_cast<int>(state.range(0)), 8, 42);
   const int steps = criticalPathLength(g) + 4;
   for (auto _ : state) {
     PowerManagedDesign design = applyPowerManagement(g, steps);
@@ -72,7 +42,7 @@ void BM_SharedGating(benchmark::State& state) {
 BENCHMARK(BM_SharedGating)->RangeMultiplier(2)->Range(4, 16);
 
 void BM_ListSchedule(benchmark::State& state) {
-  const Graph g = randomDfg(static_cast<int>(state.range(0)), 8, 42);
+  const Graph g = randomLayeredDfg(static_cast<int>(state.range(0)), 8, 42);
   const int steps = criticalPathLength(g) + 4;
   for (auto _ : state) {
     benchmark::DoNotOptimize(minimizeResources(g, steps));
@@ -81,16 +51,27 @@ void BM_ListSchedule(benchmark::State& state) {
 BENCHMARK(BM_ListSchedule)->RangeMultiplier(2)->Range(4, 32);
 
 void BM_ForceDirected(benchmark::State& state) {
-  const Graph g = randomDfg(static_cast<int>(state.range(0)), 6, 42);
+  const Graph g = randomLayeredDfg(static_cast<int>(state.range(0)), 6, 42);
   const int steps = criticalPathLength(g) + 4;
   for (auto _ : state) {
     benchmark::DoNotOptimize(forceDirectedSchedule(g, steps));
   }
+  state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_ForceDirected)->RangeMultiplier(2)->Range(4, 16);
+BENCHMARK(BM_ForceDirected)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+void BM_ForceDirectedReference(benchmark::State& state) {
+  const Graph g = randomLayeredDfg(static_cast<int>(state.range(0)), 6, 42);
+  const int steps = criticalPathLength(g) + 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forceDirectedScheduleReference(g, steps));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ForceDirectedReference)->RangeMultiplier(2)->Range(4, 64)->Complexity();
 
 void BM_ActivationAnalysis(benchmark::State& state) {
-  const Graph g = randomDfg(static_cast<int>(state.range(0)), 8, 42);
+  const Graph g = randomLayeredDfg(static_cast<int>(state.range(0)), 8, 42);
   const int steps = criticalPathLength(g) + 4;
   PowerManagedDesign design = applyPowerManagement(g, steps);
   applySharedGating(design);

@@ -5,6 +5,25 @@
 
 namespace pmsched {
 
+CsrAdjacency CsrAdjacency::fromRagged(const std::vector<std::vector<NodeId>>& rows) {
+  CsrAdjacency csr;
+  csr.offsets_.resize(rows.size() + 1);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    csr.offsets_[i] = static_cast<std::uint32_t>(total);
+    total += rows[i].size();
+  }
+  csr.offsets_[rows.size()] = static_cast<std::uint32_t>(total);
+  csr.targets_.reserve(total);
+  for (const auto& row : rows) csr.targets_.insert(csr.targets_.end(), row.begin(), row.end());
+  return csr;
+}
+
+void Graph::invalidateCaches() {
+  csrValid_ = false;
+  topoValid_ = false;
+}
+
 NodeId Graph::addNode(Node node) {
   if (node.name.empty()) node.name = freshName(opName(node.kind));
   const auto id = static_cast<NodeId>(nodes_.size());
@@ -17,6 +36,7 @@ NodeId Graph::addNode(Node node) {
   ctrlSucc_.emplace_back();
   ctrlPred_.emplace_back();
   for (const NodeId op : nodes_.back().operands) fanouts_[op].push_back(id);
+  invalidateCaches();
   return id;
 }
 
@@ -102,12 +122,34 @@ void Graph::addControlEdge(NodeId before, NodeId after) {
   ctrlSucc_[before].push_back(after);
   ctrlPred_[after].push_back(before);
   ++ctrlEdgeCount_;
+  invalidateCaches();
 }
 
 void Graph::clearControlEdges() {
   for (auto& v : ctrlSucc_) v.clear();
   for (auto& v : ctrlPred_) v.clear();
   ctrlEdgeCount_ = 0;
+  invalidateCaches();
+}
+
+const CsrAdjacency& Graph::fanoutCsr() const {
+  if (!csrValid_) {
+    fanoutCsr_ = CsrAdjacency::fromRagged(fanouts_);
+    ctrlSuccCsr_ = CsrAdjacency::fromRagged(ctrlSucc_);
+    ctrlPredCsr_ = CsrAdjacency::fromRagged(ctrlPred_);
+    csrValid_ = true;
+  }
+  return fanoutCsr_;
+}
+
+const CsrAdjacency& Graph::controlSuccCsr() const {
+  (void)fanoutCsr();  // builds all three snapshots together
+  return ctrlSuccCsr_;
+}
+
+const CsrAdjacency& Graph::controlPredCsr() const {
+  (void)fanoutCsr();
+  return ctrlPredCsr_;
 }
 
 std::vector<NodeId> Graph::allNodes() const {
@@ -136,7 +178,9 @@ std::optional<NodeId> Graph::findByName(std::string_view name) const {
   return std::nullopt;
 }
 
-std::vector<NodeId> Graph::topoOrder() const {
+std::span<const NodeId> Graph::topoOrderView() const {
+  if (topoValid_) return topoCache_;
+
   std::vector<int> indegree(size(), 0);
   for (NodeId i = 0; i < size(); ++i) {
     indegree[i] += static_cast<int>(nodes_[i].operands.size());
@@ -149,6 +193,7 @@ std::vector<NodeId> Graph::topoOrder() const {
   std::vector<NodeId> order;
   order.reserve(size());
   // Process smallest id first for deterministic order.
+  std::make_heap(ready.begin(), ready.end(), std::greater<>{});
   while (!ready.empty()) {
     std::pop_heap(ready.begin(), ready.end(), std::greater<>{});
     const NodeId n = ready.back();
@@ -165,34 +210,37 @@ std::vector<NodeId> Graph::topoOrder() const {
   }
   if (order.size() != size())
     throw SynthesisError("graph '" + name_ + "' contains a cycle (data+control edges)");
-  return order;
+  topoCache_ = std::move(order);
+  topoValid_ = true;
+  return topoCache_;
 }
 
-std::vector<bool> Graph::transitiveFanin(NodeId id) const {
-  std::vector<bool> seen(size(), false);
-  std::vector<NodeId> stack(nodes_.at(id).operands.begin(), nodes_.at(id).operands.end());
+std::vector<NodeId> Graph::topoOrder() const {
+  const std::span<const NodeId> view = topoOrderView();
+  return std::vector<NodeId>(view.begin(), view.end());
+}
+
+NodeMask Graph::backwardReach(std::span<const NodeId> roots) const {
+  NodeMask seen(size());
+  std::vector<NodeId> stack(roots.begin(), roots.end());
   while (!stack.empty()) {
     const NodeId n = stack.back();
     stack.pop_back();
-    if (seen[n]) continue;
-    seen[n] = true;
-    for (const NodeId p : nodes_[n].operands) stack.push_back(p);
+    if (seen.test(n)) continue;
+    seen.set(n);
+    for (const NodeId p : nodes_[n].operands)
+      if (!seen.test(p)) stack.push_back(p);
   }
   return seen;
 }
 
-std::vector<bool> Graph::operandCone(NodeId id, std::size_t opIndex) const {
-  std::vector<bool> seen(size(), false);
+NodeMask Graph::transitiveFanin(NodeId id) const {
+  return backwardReach(nodes_.at(id).operands);
+}
+
+NodeMask Graph::operandCone(NodeId id, std::size_t opIndex) const {
   const NodeId root = nodes_.at(id).operands.at(opIndex);
-  std::vector<NodeId> stack{root};
-  while (!stack.empty()) {
-    const NodeId n = stack.back();
-    stack.pop_back();
-    if (seen[n]) continue;
-    seen[n] = true;
-    for (const NodeId p : nodes_[n].operands) stack.push_back(p);
-  }
-  return seen;
+  return backwardReach(std::span<const NodeId>(&root, 1));
 }
 
 void Graph::validate() const {
@@ -214,7 +262,7 @@ void Graph::validate() const {
     if (n.kind == OpKind::Output && !fanouts_[i].empty())
       throw SynthesisError("node '" + n.name + "': output has consumers");
   }
-  (void)topoOrder();  // throws on cycles
+  (void)topoOrderView();  // throws on cycles
 }
 
 }  // namespace pmsched

@@ -9,6 +9,15 @@
 //   operand 0 = select signal ("control input" in the paper),
 //   operand 1 = value when select is true  (the paper's "1 input"),
 //   operand 2 = value when select is false (the paper's "0 input").
+//
+// Hot-path views: the schedulers and the power transform traverse the graph
+// many times per run, so the Graph keeps lazily-built, mutation-invalidated
+// caches — CSR (compressed sparse row) copies of the fanout/control
+// adjacency and a topological order. The caches are rebuilt at most once per
+// mutation epoch; any mutation (addNode/addControlEdge/clearControlEdges)
+// invalidates all previously returned CSR references and topo spans. Lazy
+// rebuilding mutates `mutable` members, so concurrent const access from
+// multiple threads is not safe without external synchronization.
 
 #include <cstdint>
 #include <optional>
@@ -16,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "cdfg/node_mask.hpp"
 #include "cdfg/op.hpp"
 #include "support/diagnostics.hpp"
 
@@ -41,6 +51,26 @@ struct Node {
   int width = 8;                   ///< result width in bits (cmp results are 1)
   std::int64_t constValue = 0;     ///< for OpKind::Const
   int shift = 0;                   ///< for OpKind::Wire: >0 right, <0 left
+};
+
+/// One adjacency relation in compressed-sparse-row form: all rows share two
+/// flat arrays, so iterating a row is a pointer walk with no per-node heap
+/// indirection. Snapshots are owned by the Graph and rebuilt lazily.
+class CsrAdjacency {
+ public:
+  [[nodiscard]] std::span<const NodeId> row(NodeId n) const {
+    return std::span<const NodeId>(targets_.data() + offsets_[n],
+                                   targets_.data() + offsets_[n + 1]);
+  }
+  [[nodiscard]] std::size_t rowCount() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  [[nodiscard]] std::size_t edgeCount() const { return targets_.size(); }
+
+  /// Build from ragged per-node adjacency.
+  static CsrAdjacency fromRagged(const std::vector<std::vector<NodeId>>& rows);
+
+ private:
+  std::vector<std::uint32_t> offsets_;  ///< size N+1; row n is [offsets_[n], offsets_[n+1])
+  std::vector<NodeId> targets_;
 };
 
 /// The CDFG plus control (precedence-only) edges.
@@ -88,6 +118,20 @@ class Graph {
   }
   [[nodiscard]] std::size_t controlEdgeCount() const { return ctrlEdgeCount_; }
 
+  // ---- flat views (hot paths) ---------------------------------------------
+  // References stay valid until the next mutation. Built on first use.
+
+  /// CSR snapshot of data fanouts.
+  [[nodiscard]] const CsrAdjacency& fanoutCsr() const;
+  /// CSR snapshot of control-edge successors.
+  [[nodiscard]] const CsrAdjacency& controlSuccCsr() const;
+  /// CSR snapshot of control-edge predecessors.
+  [[nodiscard]] const CsrAdjacency& controlPredCsr() const;
+
+  /// Cached topological order over data + control edges; same order as
+  /// topoOrder() but without the per-call allocation. Throws on a cycle.
+  [[nodiscard]] std::span<const NodeId> topoOrderView() const;
+
   /// All node ids, in insertion order.
   [[nodiscard]] std::vector<NodeId> allNodes() const;
   /// Ids of every node with the given kind.
@@ -105,10 +149,10 @@ class Graph {
   [[nodiscard]] std::vector<NodeId> topoOrder() const;
 
   /// Transitive data fanin of `id` (excluding `id` itself) as a node mask.
-  [[nodiscard]] std::vector<bool> transitiveFanin(NodeId id) const;
+  [[nodiscard]] NodeMask transitiveFanin(NodeId id) const;
   /// Transitive fanin of one operand subtree: everything reachable backwards
   /// from operand `opIndex` of `id` (including that operand node).
-  [[nodiscard]] std::vector<bool> operandCone(NodeId id, std::size_t opIndex) const;
+  [[nodiscard]] NodeMask operandCone(NodeId id, std::size_t opIndex) const;
 
   /// Structural checks: operand counts, widths, acyclicity, name uniqueness.
   /// Throws SynthesisError describing the first violation.
@@ -123,6 +167,8 @@ class Graph {
  private:
   NodeId addNode(Node node);
   [[nodiscard]] std::string freshName(std::string_view stem);
+  void invalidateCaches();
+  [[nodiscard]] NodeMask backwardReach(std::span<const NodeId> roots) const;
 
   std::string name_;
   std::vector<Node> nodes_;
@@ -131,6 +177,14 @@ class Graph {
   std::vector<std::vector<NodeId>> ctrlPred_;
   std::size_t ctrlEdgeCount_ = 0;
   std::size_t nameCounter_ = 0;
+
+  // Lazily-built caches (see the header comment for the invalidation rules).
+  mutable CsrAdjacency fanoutCsr_;
+  mutable CsrAdjacency ctrlSuccCsr_;
+  mutable CsrAdjacency ctrlPredCsr_;
+  mutable bool csrValid_ = false;
+  mutable std::vector<NodeId> topoCache_;
+  mutable bool topoValid_ = false;
 };
 
 }  // namespace pmsched

@@ -1,0 +1,123 @@
+#pragma once
+// NodeMask: a fixed-size bitset over the nodes of one Graph, stored as
+// 64-bit words so that set algebra (cone unions/intersections/differences)
+// runs word-parallel instead of bit-at-a-time like std::vector<bool>.
+//
+// All binary operators require both operands to cover the same node count;
+// this is asserted in debug builds (masks from different graphs are a bug).
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace pmsched {
+
+class NodeMask {
+ public:
+  NodeMask() = default;
+  explicit NodeMask(std::size_t size) : size_(size), words_(wordCount(size), 0) {}
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    assert(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1U;
+  }
+  /// vector<bool>-style read access, so masks drop into existing call sites.
+  [[nodiscard]] bool operator[](std::size_t i) const { return test(i); }
+
+  void set(std::size_t i) {
+    assert(i < size_);
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+  void reset(std::size_t i) {
+    assert(i < size_);
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  void clear() { words_.assign(words_.size(), 0); }
+
+  [[nodiscard]] bool any() const {
+    for (const std::uint64_t w : words_)
+      if (w != 0) return true;
+    return false;
+  }
+  [[nodiscard]] bool none() const { return !any(); }
+
+  [[nodiscard]] std::size_t count() const {
+    std::size_t c = 0;
+    for (const std::uint64_t w : words_) c += static_cast<std::size_t>(std::popcount(w));
+    return c;
+  }
+
+  // ---- word-parallel set algebra -------------------------------------------
+
+  NodeMask& operator|=(const NodeMask& o) {
+    assert(size_ == o.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    return *this;
+  }
+  NodeMask& operator&=(const NodeMask& o) {
+    assert(size_ == o.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    return *this;
+  }
+  NodeMask& operator^=(const NodeMask& o) {
+    assert(size_ == o.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+    return *this;
+  }
+  /// this := this \ o (word-parallel AND-NOT).
+  NodeMask& subtract(const NodeMask& o) {
+    assert(size_ == o.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+    return *this;
+  }
+
+  [[nodiscard]] friend NodeMask operator|(NodeMask a, const NodeMask& b) { return a |= b; }
+  [[nodiscard]] friend NodeMask operator&(NodeMask a, const NodeMask& b) { return a &= b; }
+  [[nodiscard]] friend NodeMask operator^(NodeMask a, const NodeMask& b) { return a ^= b; }
+
+  [[nodiscard]] bool intersects(const NodeMask& o) const {
+    assert(size_ == o.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if (words_[i] & o.words_[i]) return true;
+    return false;
+  }
+
+  [[nodiscard]] bool operator==(const NodeMask& o) const {
+    return size_ == o.size_ && words_ == o.words_;
+  }
+
+  /// Calls f(index) for every set bit, ascending. Word-at-a-time with
+  /// countr_zero, so sparse masks cost O(words + popcount).
+  template <typename F>
+  void forEachSet(F&& f) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const unsigned bit = static_cast<unsigned>(std::countr_zero(w));
+        f((wi << 6) + bit);
+        w &= w - 1;  // clear lowest set bit
+      }
+    }
+  }
+
+  /// Indices of all set bits, ascending.
+  [[nodiscard]] std::vector<std::uint32_t> toVector() const {
+    std::vector<std::uint32_t> out;
+    out.reserve(count());
+    forEachSet([&](std::size_t i) { out.push_back(static_cast<std::uint32_t>(i)); });
+    return out;
+  }
+
+ private:
+  static std::size_t wordCount(std::size_t bits) { return (bits + 63) / 64; }
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace pmsched

@@ -12,7 +12,14 @@ ActivationResult analyzeActivation(const PowerManagedDesign& design) {
   result.totalOps.fill(0);
 
   for (NodeId n = 0; n < g.size(); ++n) {
-    result.probability[n] = dnfProbability(result.condition[n]);
+    // Most nodes are ungated (TRUE) — skip the support enumeration for them.
+    const GateDnf& cond = result.condition[n];
+    if (dnfIsTrue(cond))
+      result.probability[n] = Rational::one();
+    else if (cond.empty())
+      result.probability[n] = Rational::zero();
+    else
+      result.probability[n] = dnfProbability(cond);
 
     const ResourceClass rc = resourceClassOf(g.kind(n));
     if (rc == ResourceClass::None) continue;

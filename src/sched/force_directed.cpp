@@ -1,8 +1,12 @@
 #include "sched/force_directed.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <functional>
 #include <limits>
+#include <queue>
+#include <vector>
 
 #include "sched/timeframe.hpp"
 
@@ -60,9 +64,432 @@ PinnedFrames framesWithPins(const Graph& g, int steps, const std::vector<int>& p
   return f;
 }
 
+// ---------------------------------------------------------------------------
+// Incremental engine.
+//
+// Invariant: after every pinning decision, (asap, alap) equal what
+// framesWithPins(g, steps, pin) would compute from scratch — the frame
+// recurrences have a unique solution on a DAG, so repairing only the nodes
+// whose value actually changes (through a topo-ordered worklist) reaches the
+// same fixed point.
+//
+// The per-candidate forces are pure functions of: the node's own frame, the
+// frames and pin states of its scheduled data neighbours, and the
+// distribution-graph cells inside those frames. We cache each unpinned
+// node's best (force, step) candidate and recompute it only when one of
+// those inputs changed. Recomputation runs the exact floating-point
+// expression sequence of the reference implementation, and the distribution
+// graph itself is rebuilt in reference summation order every iteration
+// (O(V * avgFrame), far off the critical path), so unchanged inputs are
+// bitwise-unchanged and every recomputed force is bit-identical to the
+// reference — incremental and reference schedules match exactly, which
+// tests/test_force_directed_incremental.cpp asserts.
+// ---------------------------------------------------------------------------
+
+class IncrementalForceDirected {
+ public:
+  IncrementalForceDirected(const Graph& g, int steps)
+      : g_(g),
+        steps_(steps),
+        fanoutCsr_(g.fanoutCsr()),
+        ctrlSuccCsr_(g.controlSuccCsr()),
+        ctrlPredCsr_(g.controlPredCsr()),
+        ops_(g.scheduledNodes()) {}
+
+  Schedule run() {
+    if (steps_ <= 0) throw InfeasibleError("force-directed: steps must be positive");
+
+    const std::size_t n = g_.size();
+    pin_.assign(n, 0);
+    rc_.resize(n);
+    scheduled_.resize(n);
+    for (NodeId i = 0; i < n; ++i) {
+      scheduled_[i] = isScheduled(g_.kind(i));
+      rc_[i] = scheduled_[i] ? unitIndex(resourceClassOf(g_.kind(i))) : 0;
+    }
+
+    topoPos_.resize(n);
+    const std::span<const NodeId> order = g_.topoOrderView();
+    for (std::size_t i = 0; i < order.size(); ++i) topoPos_[order[i]] = static_cast<std::uint32_t>(i);
+
+    // Static per-node bitmask of the unit classes its force expression can
+    // read (own class plus scheduled data neighbours'); pinning only shrinks
+    // the true read set, so this stays a sound over-approximation.
+    readsMask_.assign(n, 0);
+    for (const NodeId v : ops_) {
+      std::uint8_t mask = static_cast<std::uint8_t>(1U << rc_[v]);
+      for (const NodeId p : g_.fanins(v))
+        if (scheduled_[p]) mask |= static_cast<std::uint8_t>(1U << rc_[p]);
+      for (const NodeId q : fanoutCsr_.row(v))
+        if (scheduled_[q]) mask |= static_cast<std::uint8_t>(1U << rc_[q]);
+      readsMask_[v] = mask;
+    }
+
+    initialFrames(order);
+    // Feasibility pre-check straight off the initial frames: with unit
+    // latencies they equal computeTimeFrames(), so this matches the
+    // reference's check (first infeasible node in id order) without paying
+    // for a second full frame computation.
+    for (NodeId v = 0; v < n; ++v)
+      if (scheduled_[v] && asap_[v] > alap_[v])
+        throw InfeasibleError("force-directed: node '" + g_.node(v).name +
+                              "' cannot meet " + std::to_string(steps_) + " steps");
+
+    const std::size_t cells = (static_cast<std::size_t>(steps_) + 1) * kNumUnitClasses;
+    dg_.assign(cells, 0.0);
+    prevDg_.assign(cells, 0.0);
+
+    candForce_.assign(n, 0.0);
+    candStep_.assign(n, 0);
+    candValid_.assign(n, 0);
+    inQueue_.assign(n, 0);
+
+    std::size_t pinned = 0;
+    for (std::size_t iter = 0; iter < ops_.size(); ++iter) {
+      // The distribution graph depends only on the frames of scheduled
+      // nodes; when a pin moved none of them (forced placements on the
+      // critical path), the previous dg and every force cache stay exact.
+      if (dgStale_) {
+        rebuildDistribution(iter > 0);
+        if (iter > 0) invalidateByDgDelta();
+        dgStale_ = false;
+      }
+
+      // Global argmin over candidate (node, step) pairs, ops in id order,
+      // strict < so the earliest minimum wins exactly as in the reference.
+      double bestForce = std::numeric_limits<double>::infinity();
+      NodeId bestNode = kInvalidNode;
+      int bestStep = 0;
+      for (const NodeId op : ops_) {
+        if (pin_[op] != 0) continue;
+        if (!candValid_[op]) recomputeCandidate(op);
+        if (candForce_[op] < bestForce) {
+          bestForce = candForce_[op];
+          bestNode = op;
+          bestStep = candStep_[op];
+        }
+      }
+
+      if (bestNode == kInvalidNode) break;  // everything pinned
+      pin_[bestNode] = bestStep;
+      ++pinned;
+      // The reference validates pin k while recomputing frames at iteration
+      // k+1 and never revisits the final pin; mirror that by repairing
+      // frames only while unpinned work remains.
+      if (pinned == ops_.size()) break;
+      repairFrames(bestNode, bestStep);
+    }
+
+    Schedule sched(g_, steps_);
+    for (const NodeId op : ops_) sched.place(op, pin_[op]);
+    sched.validate(g_);
+    return sched;
+  }
+
+ private:
+  [[nodiscard]] double& dgAt(std::vector<double>& dg, int step, std::size_t rc) const {
+    return dg[static_cast<std::size_t>(step) * kNumUnitClasses + rc];
+  }
+
+  void initialFrames(std::span<const NodeId> order) {
+    asap_.assign(g_.size(), 0);
+    alap_.assign(g_.size(), steps_);
+    for (const NodeId v : order) {
+      int avail = 0;
+      for (const NodeId p : g_.fanins(v)) avail = std::max(avail, asap_[p]);
+      for (const NodeId p : ctrlPredCsr_.row(v)) avail = std::max(avail, asap_[p]);
+      asap_[v] = scheduled_[v] ? avail + 1 : avail;
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const NodeId v = *it;
+      int latest = steps_;
+      auto relax = [&](NodeId s) {
+        latest = std::min(latest, scheduled_[s] ? alap_[s] - 1 : alap_[s]);
+      };
+      for (const NodeId s : fanoutCsr_.row(v)) relax(s);
+      for (const NodeId s : ctrlSuccCsr_.row(v)) relax(s);
+      alap_[v] = latest;
+    }
+  }
+
+  /// Rebuild the per-class distribution graph in the reference's summation
+  /// order; when `diff` is set, record the per-class step hull of cells whose
+  /// value changed since the previous iteration.
+  void rebuildDistribution(bool diff) {
+    std::swap(dg_, prevDg_);
+    std::fill(dg_.begin(), dg_.end(), 0.0);
+    for (const NodeId v : ops_) {
+      const int lo = asap_[v];
+      const int hi = alap_[v];
+      const double p = 1.0 / (hi - lo + 1);
+      for (int s = lo; s <= hi; ++s) dgAt(dg_, s, rc_[v]) += p;
+    }
+    for (auto& hull : dgChanged_) hull = {1, 0};  // empty
+    if (!diff) return;
+    for (int s = 0; s <= steps_; ++s)
+      for (std::size_t rc = 0; rc < kNumUnitClasses; ++rc)
+        if (dgAt(dg_, s, rc) != dgAt(prevDg_, s, rc)) {
+          auto& hull = dgChanged_[rc];
+          if (hull.first > hull.second) hull = {s, s};
+          else hull.second = s;
+        }
+  }
+
+  [[nodiscard]] bool dgTouched(std::size_t rc, int lo, int hi) const {
+    const auto& hull = dgChanged_[rc];
+    return hull.first <= hull.second && lo <= hull.second && hi >= hull.first;
+  }
+
+  /// Drop cached candidates whose force reads a distribution-graph cell that
+  /// changed this iteration — either directly (own frame) or through the
+  /// neighbour terms (a scheduled unpinned neighbour's frame).
+  void invalidateByDgDelta() {
+    std::uint8_t changedClasses = 0;
+    for (std::size_t rc = 0; rc < kNumUnitClasses; ++rc)
+      if (dgChanged_[rc].first <= dgChanged_[rc].second)
+        changedClasses |= static_cast<std::uint8_t>(1U << rc);
+    if (changedClasses == 0) return;
+    for (const NodeId v : ops_) {
+      if (pin_[v] != 0 || !candValid_[v]) continue;
+      if ((readsMask_[v] & changedClasses) == 0) continue;
+      if (dgTouched(rc_[v], asap_[v], alap_[v])) {
+        candValid_[v] = 0;
+        continue;
+      }
+      bool dirty = false;
+      for (const NodeId p : g_.fanins(v)) {
+        if (scheduled_[p] && pin_[p] == 0 && dgTouched(rc_[p], asap_[p], alap_[p])) {
+          dirty = true;
+          break;
+        }
+      }
+      if (!dirty) {
+        for (const NodeId q : fanoutCsr_.row(v)) {
+          if (scheduled_[q] && pin_[q] == 0 && dgTouched(rc_[q], asap_[q], alap_[q])) {
+            dirty = true;
+            break;
+          }
+        }
+      }
+      if (dirty) candValid_[v] = 0;
+    }
+  }
+
+  /// Best (force, step) for an unpinned node; the exact inner loops of the
+  /// reference implementation, evaluated in the same order.
+  void recomputeCandidate(NodeId v) {
+    const std::size_t rc = rc_[v];
+    const int lo = asap_[v];
+    const int hi = alap_[v];
+    if (lo == hi) {
+      // Forced placement; treat as zero-force so it is pinned first.
+      candForce_[v] = -1e30;
+      candStep_[v] = lo;
+      candValid_[v] = 1;
+      return;
+    }
+
+    double bestForce = std::numeric_limits<double>::infinity();
+    int bestStep = 0;
+    const double pOld = 1.0 / (hi - lo + 1);
+    for (int s = lo; s <= hi; ++s) {
+      // Self force of assigning v to s: sum_t DG(t) * (delta(s,t) - pOld).
+      double force = 0;
+      for (int t = lo; t <= hi; ++t) {
+        const double dp = (t == s ? 1.0 : 0.0) - pOld;
+        force += dg_[static_cast<std::size_t>(t) * kNumUnitClasses + rc] * dp;
+      }
+      // Predecessor/successor forces: restricting v to s truncates
+      // neighbouring frames; approximate with the same-class DG change of
+      // direct scheduled neighbours (standard first-order approximation).
+      auto neighbourForce = [&](NodeId m, int newLo, int newHi) {
+        const int mLo = asap_[m];
+        const int mHi = alap_[m];
+        const int cLo = std::max(mLo, newLo);
+        const int cHi = std::min(mHi, newHi);
+        if (cLo > cHi || (cLo == mLo && cHi == mHi)) return 0.0;
+        const std::size_t mrc = rc_[m];
+        const double was = 1.0 / (mHi - mLo + 1);
+        const double now = 1.0 / (cHi - cLo + 1);
+        double nf = 0;
+        for (int t = mLo; t <= mHi; ++t) {
+          const double dp = (t >= cLo && t <= cHi ? now : 0.0) - was;
+          nf += dg_[static_cast<std::size_t>(t) * kNumUnitClasses + mrc] * dp;
+        }
+        return nf;
+      };
+      for (const NodeId p : g_.fanins(v))
+        if (scheduled_[p] && pin_[p] == 0) force += neighbourForce(p, 1, s - 1);
+      for (const NodeId q : fanoutCsr_.row(v))
+        if (scheduled_[q] && pin_[q] == 0) force += neighbourForce(q, s + 1, steps_);
+
+      if (force < bestForce) {
+        bestForce = force;
+        bestStep = s;
+      }
+    }
+    candForce_[v] = bestForce;
+    candStep_[v] = bestStep;
+    candValid_[v] = 1;
+  }
+
+  void markFrameChanged(NodeId v) {
+    if (!frameChangedFlag_[v]) {
+      frameChangedFlag_[v] = 1;
+      frameChanged_.push_back(v);
+    }
+  }
+
+  /// Repair asap/alap after pinning `b` to `step`, touching only nodes whose
+  /// value changes; then invalidate the force caches that depended on the
+  /// changed frames or on b's pin state.
+  void repairFrames(NodeId b, int step) {
+    frameChanged_.clear();
+    frameChangedFlag_.assign(g_.size(), 0);
+
+    // Forward pass: pins only raise ASAPs; propagate in topological order so
+    // every node is recomputed at most once from final predecessor values.
+    using MinItem = std::pair<std::uint32_t, NodeId>;
+    std::priority_queue<MinItem, std::vector<MinItem>, std::greater<MinItem>> fwd;
+    auto pushSuccs = [&](NodeId v) {
+      for (const NodeId s : fanoutCsr_.row(v)) enqueue(fwd, s);
+      for (const NodeId s : ctrlSuccCsr_.row(v)) enqueue(fwd, s);
+    };
+    if (asap_[b] != step) {
+      asap_[b] = step;
+      markFrameChanged(b);
+      pushSuccs(b);
+    }
+    while (!fwd.empty()) {
+      const NodeId v = fwd.top().second;
+      fwd.pop();
+      inQueue_[v] = 0;
+      int avail = 0;
+      for (const NodeId p : g_.fanins(v)) avail = std::max(avail, asap_[p]);
+      for (const NodeId p : ctrlPredCsr_.row(v)) avail = std::max(avail, asap_[p]);
+      int value;
+      if (scheduled_[v]) {
+        value = avail + 1;
+        if (pin_[v] != 0) {
+          if (pin_[v] < value)
+            throw InfeasibleError("force-directed: pin below ASAP for '" + g_.node(v).name + "'");
+          value = pin_[v];
+        }
+      } else {
+        value = avail;
+      }
+      if (value != asap_[v]) {
+        asap_[v] = value;
+        markFrameChanged(v);
+        pushSuccs(v);
+      }
+    }
+
+    // Backward pass: pins only lower ALAPs; reverse topological order.
+    using MaxItem = std::pair<std::uint32_t, NodeId>;
+    std::priority_queue<MaxItem> bwd;
+    auto pushPreds = [&](NodeId v) {
+      for (const NodeId p : g_.fanins(v)) enqueue(bwd, p);
+      for (const NodeId p : ctrlPredCsr_.row(v)) enqueue(bwd, p);
+    };
+    if (alap_[b] != step) {
+      alap_[b] = step;
+      markFrameChanged(b);
+      pushPreds(b);
+    }
+    while (!bwd.empty()) {
+      const NodeId v = bwd.top().second;
+      bwd.pop();
+      inQueue_[v] = 0;
+      int latest = steps_;
+      auto relax = [&](NodeId s) {
+        latest = std::min(latest, scheduled_[s] ? alap_[s] - 1 : alap_[s]);
+      };
+      for (const NodeId s : fanoutCsr_.row(v)) relax(s);
+      for (const NodeId s : ctrlSuccCsr_.row(v)) relax(s);
+      int value;
+      if (scheduled_[v]) {
+        value = latest;
+        if (pin_[v] != 0) {
+          if (pin_[v] > value)
+            throw InfeasibleError("force-directed: pin above ALAP for '" + g_.node(v).name + "'");
+          value = pin_[v];
+        }
+      } else {
+        value = latest;
+      }
+      if (value != alap_[v]) {
+        alap_[v] = value;
+        markFrameChanged(v);
+        pushPreds(v);
+      }
+    }
+
+    // A changed frame dirties the node's own candidate and every scheduled
+    // data neighbour's (their neighbour terms read it). Forces never read a
+    // transparent node's frame, so those only matter as propagation relays.
+    // The new pin dirties b's neighbours even when no frame moved (they
+    // drop b's term).
+    auto invalidateAround = [&](NodeId v) {
+      candValid_[v] = 0;
+      for (const NodeId p : g_.fanins(v))
+        if (scheduled_[p]) candValid_[p] = 0;
+      for (const NodeId q : fanoutCsr_.row(v))
+        if (scheduled_[q]) candValid_[q] = 0;
+    };
+    bool scheduledFrameMoved = false;
+    for (const NodeId v : frameChanged_) {
+      if (!scheduled_[v]) continue;
+      scheduledFrameMoved = true;
+      invalidateAround(v);
+    }
+    invalidateAround(b);
+    if (scheduledFrameMoved) dgStale_ = true;
+  }
+
+  template <typename Queue>
+  void enqueue(Queue& q, NodeId v) {
+    if (inQueue_[v]) return;
+    inQueue_[v] = 1;
+    q.emplace(topoPos_[v], v);
+  }
+
+  const Graph& g_;
+  const int steps_;
+  const CsrAdjacency& fanoutCsr_;
+  const CsrAdjacency& ctrlSuccCsr_;
+  const CsrAdjacency& ctrlPredCsr_;
+  const std::vector<NodeId> ops_;
+
+  std::vector<int> pin_;
+  std::vector<int> asap_;
+  std::vector<int> alap_;
+  std::vector<std::size_t> rc_;
+  std::vector<char> scheduled_;
+  std::vector<std::uint32_t> topoPos_;
+
+  std::vector<double> dg_;
+  std::vector<double> prevDg_;
+  std::array<std::pair<int, int>, kNumUnitClasses> dgChanged_{};
+  std::vector<std::uint8_t> readsMask_;
+  bool dgStale_ = true;
+
+  std::vector<double> candForce_;
+  std::vector<int> candStep_;
+  std::vector<char> candValid_;
+
+  std::vector<NodeId> frameChanged_;
+  std::vector<char> frameChangedFlag_;
+  std::vector<char> inQueue_;
+};
+
 }  // namespace
 
 Schedule forceDirectedSchedule(const Graph& g, int steps) {
+  return IncrementalForceDirected(g, steps).run();
+}
+
+Schedule forceDirectedScheduleReference(const Graph& g, int steps) {
   const std::vector<NodeId> ops = g.scheduledNodes();
   std::vector<int> pin(g.size(), 0);
 

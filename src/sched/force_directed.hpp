@@ -3,6 +3,19 @@
 // minimum-resource scheduler HYPER-style flows use. We provide it alongside
 // the list scheduler so the power-management transform can be validated
 // against two independent scheduling engines.
+//
+// Two implementations with identical output:
+//
+//  * forceDirectedSchedule — incremental. After each pinning decision the
+//    ASAP/ALAP frames are repaired through an affected-node worklist (instead
+//    of re-running the full longest-path recurrences), and per-node candidate
+//    forces are cached and recomputed only when an input that feeds them (own
+//    frame, a neighbour's frame or pin state, or a distribution-graph cell in
+//    a read interval) actually changed.
+//
+//  * forceDirectedScheduleReference — the original O(iters * V * frame^2)
+//    from-scratch algorithm, retained as the executable specification. The
+//    incremental scheduler is tested to produce bit-identical schedules.
 
 #include "cdfg/graph.hpp"
 #include "sched/schedule.hpp"
@@ -15,5 +28,9 @@ namespace pmsched {
 /// Respects data and control edges. Throws InfeasibleError when the step
 /// budget is below the critical path.
 [[nodiscard]] Schedule forceDirectedSchedule(const Graph& g, int steps);
+
+/// From-scratch reference implementation; same results, asymptotically
+/// slower. Kept for differential tests and perf-trajectory benchmarks.
+[[nodiscard]] Schedule forceDirectedScheduleReference(const Graph& g, int steps);
 
 }  // namespace pmsched

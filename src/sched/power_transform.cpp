@@ -41,61 +41,74 @@ bool anyScheduled(const Graph& g, const std::vector<NodeId>& nodes) {
 
 /// One side's gated set: start from the exclusive cone and shrink to the
 /// nodes whose every data fanout stays inside the set (or is the mux).
-std::vector<NodeId> gatedSide(const Graph& g, NodeId mux, const std::vector<bool>& coneSide,
-                              const std::vector<bool>& coneOther,
-                              const std::vector<bool>& coneSel) {
-  std::vector<bool> in(g.size(), false);
-  for (NodeId n = 0; n < g.size(); ++n) {
-    if (!coneSide[n] || coneOther[n] || coneSel[n]) continue;
-    const OpKind k = g.kind(n);
-    if (k == OpKind::Input || k == OpKind::Const || k == OpKind::Output) continue;
-    in[n] = true;
-  }
-  // Fixed point: drop nodes with a fanout escaping (set ∪ {mux}); a removal
-  // can expose its producers, so iterate until stable.
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (NodeId n = 0; n < g.size(); ++n) {
-      if (!in[n]) continue;
-      for (const NodeId f : g.fanouts(n)) {
-        if (f == mux || in[f]) continue;
-        in[n] = false;
-        changed = true;
-        break;
-      }
+std::vector<NodeId> gatedSide(const Graph& g, NodeId mux, const NodeMask& coneSide,
+                              const NodeMask& coneOther, const NodeMask& coneSel) {
+  // Exclusive cone, word-parallel: side \ other \ select.
+  NodeMask in = coneSide;
+  in.subtract(coneOther);
+  in.subtract(coneSel);
+  std::vector<NodeId> members;
+  in.forEachSet([&](std::size_t n) {
+    const OpKind k = g.kind(static_cast<NodeId>(n));
+    if (k == OpKind::Input || k == OpKind::Const || k == OpKind::Output)
+      in.reset(n);
+    else
+      members.push_back(static_cast<NodeId>(n));
+  });
+  // Greatest fixed point: drop nodes with a fanout escaping (set ∪ {mux});
+  // a removal can expose its producers, so recheck them via a worklist.
+  const CsrAdjacency& fanouts = g.fanoutCsr();
+  std::vector<NodeId> work = members;
+  while (!work.empty()) {
+    const NodeId n = work.back();
+    work.pop_back();
+    if (!in.test(n)) continue;
+    for (const NodeId f : fanouts.row(n)) {
+      if (f == mux || in.test(f)) continue;
+      in.reset(n);
+      for (const NodeId p : g.fanins(n))
+        if (in.test(p)) work.push_back(p);
+      break;
     }
   }
-  std::vector<NodeId> out;
-  for (NodeId n = 0; n < g.size(); ++n)
-    if (in[n]) out.push_back(n);
-  return out;
+  return in.toVector();
 }
 
 /// Scheduled members of `set` with no scheduled in-set ancestor (looking
 /// through in-set wires): the targets of the paper's control edges.
+///
+/// Data operands always have smaller ids than their consumers, so ascending
+/// id is a topological order for the backward reachability flags — one pass
+/// instead of a fresh DFS (with an O(V) visited array) per member.
 std::vector<NodeId> topNodes(const Graph& g, const std::vector<NodeId>& set) {
-  std::vector<bool> in(g.size(), false);
-  for (const NodeId n : set) in[n] = true;
+  NodeMask in(g.size());
+  for (const NodeId n : set) in.set(n);
+
+  // reach[p] = a scheduled in-set node is backward-reachable from p
+  // (inclusive) through in-set nodes.
+  NodeMask reach(g.size());
+  for (const NodeId n : set) {  // ascending ids = data-topological
+    if (isScheduled(g.kind(n))) {
+      reach.set(n);
+      continue;
+    }
+    for (const NodeId p : g.fanins(n)) {
+      if (in.test(p) && reach.test(p)) {
+        reach.set(n);
+        break;
+      }
+    }
+  }
 
   std::vector<NodeId> tops;
   for (const NodeId n : set) {
     if (!isScheduled(g.kind(n))) continue;
-    // DFS backwards staying inside the set; finding any scheduled in-set
-    // ancestor disqualifies n.
     bool hasAncestor = false;
-    std::vector<NodeId> stack(g.fanins(n).begin(), g.fanins(n).end());
-    std::vector<bool> seen(g.size(), false);
-    while (!stack.empty() && !hasAncestor) {
-      const NodeId p = stack.back();
-      stack.pop_back();
-      if (seen[p] || !in[p]) continue;
-      seen[p] = true;
-      if (isScheduled(g.kind(p))) {
+    for (const NodeId p : g.fanins(n)) {
+      if (in.test(p) && reach.test(p)) {
         hasAncestor = true;
         break;
       }
-      for (const NodeId q : g.fanins(p)) stack.push_back(q);
     }
     if (!hasAncestor) tops.push_back(n);
   }
@@ -146,9 +159,9 @@ NodeId traceSelectProducer(const Graph& g, NodeId mux) {
 
 GatedSets computeGatedSets(const Graph& g, NodeId mux) {
   if (g.kind(mux) != OpKind::Mux) throw SynthesisError("computeGatedSets: not a mux");
-  const std::vector<bool> coneSel = g.operandCone(mux, 0);
-  const std::vector<bool> coneT = g.operandCone(mux, 1);
-  const std::vector<bool> coneF = g.operandCone(mux, 2);
+  const NodeMask coneSel = g.operandCone(mux, 0);
+  const NodeMask coneT = g.operandCone(mux, 1);
+  const NodeMask coneF = g.operandCone(mux, 2);
 
   GatedSets sets;
   sets.gatedTrue = gatedSide(g, mux, coneT, coneF, coneSel);
@@ -180,7 +193,7 @@ std::vector<GateDnf> resolveActivationConditions(const PowerManagedDesign& desig
 
   // A node is gated only by muxes downstream of it, so resolving in reverse
   // topological order guarantees every gating mux is finished first.
-  const std::vector<NodeId> order = g.topoOrder();
+  const std::span<const NodeId> order = g.topoOrderView();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const NodeId n = *it;
     if (!design.sharedGating[n].empty()) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <unordered_map>
 
 namespace pmsched {
 
@@ -15,6 +16,8 @@ class SharedGatingPass {
   }
 
   int run() {
+    // Copy the order up front: tryGate() adds control edges, which would
+    // invalidate a borrowed topoOrderView() span mid-iteration.
     const std::vector<NodeId> order = g_.topoOrder();
     int gated = 0;
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
@@ -105,9 +108,11 @@ class SharedGatingPass {
     for (const NodeId sel : support) {
       if (sel == n) return false;
       if (!isScheduled(g_.kind(sel))) continue;  // PI-driven select: free
-      // A select downstream of n would make the edge cyclic.
-      const std::vector<bool> fanin = g_.transitiveFanin(sel);
-      if (fanin[n]) return false;
+      // A select downstream of n would make the edge cyclic. The same few
+      // selects recur across the whole pass, and transitive fanin follows
+      // data edges only (control edges added by earlier gatings cannot
+      // change it), so the masks are computed once and cached.
+      if (faninOf(sel).test(n)) return false;
     }
 
     std::vector<std::pair<NodeId, NodeId>> tentative;
@@ -123,10 +128,18 @@ class SharedGatingPass {
     return true;
   }
 
+  /// Memoized data-edge transitive fanin of a select node.
+  const NodeMask& faninOf(NodeId sel) {
+    auto [it, inserted] = faninCache_.try_emplace(sel);
+    if (inserted) it->second = g_.transitiveFanin(sel);
+    return it->second;
+  }
+
   PowerManagedDesign& design_;
   Graph& g_;
   std::vector<std::optional<GateDnf>> cond_;
   std::vector<std::optional<GateDnf>> need_;
+  std::unordered_map<NodeId, NodeMask> faninCache_;
 };
 
 }  // namespace

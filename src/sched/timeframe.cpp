@@ -80,13 +80,17 @@ TimeFrames computeTimeFrames(const Graph& g, int steps,
   // consumer starts (transparent consumers relay a ready-time deadline).
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const NodeId n = *it;
-    const int latencyN = isScheduled(g.kind(n)) ? model.latencyOf(g.kind(n)) : 0;
-    int latest = isScheduled(g.kind(n)) ? steps - latencyN + 1 : steps;
+    const bool schedN = isScheduled(g.kind(n));
+    const int latencyN = schedN ? model.latencyOf(g.kind(n)) : 0;
+    int latest = schedN ? steps - latencyN + 1 : steps;
     auto relax = [&](NodeId s) {
       if (isScheduled(g.kind(s))) {
         // n must be ready (asap-style) before consumer s starts:
-        // start(n) + latencyN - 1 <= start(s) - 1.
-        latest = std::min(latest, tf.alap[s] - latencyN);
+        // scheduled n: start(n) + latencyN - 1 <= start(s) - 1;
+        // transparent n: its value (a ready time) must exist a step before
+        // s starts, i.e. by start(s) - 1 — not start(s), which would let a
+        // producer behind a wire start in its consumer's step.
+        latest = std::min(latest, schedN ? tf.alap[s] - latencyN : tf.alap[s] - 1);
       } else {
         // Transparent consumer relays a "value ready by" deadline.
         latest = std::min(latest, tf.alap[s] - (latencyN > 0 ? latencyN - 1 : 0));

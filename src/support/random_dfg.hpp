@@ -1,0 +1,16 @@
+#pragma once
+// Seeded random layered DFGs, shared by the scheduler stress tests and the
+// perf benchmarks so both exercise identical graph populations.
+
+#include <cstdint>
+
+#include "cdfg/graph.hpp"
+
+namespace pmsched {
+
+/// Random layered DFG with conditionals: `layers` layers of `perLayer`
+/// binary ops; every third op is a mux selected by a fresh comparison and
+/// every seventh a multiply. Deterministic in (layers, perLayer, seed).
+[[nodiscard]] Graph randomLayeredDfg(int layers, int perLayer, std::uint64_t seed);
+
+}  // namespace pmsched

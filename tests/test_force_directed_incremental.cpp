@@ -1,0 +1,108 @@
+// Differential tests: the incremental force-directed scheduler must produce
+// bit-identical schedules to the retained from-scratch reference — on the
+// paper circuits, on seeded random DFGs, and on power-managed graphs whose
+// control edges constrain the frames.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cdfg/analysis.hpp"
+#include "circuits/circuits.hpp"
+#include "sched/force_directed.hpp"
+#include "sched/power_transform.hpp"
+#include "support/random_dfg.hpp"
+
+namespace pmsched {
+namespace {
+
+/// Every built-in circuit: the four paper benchmarks plus the extra HLS
+/// workloads (cordic, diffeq, fir8, arf, ewf).
+std::vector<Graph> allCircuits() {
+  std::vector<Graph> out;
+  for (const auto& entry : circuits::paperCircuits()) out.push_back(entry.build());
+  out.push_back(circuits::cordic());
+  out.push_back(circuits::diffeq());
+  out.push_back(circuits::fir8());
+  out.push_back(circuits::arf());
+  out.push_back(circuits::ewf());
+  return out;
+}
+
+void expectIdenticalSchedules(const Graph& g, int steps, const std::string& what) {
+  const Schedule fast = forceDirectedSchedule(g, steps);
+  const Schedule ref = forceDirectedScheduleReference(g, steps);
+  ASSERT_EQ(fast.steps(), ref.steps()) << what;
+  for (const NodeId n : g.scheduledNodes())
+    ASSERT_EQ(fast.stepOf(n), ref.stepOf(n))
+        << what << ": node '" << g.node(n).name << "' diverges";
+}
+
+TEST(ForceDirectedIncremental, PaperCircuitsAtSeveralBudgets) {
+  for (const Graph& g : allCircuits()) {
+    const int cp = criticalPathLength(g);
+    for (const int slack : {0, 2, 5}) {
+      expectIdenticalSchedules(g, cp + slack,
+                               g.name() + " @" + std::to_string(cp + slack) + " steps");
+    }
+  }
+}
+
+TEST(ForceDirectedIncremental, PaperCircuitsWithPowerManagement) {
+  // Control edges inserted by the transform reshape the frames; the
+  // incremental repair must follow them exactly like the reference.
+  for (const Graph& g : allCircuits()) {
+    const int steps = criticalPathLength(g) + 2;
+    const PowerManagedDesign design = applyPowerManagement(g, steps);
+    expectIdenticalSchedules(design.graph, steps, g.name() + " (power-managed)");
+  }
+}
+
+TEST(ForceDirectedIncremental, TwentyFiveSeededRandomDfgs) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const int layers = 3 + static_cast<int>(seed % 7);
+    const int perLayer = 3 + static_cast<int>(seed % 5);
+    const Graph g = randomLayeredDfg(layers, perLayer, seed);
+    const int cp = criticalPathLength(g);
+    for (const int slack : {1, 4}) {
+      expectIdenticalSchedules(g, cp + slack, g.name() + " seed " + std::to_string(seed) +
+                                                  " @" + std::to_string(cp + slack));
+    }
+  }
+}
+
+TEST(ForceDirectedIncremental, RandomDfgsWithControlEdges) {
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    const Graph g = randomLayeredDfg(5, 4, seed);
+    const int steps = criticalPathLength(g) + 3;
+    const PowerManagedDesign design = applyPowerManagement(g, steps);
+    expectIdenticalSchedules(design.graph, steps,
+                             "managed seed " + std::to_string(seed));
+  }
+}
+
+TEST(ForceDirectedIncremental, LargeDfgMatchesReference) {
+  // One deep instance of the benchmark population, where the worklists and
+  // force caches are exercised across hundreds of pinning iterations.
+  const Graph g = randomLayeredDfg(24, 6, 42);
+  expectIdenticalSchedules(g, criticalPathLength(g) + 4, "random_24x6");
+}
+
+TEST(ForceDirectedIncremental, InfeasibleBudgetThrowsLikeReference) {
+  const Graph g = circuits::absdiff();
+  const int cp = criticalPathLength(g);
+  EXPECT_THROW((void)forceDirectedSchedule(g, cp - 1), InfeasibleError);
+  EXPECT_THROW((void)forceDirectedScheduleReference(g, cp - 1), InfeasibleError);
+}
+
+TEST(ForceDirectedIncremental, SchedulesStayValidUnderTightBudget) {
+  for (const Graph& g : allCircuits()) {
+    const int cp = criticalPathLength(g);
+    const Schedule s = forceDirectedSchedule(g, cp);  // zero slack
+    s.validate(g);                                    // throws on violation
+    EXPECT_EQ(s.steps(), cp);
+  }
+}
+
+}  // namespace
+}  // namespace pmsched

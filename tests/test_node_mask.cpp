@@ -1,0 +1,98 @@
+// Unit tests for NodeMask, the word-parallel bitset behind the cone and
+// reachability computations.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cdfg/node_mask.hpp"
+
+namespace pmsched {
+namespace {
+
+TEST(NodeMask, StartsEmpty) {
+  const NodeMask m(200);
+  EXPECT_EQ(m.size(), 200u);
+  EXPECT_TRUE(m.none());
+  EXPECT_FALSE(m.any());
+  EXPECT_EQ(m.count(), 0u);
+  for (std::size_t i = 0; i < 200; ++i) EXPECT_FALSE(m[i]);
+}
+
+TEST(NodeMask, SetResetAcrossWordBoundaries) {
+  NodeMask m(130);
+  for (const std::size_t i : {0u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+    m.set(i);
+    EXPECT_TRUE(m.test(i));
+  }
+  EXPECT_EQ(m.count(), 7u);
+  m.reset(64);
+  EXPECT_FALSE(m.test(64));
+  EXPECT_TRUE(m.test(63));
+  EXPECT_TRUE(m.test(65));
+  EXPECT_EQ(m.count(), 6u);
+  m.clear();
+  EXPECT_TRUE(m.none());
+}
+
+TEST(NodeMask, WordParallelAlgebra) {
+  NodeMask a(100), b(100);
+  a.set(1);
+  a.set(64);
+  a.set(99);
+  b.set(64);
+  b.set(2);
+
+  const NodeMask u = a | b;
+  EXPECT_EQ(u.count(), 4u);
+  EXPECT_TRUE(u.test(1) && u.test(2) && u.test(64) && u.test(99));
+
+  const NodeMask i = a & b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(64));
+
+  NodeMask d = a;
+  d.subtract(b);
+  EXPECT_EQ(d.count(), 2u);
+  EXPECT_TRUE(d.test(1) && d.test(99));
+  EXPECT_FALSE(d.test(64));
+
+  const NodeMask x = a ^ b;
+  EXPECT_EQ(x.count(), 3u);
+  EXPECT_FALSE(x.test(64));
+}
+
+TEST(NodeMask, Intersects) {
+  NodeMask a(70), b(70);
+  a.set(69);
+  EXPECT_FALSE(a.intersects(b));
+  b.set(69);
+  EXPECT_TRUE(a.intersects(b));
+  b.reset(69);
+  b.set(3);
+  EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(NodeMask, ForEachSetAscendingAndToVector) {
+  NodeMask m(256);
+  const std::vector<std::uint32_t> expected{0, 5, 63, 64, 128, 200, 255};
+  for (const auto i : expected) m.set(i);
+
+  std::vector<std::uint32_t> seen;
+  m.forEachSet([&](std::size_t i) { seen.push_back(static_cast<std::uint32_t>(i)); });
+  EXPECT_EQ(seen, expected);
+  EXPECT_EQ(m.toVector(), expected);
+}
+
+TEST(NodeMask, Equality) {
+  NodeMask a(64), b(64), c(65);
+  EXPECT_TRUE(a == b);
+  a.set(10);
+  EXPECT_FALSE(a == b);
+  b.set(10);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);  // different sizes never compare equal
+}
+
+}  // namespace
+}  // namespace pmsched

@@ -100,6 +100,27 @@ TEST(TimeFrames, PaperCircuitsFeasibleAtCriticalPath) {
   }
 }
 
+TEST(TimeFrames, WireChainAlapLeavesRoomForTheConsumer) {
+  // Regression: a producer feeding a scheduled consumer *through a wire*
+  // must still finish strictly before the consumer starts. The backward
+  // pass used to relay the consumer's start step unshifted through the
+  // transparent node, letting alap(producer) == alap(consumer).
+  Graph g("wire_chain");
+  const NodeId i1 = g.addInput("i1");
+  const NodeId i2 = g.addInput("i2");
+  const NodeId a = g.addOp(OpKind::Add, {i1, i2}, "a");
+  const NodeId w = g.addWire(a, 1, "w");
+  const NodeId b = g.addOp(OpKind::Add, {w, i2}, "b");
+  g.addOutput(b, "out");
+
+  const TimeFrames tf = computeTimeFrames(g, 3);
+  EXPECT_EQ(tf.asap[a], 1);
+  EXPECT_EQ(tf.alap[b], 3);
+  EXPECT_EQ(tf.alap[w], 2);  // value must exist before b starts
+  EXPECT_EQ(tf.alap[a], 2);  // a cannot share b's latest step
+  EXPECT_EQ(tf.asap[b], 2);  // forward pass already enforced strictness
+}
+
 TEST(TimeFrames, AsapNeverExceedsAlapWithinBudget) {
   for (const auto& circuit : circuits::paperCircuits()) {
     const Graph g = circuit.build();

@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# Run the google-benchmark suite and record the result as BENCH_PR<n>.json
+# at the repo root, so every PR leaves a perf-trajectory data point.
+#
+# Usage: tools/bench_report.sh <bench_perf-binary> [repo-root] [filter]
+#
+# The output index is one past the highest existing BENCH_PR<n>.json, so
+# re-running inside one PR overwrites nothing; delete stale files if you
+# want a clean slate. Invoked by the `bench_report` CMake target.
+
+set -eu
+
+BENCH_BIN=${1:?usage: bench_report.sh <bench_perf-binary> [repo-root] [filter]}
+ROOT=${2:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+FILTER=${3:-}
+
+# One past the highest existing index (never fill gaps left by deleted
+# snapshots, so the sequence stays chronological).
+max=0
+for f in "$ROOT"/BENCH_PR*.json; do
+  [ -e "$f" ] || continue
+  i=${f##*/BENCH_PR}
+  i=${i%.json}
+  case $i in
+    *[!0-9]*) continue ;;
+  esac
+  [ "$i" -gt "$max" ] && max=$i
+done
+OUT="$ROOT/BENCH_PR$((max + 1)).json"
+
+if [ -n "$FILTER" ]; then
+  "$BENCH_BIN" --benchmark_filter="$FILTER" --benchmark_format=json \
+    --benchmark_out="$OUT" --benchmark_out_format=json
+else
+  "$BENCH_BIN" --benchmark_format=json \
+    --benchmark_out="$OUT" --benchmark_out_format=json
+fi
+
+echo "wrote $OUT"
