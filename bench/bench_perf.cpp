@@ -31,6 +31,16 @@ void BM_PowerTransform(benchmark::State& state) {
 }
 BENCHMARK(BM_PowerTransform)->RangeMultiplier(2)->Range(4, 48)->Complexity();
 
+void BM_PowerTransformOptimal(benchmark::State& state) {
+  const Graph g = randomLayeredDfg(static_cast<int>(state.range(0)), 8, 42);
+  const int steps = criticalPathLength(g) + 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(applyPowerManagementOptimal(g, steps));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PowerTransformOptimal)->RangeMultiplier(2)->Range(4, 48)->Complexity();
+
 void BM_SharedGating(benchmark::State& state) {
   const Graph g = randomLayeredDfg(static_cast<int>(state.range(0)), 8, 42);
   const int steps = criticalPathLength(g) + 4;
@@ -38,8 +48,9 @@ void BM_SharedGating(benchmark::State& state) {
     PowerManagedDesign design = applyPowerManagement(g, steps);
     benchmark::DoNotOptimize(applySharedGating(design));
   }
+  state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_SharedGating)->RangeMultiplier(2)->Range(4, 16);
+BENCHMARK(BM_SharedGating)->RangeMultiplier(2)->Range(4, 32)->Complexity();
 
 void BM_ListSchedule(benchmark::State& state) {
   const Graph g = randomLayeredDfg(static_cast<int>(state.range(0)), 8, 42);

@@ -1,6 +1,7 @@
 #include "sched/condition.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
 namespace pmsched {
 
@@ -21,6 +22,334 @@ bool conjoinTerms(const GateTerm& a, const GateTerm& b, GateTerm& out) {
   return normalizeTerm(out);
 }
 
+// ---------------------------------------------------------------------------
+// Interned DNF engine.
+//
+// The shared-gating pass calls simplifyDnf/andDnf once per consumer of every
+// candidate node, so DNF churn dominates its profile. The engine below
+// replaces the vector-of-vector-of-struct representation inside those
+// operations with interned terms:
+//
+//  * a literal is one 64-bit word, (select << 1) | value, so a normalized
+//    term is a sorted flat array and term comparison is a word-wise
+//    lexicographic compare (identical ordering to GateTerm's operator<=>);
+//  * terms are interned in a thread-local pool (hash table over a shared
+//    literal arena): content-equal terms get the same TermId, making term
+//    equality O(1) and the complementary-pair merge a hash lookup (flip one
+//    literal, probe the pool) instead of an O(terms) scan;
+//  * every term carries a 64-bit signature (a bloom filter of its literals);
+//    "a subsumes b" requires sig(a) ⊆ sig(b), which rejects almost every
+//    candidate pair before the literal-level std::includes runs.
+//
+// The simplification *semantics* deliberately replicate the retained
+// reference implementation (simplifyDnfReference below) step for step —
+// same one-merge-per-iteration schedule, same subsumption filter — so the
+// fast engine is bit-identical to it; property tests assert both structural
+// equality and probability preservation on random DNFs.
+//
+// One genuine behavioural change, applied to BOTH paths: the original
+// subsumption filter dropped *both* copies of a duplicated term (each
+// subsumes the other), so a complementary-pair merge whose result already
+// existed in the cover — e.g. (a) | (a & s) | (a & !s) — collapsed to
+// FALSE, silently deactivating a unit that is needed with probability 1/2.
+// Equal terms now keep their first copy (tests/test_condition.cpp holds the
+// regression).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using Lit = std::uint64_t;
+
+inline Lit encodeLit(const GateLiteral& l) {
+  return (static_cast<Lit>(l.select) << 1) | (l.value ? 1U : 0U);
+}
+
+inline GateLiteral decodeLit(Lit e) {
+  return GateLiteral{static_cast<NodeId>(e >> 1), (e & 1U) != 0};
+}
+
+inline std::uint64_t litSigBit(Lit e) {
+  return std::uint64_t{1} << ((e * 0x9E3779B97F4A7C15ULL) >> 58);
+}
+
+inline std::uint64_t hashLits(std::span<const Lit> lits) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const Lit e : lits) {
+    h ^= e;
+    h *= 0x100000001B3ULL;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+/// Thread-local interning pool: terms live in one flat literal arena.
+class TermPool {
+ public:
+  using Id = std::uint32_t;
+  static constexpr Id kNone = static_cast<Id>(-1);
+
+  [[nodiscard]] std::span<const Lit> lits(Id id) const {
+    const Ref& r = refs_[id];
+    return {arena_.data() + r.offset, r.len};
+  }
+  [[nodiscard]] std::uint64_t sig(Id id) const { return refs_[id].sig; }
+  [[nodiscard]] std::uint32_t size(Id id) const { return refs_[id].len; }
+
+  /// Id of an already-interned term with this content; kNone if absent.
+  [[nodiscard]] Id find(std::span<const Lit> sorted) const {
+    const auto it = buckets_.find(hashLits(sorted));
+    if (it == buckets_.end()) return kNone;
+    for (const Id id : it->second)
+      if (equals(id, sorted)) return id;
+    return kNone;
+  }
+
+  /// Intern a normalized (sorted, deduped, contradiction-free) term.
+  [[nodiscard]] Id intern(std::span<const Lit> sorted) {
+    std::vector<Id>& bucket = buckets_[hashLits(sorted)];
+    for (const Id id : bucket)
+      if (equals(id, sorted)) return id;
+    Ref r;
+    r.offset = static_cast<std::uint32_t>(arena_.size());
+    r.len = static_cast<std::uint32_t>(sorted.size());
+    r.sig = 0;
+    for (const Lit e : sorted) r.sig |= litSigBit(e);
+    arena_.insert(arena_.end(), sorted.begin(), sorted.end());
+    const Id id = static_cast<Id>(refs_.size());
+    refs_.push_back(r);
+    bucket.push_back(id);
+    return id;
+  }
+
+  /// Lexicographic content order; identical to GateTerm's operator<.
+  [[nodiscard]] bool less(Id a, Id b) const {
+    const std::span<const Lit> la = lits(a);
+    const std::span<const Lit> lb = lits(b);
+    return std::lexicographical_compare(la.begin(), la.end(), lb.begin(), lb.end());
+  }
+
+  [[nodiscard]] bool lessThanLits(Id a, std::span<const Lit> lb) const {
+    const std::span<const Lit> la = lits(a);
+    return std::lexicographical_compare(la.begin(), la.end(), lb.begin(), lb.end());
+  }
+
+  /// Ids never escape a single public entry point, so the pool may be
+  /// reset between them once the arena outgrows its cap.
+  void maybeTrim() {
+    if (arena_.size() < kArenaCap) return;
+    arena_.clear();
+    refs_.clear();
+    buckets_.clear();
+  }
+
+ private:
+  static constexpr std::size_t kArenaCap = std::size_t{1} << 22;  // 32 MiB of literals
+
+  struct Ref {
+    std::uint32_t offset;
+    std::uint32_t len;
+    std::uint64_t sig;
+  };
+
+  [[nodiscard]] bool equals(Id id, std::span<const Lit> sorted) const {
+    const std::span<const Lit> l = lits(id);
+    return l.size() == sorted.size() && std::equal(l.begin(), l.end(), sorted.begin());
+  }
+
+  std::vector<Lit> arena_;
+  std::vector<Ref> refs_;
+  std::unordered_map<std::uint64_t, std::vector<Id>> buckets_;
+};
+
+thread_local TermPool pool;  // NOLINT(cppcoreguidelines-avoid-non-const-global-variables)
+
+/// Encode + single-pass normalize (sort, dedupe, drop contradictions) one
+/// GateTerm into `buf`; false when the term is contradictory.
+bool encodeTerm(const GateTerm& term, std::vector<Lit>& buf) {
+  buf.clear();
+  buf.reserve(term.size());
+  for (const GateLiteral& l : term) buf.push_back(encodeLit(l));
+  std::sort(buf.begin(), buf.end());
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    if (out > 0 && (buf[out - 1] >> 1) == (buf[i] >> 1)) {
+      if (buf[out - 1] != buf[i]) return false;  // contradiction
+      continue;                                  // duplicate
+    }
+    buf[out++] = buf[i];
+  }
+  buf.resize(out);
+  return true;
+}
+
+void sortUniqueIds(std::vector<TermPool::Id>& ids) {
+  std::sort(ids.begin(), ids.end(), [](TermPool::Id a, TermPool::Id b) {
+    return a != b && pool.less(a, b);
+  });
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+/// Merge the first complementary pair in the reference's (i, j) order:
+/// smallest i, then smallest j > i, such that term j equals term i with one
+/// literal's polarity flipped. Applies the merge (erase both, append the
+/// common remainder) and returns true.
+bool mergeFirstPair(std::vector<TermPool::Id>& ids, std::vector<Lit>& buf) {
+  if (ids.size() < 2) return false;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const std::span<const Lit> lits = pool.lits(ids[i]);
+    std::size_t bestJ = ids.size();
+    std::size_t flipK = 0;
+    for (std::size_t k = 0; k < lits.size(); ++k) {
+      buf.assign(lits.begin(), lits.end());
+      buf[k] ^= 1U;  // flip the polarity; sortedness is preserved
+      const TermPool::Id fid = pool.find(buf);
+      if (fid == TermPool::kNone) continue;
+      // ids is sorted by content, so the flip's position is a binary search.
+      const auto it = std::lower_bound(
+          ids.begin(), ids.end(), std::span<const Lit>(buf),
+          [](TermPool::Id a, std::span<const Lit> lb) { return pool.lessThanLits(a, lb); });
+      if (it == ids.end() || *it != fid) continue;  // interned but not present here
+      const std::size_t j = static_cast<std::size_t>(it - ids.begin());
+      if (j > i && j < bestJ) {
+        bestJ = j;
+        flipK = k;
+      }
+    }
+    if (bestJ < ids.size()) {
+      buf.assign(lits.begin(), lits.end());
+      buf.erase(buf.begin() + static_cast<std::ptrdiff_t>(flipK));
+      const TermPool::Id merged = pool.intern(buf);
+      ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(bestJ));
+      ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(i));
+      ids.push_back(merged);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Drop every term that another term subsumes (is a subset of), keeping the
+/// first copy of content-equal duplicates. Signature containment rejects
+/// non-subset pairs in O(1) before the literal-level check.
+bool dropSubsumed(std::vector<TermPool::Id>& ids) {
+  const std::size_t n = ids.size();
+  if (n < 2) return false;
+  std::vector<TermPool::Id> kept;
+  kept.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t sigI = pool.sig(ids[i]);
+    bool redundant = false;
+    for (std::size_t j = 0; j < n && !redundant; ++j) {
+      if (j == i) continue;
+      if (ids[j] == ids[i]) {
+        redundant = j < i;  // keep the first of equal terms
+        continue;
+      }
+      if (pool.size(ids[j]) >= pool.size(ids[i])) continue;  // strict subset only
+      const std::uint64_t sigJ = pool.sig(ids[j]);
+      if ((sigJ & ~sigI) != 0) continue;
+      const std::span<const Lit> lj = pool.lits(ids[j]);
+      const std::span<const Lit> li = pool.lits(ids[i]);
+      redundant = std::includes(li.begin(), li.end(), lj.begin(), lj.end());
+    }
+    if (!redundant) kept.push_back(ids[i]);
+  }
+  if (kept.size() == n) return false;
+  ids = std::move(kept);
+  return true;
+}
+
+/// The reference loop on interned ids: per iteration sort+dedupe, merge one
+/// complementary pair, filter subsumed terms; repeat until stable.
+void simplifyIds(std::vector<TermPool::Id>& ids, std::vector<Lit>& buf) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    sortUniqueIds(ids);
+    if (mergeFirstPair(ids, buf)) changed = true;
+    if (dropSubsumed(ids)) changed = true;
+  }
+}
+
+GateDnf decodeIds(const std::vector<TermPool::Id>& ids) {
+  GateDnf out;
+  out.reserve(ids.size());
+  for (const TermPool::Id id : ids) {
+    GateTerm term;
+    const std::span<const Lit> lits = pool.lits(id);
+    term.reserve(lits.size());
+    for (const Lit e : lits) term.push_back(decodeLit(e));
+    out.push_back(std::move(term));
+  }
+  return out;
+}
+
+}  // namespace
+
+GateDnf simplifyDnf(GateDnf dnf) {
+  pool.maybeTrim();
+  std::vector<TermPool::Id> ids;
+  ids.reserve(dnf.size());
+  std::vector<Lit> buf;
+  for (const GateTerm& term : dnf)
+    if (encodeTerm(term, buf)) ids.push_back(pool.intern(buf));
+  simplifyIds(ids, buf);
+  return decodeIds(ids);
+}
+
+GateDnf andDnf(const GateDnf& a, const GateDnf& b) {
+  pool.maybeTrim();
+  // Encode (and normalize) both sides once; contradictory input terms can
+  // never produce a satisfiable conjunction, so they are dropped here just
+  // as conjoinTerms would drop them pair by pair.
+  std::vector<Lit> buf;
+  std::vector<std::vector<Lit>> ea;
+  ea.reserve(a.size());
+  for (const GateTerm& t : a)
+    if (encodeTerm(t, buf)) ea.push_back(buf);
+  std::vector<std::vector<Lit>> eb;
+  eb.reserve(b.size());
+  for (const GateTerm& t : b)
+    if (encodeTerm(t, buf)) eb.push_back(buf);
+
+  // Cross product: merge two sorted literal arrays, dropping contradictory
+  // combinations (same select, opposite polarity).
+  std::vector<TermPool::Id> ids;
+  ids.reserve(ea.size() * eb.size());
+  for (const std::vector<Lit>& ta : ea) {
+    for (const std::vector<Lit>& tb : eb) {
+      buf.clear();
+      std::size_t i = 0;
+      std::size_t j = 0;
+      bool ok = true;
+      while (i < ta.size() && j < tb.size()) {
+        if (ta[i] == tb[j]) {
+          buf.push_back(ta[i]);
+          ++i;
+          ++j;
+        } else if ((ta[i] >> 1) == (tb[j] >> 1)) {
+          ok = false;  // contradiction
+          break;
+        } else if (ta[i] < tb[j]) {
+          buf.push_back(ta[i++]);
+        } else {
+          buf.push_back(tb[j++]);
+        }
+      }
+      if (!ok) continue;
+      buf.insert(buf.end(), ta.begin() + static_cast<std::ptrdiff_t>(i), ta.end());
+      buf.insert(buf.end(), tb.begin() + static_cast<std::ptrdiff_t>(j), tb.end());
+      ids.push_back(pool.intern(buf));
+    }
+  }
+  simplifyIds(ids, buf);
+  return decodeIds(ids);
+}
+
+// ---------------------------------------------------------------------------
+// Retained reference implementation (the pre-interning engine).
+// ---------------------------------------------------------------------------
+
 namespace {
 
 /// True if `a` subsumes `b`: every literal of `a` appears in `b`
@@ -28,10 +357,6 @@ namespace {
 bool subsumes(const GateTerm& a, const GateTerm& b) {
   return std::includes(b.begin(), b.end(), a.begin(), a.end());
 }
-
-}  // namespace
-
-namespace {
 
 /// If `a` and `b` differ only in the polarity of one literal, merge them
 /// into the common remainder ((x&s=1)|(x&s=0) -> x). Returns true and fills
@@ -52,7 +377,7 @@ bool mergeAdjacent(const GateTerm& a, const GateTerm& b, GateTerm& merged) {
 
 }  // namespace
 
-GateDnf simplifyDnf(GateDnf dnf) {
+GateDnf simplifyDnfReference(GateDnf dnf) {
   GateDnf normalized;
   for (GateTerm& term : dnf) {
     if (normalizeTerm(term)) normalized.push_back(std::move(term));
@@ -81,12 +406,20 @@ GateDnf simplifyDnf(GateDnf dnf) {
       }
     }
 
-    // Drop subsumed terms (terms are unique, so subsumption is strict).
+    // Drop subsumed terms, keeping the first copy of equal terms (a merge
+    // can recreate a term that is already in the cover; dropping both
+    // copies — as the pre-PR-2 filter did — loses the term entirely).
     GateDnf kept;
     for (std::size_t i = 0; i < normalized.size(); ++i) {
       bool redundant = false;
-      for (std::size_t j = 0; j < normalized.size() && !redundant; ++j)
-        if (i != j && subsumes(normalized[j], normalized[i])) redundant = true;
+      for (std::size_t j = 0; j < normalized.size() && !redundant; ++j) {
+        if (i == j) continue;
+        if (normalized[j] == normalized[i]) {
+          redundant = j < i;
+          continue;
+        }
+        if (subsumes(normalized[j], normalized[i])) redundant = true;
+      }
       if (!redundant) kept.push_back(normalized[i]);
     }
     if (kept.size() != normalized.size()) changed = true;
@@ -99,17 +432,6 @@ GateDnf dnfTrue() { return GateDnf{GateTerm{}}; }
 
 bool dnfIsTrue(const GateDnf& dnf) {
   return std::any_of(dnf.begin(), dnf.end(), [](const GateTerm& t) { return t.empty(); });
-}
-
-GateDnf andDnf(const GateDnf& a, const GateDnf& b) {
-  GateDnf out;
-  for (const GateTerm& ta : a) {
-    for (const GateTerm& tb : b) {
-      GateTerm merged;
-      if (conjoinTerms(ta, tb, merged)) out.push_back(std::move(merged));
-    }
-  }
-  return simplifyDnf(std::move(out));
 }
 
 std::vector<NodeId> dnfSupport(const GateDnf& dnf) {
@@ -131,30 +453,38 @@ Rational dnfProbability(const GateDnf& dnf, unsigned maxSupport) {
     throw SynthesisError("dnfProbability: support of " + std::to_string(support.size()) +
                          " selects exceeds enumeration limit");
 
-  // Exact: count satisfying assignments of the support variables.
+  // Exact: count satisfying assignments of the support variables. Each term
+  // is two masks over support indices — "which variables it constrains" and
+  // "to what values" — so the inner loop is two ANDs and a compare.
   const unsigned k = static_cast<unsigned>(support.size());
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> masks;  // (care, value)
+  masks.reserve(dnf.size());
+  for (const GateTerm& term : dnf) {
+    std::uint64_t care = 0;
+    std::uint64_t value = 0;
+    bool contradictory = false;
+    for (const GateLiteral& lit : term) {
+      const auto idx = static_cast<unsigned>(
+          std::lower_bound(support.begin(), support.end(), lit.select) - support.begin());
+      const std::uint64_t bit = std::uint64_t{1} << idx;
+      const std::uint64_t want = lit.value ? bit : 0;
+      if ((care & bit) != 0 && (value & bit) != want) {
+        contradictory = true;  // same select demanded both ways: never satisfied
+        break;
+      }
+      care |= bit;
+      value |= want;
+    }
+    if (!contradictory) masks.emplace_back(care, value);
+  }
   std::uint64_t satisfying = 0;
   for (std::uint64_t assign = 0; assign < (std::uint64_t{1} << k); ++assign) {
-    auto valueOf = [&](NodeId sel) {
-      const auto idx = static_cast<std::size_t>(
-          std::lower_bound(support.begin(), support.end(), sel) - support.begin());
-      return ((assign >> idx) & 1U) != 0;
-    };
-    bool sat = false;
-    for (const GateTerm& term : dnf) {
-      bool termSat = true;
-      for (const GateLiteral& lit : term) {
-        if (valueOf(lit.select) != lit.value) {
-          termSat = false;
-          break;
-        }
-      }
-      if (termSat) {
-        sat = true;
+    for (const auto& [care, value] : masks) {
+      if ((assign & care) == value) {
+        ++satisfying;
         break;
       }
     }
-    if (sat) ++satisfying;
   }
   return Rational{static_cast<std::int64_t>(satisfying),
                   static_cast<std::int64_t>(std::uint64_t{1} << k)};

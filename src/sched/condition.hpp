@@ -42,8 +42,14 @@ using GateDnf = std::vector<GateTerm>;
 [[nodiscard]] bool conjoinTerms(const GateTerm& a, const GateTerm& b, GateTerm& out);
 
 /// Normalize a DNF: normalize terms, drop contradictions, remove duplicate
-/// and subsumed terms (a term absorbs any superset of itself).
+/// and subsumed terms (a term absorbs any superset of itself), and merge
+/// complementary pairs. Runs on the interned-term engine (see
+/// condition.cpp); bit-identical to simplifyDnfReference.
 [[nodiscard]] GateDnf simplifyDnf(GateDnf dnf);
+
+/// Retained from-scratch reference for simplifyDnf (the pre-interning
+/// engine); property tests assert the fast engine matches it exactly.
+[[nodiscard]] GateDnf simplifyDnfReference(GateDnf dnf);
 
 /// The constant TRUE (one empty term).
 [[nodiscard]] GateDnf dnfTrue();

@@ -5,10 +5,11 @@
 #include <cmath>
 #include <functional>
 #include <limits>
-#include <queue>
+#include <optional>
 #include <vector>
 
 #include "sched/timeframe.hpp"
+#include "sched/timeframe_oracle.hpp"
 
 namespace pmsched {
 
@@ -71,7 +72,11 @@ PinnedFrames framesWithPins(const Graph& g, int steps, const std::vector<int>& p
 // framesWithPins(g, steps, pin) would compute from scratch — the frame
 // recurrences have a unique solution on a DAG, so repairing only the nodes
 // whose value actually changes (through a topo-ordered worklist) reaches the
-// same fixed point.
+// same fixed point. The repair machinery itself lives in TimeFrameOracle
+// (src/sched/timeframe_oracle.*), which the power-management transform
+// shares for its tentative-edge feasibility checks; this scheduler drives
+// it through pin() and consumes its changed-node list for cache
+// invalidation.
 //
 // The per-candidate forces are pure functions of: the node's own frame, the
 // frames and pin states of its scheduled data neighbours, and the
@@ -108,10 +113,6 @@ class IncrementalForceDirected {
       rc_[i] = scheduled_[i] ? unitIndex(resourceClassOf(g_.kind(i))) : 0;
     }
 
-    topoPos_.resize(n);
-    const std::span<const NodeId> order = g_.topoOrderView();
-    for (std::size_t i = 0; i < order.size(); ++i) topoPos_[order[i]] = static_cast<std::uint32_t>(i);
-
     // Static per-node bitmask of the unit classes its force expression can
     // read (own class plus scheduled data neighbours'); pinning only shrinks
     // the true read set, so this stays a sound over-approximation.
@@ -125,11 +126,14 @@ class IncrementalForceDirected {
       readsMask_[v] = mask;
     }
 
-    initialFrames(order);
-    // Feasibility pre-check straight off the initial frames: with unit
-    // latencies they equal computeTimeFrames(), so this matches the
-    // reference's check (first infeasible node in id order) without paying
-    // for a second full frame computation.
+    // The oracle owns the frames; with unit latencies its initial fixed
+    // point equals computeTimeFrames() and framesWithPins(pin == 0).
+    oracle_.emplace(g_, steps_, LatencyModel::unit(), "force-directed");
+    asap_ = oracle_->asapView();
+    alap_ = oracle_->alapView();
+    // Feasibility pre-check straight off the initial frames: this matches
+    // the reference's check (first infeasible node in id order) without
+    // paying for a second full frame computation.
     for (NodeId v = 0; v < n; ++v)
       if (scheduled_[v] && asap_[v] > alap_[v])
         throw InfeasibleError("force-directed: node '" + g_.node(v).name +
@@ -142,7 +146,6 @@ class IncrementalForceDirected {
     candForce_.assign(n, 0.0);
     candStep_.assign(n, 0);
     candValid_.assign(n, 0);
-    inQueue_.assign(n, 0);
 
     std::size_t pinned = 0;
     for (std::size_t iter = 0; iter < ops_.size(); ++iter) {
@@ -189,27 +192,6 @@ class IncrementalForceDirected {
  private:
   [[nodiscard]] double& dgAt(std::vector<double>& dg, int step, std::size_t rc) const {
     return dg[static_cast<std::size_t>(step) * kNumUnitClasses + rc];
-  }
-
-  void initialFrames(std::span<const NodeId> order) {
-    asap_.assign(g_.size(), 0);
-    alap_.assign(g_.size(), steps_);
-    for (const NodeId v : order) {
-      int avail = 0;
-      for (const NodeId p : g_.fanins(v)) avail = std::max(avail, asap_[p]);
-      for (const NodeId p : ctrlPredCsr_.row(v)) avail = std::max(avail, asap_[p]);
-      asap_[v] = scheduled_[v] ? avail + 1 : avail;
-    }
-    for (auto it = order.rbegin(); it != order.rend(); ++it) {
-      const NodeId v = *it;
-      int latest = steps_;
-      auto relax = [&](NodeId s) {
-        latest = std::min(latest, scheduled_[s] ? alap_[s] - 1 : alap_[s]);
-      };
-      for (const NodeId s : fanoutCsr_.row(v)) relax(s);
-      for (const NodeId s : ctrlSuccCsr_.row(v)) relax(s);
-      alap_[v] = latest;
-    }
   }
 
   /// Rebuild the per-class distribution graph in the reference's summation
@@ -333,97 +315,11 @@ class IncrementalForceDirected {
     candValid_[v] = 1;
   }
 
-  void markFrameChanged(NodeId v) {
-    if (!frameChangedFlag_[v]) {
-      frameChangedFlag_[v] = 1;
-      frameChanged_.push_back(v);
-    }
-  }
-
-  /// Repair asap/alap after pinning `b` to `step`, touching only nodes whose
-  /// value changes; then invalidate the force caches that depended on the
-  /// changed frames or on b's pin state.
+  /// Repair asap/alap after pinning `b` to `step` (the oracle touches only
+  /// nodes whose value changes); then invalidate the force caches that
+  /// depended on the changed frames or on b's pin state.
   void repairFrames(NodeId b, int step) {
-    frameChanged_.clear();
-    frameChangedFlag_.assign(g_.size(), 0);
-
-    // Forward pass: pins only raise ASAPs; propagate in topological order so
-    // every node is recomputed at most once from final predecessor values.
-    using MinItem = std::pair<std::uint32_t, NodeId>;
-    std::priority_queue<MinItem, std::vector<MinItem>, std::greater<MinItem>> fwd;
-    auto pushSuccs = [&](NodeId v) {
-      for (const NodeId s : fanoutCsr_.row(v)) enqueue(fwd, s);
-      for (const NodeId s : ctrlSuccCsr_.row(v)) enqueue(fwd, s);
-    };
-    if (asap_[b] != step) {
-      asap_[b] = step;
-      markFrameChanged(b);
-      pushSuccs(b);
-    }
-    while (!fwd.empty()) {
-      const NodeId v = fwd.top().second;
-      fwd.pop();
-      inQueue_[v] = 0;
-      int avail = 0;
-      for (const NodeId p : g_.fanins(v)) avail = std::max(avail, asap_[p]);
-      for (const NodeId p : ctrlPredCsr_.row(v)) avail = std::max(avail, asap_[p]);
-      int value;
-      if (scheduled_[v]) {
-        value = avail + 1;
-        if (pin_[v] != 0) {
-          if (pin_[v] < value)
-            throw InfeasibleError("force-directed: pin below ASAP for '" + g_.node(v).name + "'");
-          value = pin_[v];
-        }
-      } else {
-        value = avail;
-      }
-      if (value != asap_[v]) {
-        asap_[v] = value;
-        markFrameChanged(v);
-        pushSuccs(v);
-      }
-    }
-
-    // Backward pass: pins only lower ALAPs; reverse topological order.
-    using MaxItem = std::pair<std::uint32_t, NodeId>;
-    std::priority_queue<MaxItem> bwd;
-    auto pushPreds = [&](NodeId v) {
-      for (const NodeId p : g_.fanins(v)) enqueue(bwd, p);
-      for (const NodeId p : ctrlPredCsr_.row(v)) enqueue(bwd, p);
-    };
-    if (alap_[b] != step) {
-      alap_[b] = step;
-      markFrameChanged(b);
-      pushPreds(b);
-    }
-    while (!bwd.empty()) {
-      const NodeId v = bwd.top().second;
-      bwd.pop();
-      inQueue_[v] = 0;
-      int latest = steps_;
-      auto relax = [&](NodeId s) {
-        latest = std::min(latest, scheduled_[s] ? alap_[s] - 1 : alap_[s]);
-      };
-      for (const NodeId s : fanoutCsr_.row(v)) relax(s);
-      for (const NodeId s : ctrlSuccCsr_.row(v)) relax(s);
-      int value;
-      if (scheduled_[v]) {
-        value = latest;
-        if (pin_[v] != 0) {
-          if (pin_[v] > value)
-            throw InfeasibleError("force-directed: pin above ALAP for '" + g_.node(v).name + "'");
-          value = pin_[v];
-        }
-      } else {
-        value = latest;
-      }
-      if (value != alap_[v]) {
-        alap_[v] = value;
-        markFrameChanged(v);
-        pushPreds(v);
-      }
-    }
+    oracle_->pin(b, step);
 
     // A changed frame dirties the node's own candidate and every scheduled
     // data neighbour's (their neighbour terms read it). Forces never read a
@@ -438,20 +334,13 @@ class IncrementalForceDirected {
         if (scheduled_[q]) candValid_[q] = 0;
     };
     bool scheduledFrameMoved = false;
-    for (const NodeId v : frameChanged_) {
+    for (const NodeId v : oracle_->changedNodes()) {
       if (!scheduled_[v]) continue;
       scheduledFrameMoved = true;
       invalidateAround(v);
     }
     invalidateAround(b);
     if (scheduledFrameMoved) dgStale_ = true;
-  }
-
-  template <typename Queue>
-  void enqueue(Queue& q, NodeId v) {
-    if (inQueue_[v]) return;
-    inQueue_[v] = 1;
-    q.emplace(topoPos_[v], v);
   }
 
   const Graph& g_;
@@ -462,11 +351,11 @@ class IncrementalForceDirected {
   const std::vector<NodeId> ops_;
 
   std::vector<int> pin_;
-  std::vector<int> asap_;
-  std::vector<int> alap_;
+  std::optional<TimeFrameOracle> oracle_;
+  std::span<const int> asap_;  ///< views into the oracle's frame arrays
+  std::span<const int> alap_;
   std::vector<std::size_t> rc_;
   std::vector<char> scheduled_;
-  std::vector<std::uint32_t> topoPos_;
 
   std::vector<double> dg_;
   std::vector<double> prevDg_;
@@ -478,9 +367,6 @@ class IncrementalForceDirected {
   std::vector<int> candStep_;
   std::vector<char> candValid_;
 
-  std::vector<NodeId> frameChanged_;
-  std::vector<char> frameChangedFlag_;
-  std::vector<char> inQueue_;
 };
 
 }  // namespace

@@ -51,8 +51,14 @@ ListScheduleResult listSchedule(const Graph& g, int steps, const ResourceVector&
   std::array<int, kNumUnitClasses> deferrals{};
 
   std::vector<NodeId> todo = g.scheduledNodes();
+  // Reused per-step buffers (hoisted out of the loop: the scheduler used to
+  // allocate a fresh ready list per step and compact `todo` once per
+  // placement instead of once per step).
+  std::vector<NodeId> ready;
+  ready.reserve(todo.size());
+  std::vector<char> placed(g.size(), 0);
   for (int step = 1; step <= steps && !todo.empty(); ++step) {
-    std::vector<NodeId> ready;
+    ready.clear();
     for (const NodeId n : todo) {
       bool ok = true;
       for (const NodeId p : g.fanins(n))
@@ -83,7 +89,7 @@ ListScheduleResult listSchedule(const Graph& g, int steps, const ResourceVector&
         sched.place(n, step);
         avail[n] = step + latency - 1;
         placedAny = true;
-        todo.erase(std::remove(todo.begin(), todo.end(), n), todo.end());
+        placed[n] = 1;
       } else {
         ++deferrals[unitIndex(rc)];
         if (tf.alap[n] <= step) {
@@ -96,7 +102,14 @@ ListScheduleResult listSchedule(const Graph& g, int steps, const ResourceVector&
         }
       }
     }
-    if (placedAny) refreshTransparent();
+    if (placedAny) {
+      // One order-preserving compaction per step (`todo` order feeds the
+      // deterministic blame below, so swap-removal would change messages).
+      todo.erase(std::remove_if(todo.begin(), todo.end(),
+                                [&](NodeId n) { return placed[n] != 0; }),
+                 todo.end());
+      refreshTransparent();
+    }
   }
 
   if (!todo.empty()) {

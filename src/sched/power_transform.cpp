@@ -1,8 +1,11 @@
 #include "sched/power_transform.hpp"
 
 #include <algorithm>
+#include <numeric>
+#include <optional>
 
 #include "cdfg/analysis.hpp"
+#include "sched/timeframe_oracle.hpp"
 
 namespace pmsched {
 
@@ -115,8 +118,10 @@ std::vector<NodeId> topNodes(const Graph& g, const std::vector<NodeId>& set) {
   return tops;
 }
 
-/// Processing order of the mux list under a strategy.
-std::vector<NodeId> orderMuxes(const Graph& g, MuxOrdering ordering) {
+/// Processing order of the mux list under a strategy. `cones` is the
+/// caller's faninConeMasks table (shared with the transform run itself).
+std::vector<NodeId> orderMuxes(const Graph& g, MuxOrdering ordering,
+                               std::span<const NodeMask> cones) {
   std::vector<NodeId> muxes = g.nodesOfKind(OpKind::Mux);
   switch (ordering) {
     case MuxOrdering::OutputFirst: {
@@ -137,7 +142,7 @@ std::vector<NodeId> orderMuxes(const Graph& g, MuxOrdering ordering) {
     }
     case MuxOrdering::BySavings: {
       std::vector<double> savings(g.size(), 0);
-      for (const NodeId m : muxes) savings[m] = potentialSavings(g, computeGatedSets(g, m));
+      for (const NodeId m : muxes) savings[m] = potentialSavings(g, computeGatedSets(g, m, cones));
       std::stable_sort(muxes.begin(), muxes.end(), [&](NodeId a, NodeId b) {
         if (savings[a] != savings[b]) return savings[a] > savings[b];
         return a < b;
@@ -171,6 +176,21 @@ GatedSets computeGatedSets(const Graph& g, NodeId mux) {
   return sets;
 }
 
+GatedSets computeGatedSets(const Graph& g, NodeId mux, std::span<const NodeMask> cones) {
+  if (g.kind(mux) != OpKind::Mux) throw SynthesisError("computeGatedSets: not a mux");
+  const std::span<const NodeId> ops = g.fanins(mux);
+  const NodeMask& coneSel = cones[ops[0]];
+  const NodeMask& coneT = cones[ops[1]];
+  const NodeMask& coneF = cones[ops[2]];
+
+  GatedSets sets;
+  sets.gatedTrue = gatedSide(g, mux, coneT, coneF, coneSel);
+  sets.gatedFalse = gatedSide(g, mux, coneF, coneT, coneSel);
+  sets.topTrue = topNodes(g, sets.gatedTrue);
+  sets.topFalse = topNodes(g, sets.gatedFalse);
+  return sets;
+}
+
 PowerManagedDesign unmanagedDesign(const Graph& g, int steps) {
   PowerManagedDesign design;
   design.graph = g.clone();
@@ -184,7 +204,8 @@ PowerManagedDesign unmanagedDesign(const Graph& g, int steps) {
 namespace {
 PowerManagedDesign runTransformWithModel(const Graph& g, int steps,
                                          const std::vector<NodeId>& candidates,
-                                         const LatencyModel& model);
+                                         const LatencyModel& model, bool useOracle,
+                                         std::span<const NodeMask> cones);
 }  // namespace
 
 std::vector<GateDnf> resolveActivationConditions(const PowerManagedDesign& design) {
@@ -229,10 +250,15 @@ int PowerManagedDesign::sharedGatedCount() const {
 namespace {
 
 /// Shared driver: offer power management to `candidates` in order, keeping
-/// each mux whose control edges leave the frames feasible.
+/// each mux whose control edges leave the frames feasible. With `useOracle`
+/// the per-mux schedulability test is an incremental push → test →
+/// pop/commit on a TimeFrameOracle; otherwise frames are recomputed from
+/// scratch per mux (the retained reference path differential tests pin the
+/// oracle against).
 PowerManagedDesign runTransformWithModel(const Graph& g, int steps,
                                          const std::vector<NodeId>& candidates,
-                                         const LatencyModel& model) {
+                                         const LatencyModel& model, bool useOracle,
+                                         std::span<const NodeMask> cones) {
   PowerManagedDesign design;
   design.graph = g.clone();
   design.steps = steps;
@@ -242,12 +268,17 @@ PowerManagedDesign runTransformWithModel(const Graph& g, int steps,
 
   Graph& work = design.graph;
   std::vector<std::pair<NodeId, NodeId>> committed;
+  std::optional<TimeFrameOracle> oracle;
+  if (useOracle) oracle.emplace(work, steps, model, "power-transform");
+  // `cones` was computed by the caller on a graph with identical nodes and
+  // data edges; edges are only materialized after the loop, so it stays
+  // valid for the whole sweep (control edges would not affect it anyway).
 
   for (const NodeId m : candidates) {
     MuxPmInfo info;
     info.mux = m;
 
-    GatedSets sets = computeGatedSets(work, m);
+    GatedSets sets = computeGatedSets(work, m, cones);
     info.gatedTrue = std::move(sets.gatedTrue);
     info.gatedFalse = std::move(sets.gatedFalse);
     info.topTrue = std::move(sets.topTrue);
@@ -260,39 +291,57 @@ PowerManagedDesign runTransformWithModel(const Graph& g, int steps,
     }
 
     const NodeId ctrl = traceSelectProducer(work, m);
-    std::vector<std::pair<NodeId, NodeId>> tentative = committed;
+    std::vector<std::pair<NodeId, NodeId>> newEdges;
     if (isScheduled(work.kind(ctrl))) {
       info.lastControl = ctrl;
-      for (const NodeId t : info.topTrue) tentative.emplace_back(ctrl, t);
-      for (const NodeId t : info.topFalse) tentative.emplace_back(ctrl, t);
+      for (const NodeId t : info.topTrue) newEdges.emplace_back(ctrl, t);
+      for (const NodeId t : info.topFalse) newEdges.emplace_back(ctrl, t);
     }
     // A select driven directly by an input or constant needs no control
     // step, so gating it is always feasible (lastControl stays invalid).
 
-    const TimeFrames frames = computeTimeFrames(work, steps, tentative, model);
-    if (const auto bad = frames.firstInfeasible(work)) {
+    std::optional<NodeId> bad;
+    if (oracle) {
+      oracle->push(newEdges);
+      if (oracle->feasible()) {
+        oracle->commit();
+      } else {
+        bad = oracle->firstInfeasible();
+        oracle->pop();  // revert (tentative edges dropped)
+      }
+    } else {
+      std::vector<std::pair<NodeId, NodeId>> tentative = committed;
+      tentative.insert(tentative.end(), newEdges.begin(), newEdges.end());
+      bad = computeTimeFrames(work, steps, tentative, model).firstInfeasible(work);
+    }
+    if (bad) {
       info.reason = "insufficient slack: node '" + work.node(*bad).name +
                     "' would need ASAP > ALAP";
       design.muxes.push_back(std::move(info));
-      continue;  // revert (tentative edges dropped)
+      continue;
     }
 
-    committed = std::move(tentative);  // commit (steps 8)
+    committed.insert(committed.end(), newEdges.begin(), newEdges.end());  // commit (steps 8)
     info.managed = true;
     for (const NodeId n : info.gatedTrue) design.gates[n].push_back({m, MuxSide::True});
     for (const NodeId n : info.gatedFalse) design.gates[n].push_back({m, MuxSide::False});
     design.muxes.push_back(std::move(info));
   }
 
+  // Final frames before materializing: the oracle's committed fixed point
+  // equals computeTimeFrames over the augmented graph.
+  if (oracle) design.frames = oracle->frames();
+
   // Step 10: materialize the committed precedence as control edges.
   for (const auto& [before, after] : committed) work.addControlEdge(before, after);
-  design.frames = computeTimeFrames(work, steps, {}, model);
+  if (!oracle) design.frames = computeTimeFrames(work, steps, {}, model);
   return design;
 }
 
 PowerManagedDesign runTransform(const Graph& g, int steps,
-                                const std::vector<NodeId>& candidates) {
-  return runTransformWithModel(g, steps, candidates, LatencyModel::unit());
+                                const std::vector<NodeId>& candidates, bool useOracle,
+                                std::span<const NodeMask> cones) {
+  return runTransformWithModel(g, steps, candidates, LatencyModel::unit(), useOracle, cones);
 }
 
 }  // namespace
@@ -300,41 +349,69 @@ PowerManagedDesign runTransform(const Graph& g, int steps,
 PowerManagedDesign applyPowerManagement(const Graph& g, int steps, MuxOrdering ordering,
                                         const LatencyModel& model) {
   g.validate();
-  return runTransformWithModel(g, steps, orderMuxes(g, ordering), model);
+  const std::vector<NodeMask> cones = faninConeMasks(g);
+  return runTransformWithModel(g, steps, orderMuxes(g, ordering, cones), model,
+                               /*useOracle=*/true, cones);
 }
 
-PowerManagedDesign applyPowerManagementOptimal(const Graph& g, int steps,
-                                               std::size_t maxMuxes) {
+PowerManagedDesign applyPowerManagementReference(const Graph& g, int steps, MuxOrdering ordering,
+                                                 const LatencyModel& model) {
+  g.validate();
+  const std::vector<NodeMask> cones = faninConeMasks(g);
+  return runTransformWithModel(g, steps, orderMuxes(g, ordering, cones), model,
+                               /*useOracle=*/false, cones);
+}
+
+namespace {
+
+PowerManagedDesign runOptimal(const Graph& g, int steps, std::size_t maxMuxes, bool useOracle) {
   g.validate();
 
-  // Candidates: muxes with gated work, most promising first.
+  // Candidates: muxes with gated work, most promising first. The gated sets
+  // feed both the savings estimate and the control edges, so compute them
+  // once per mux.
   std::vector<NodeId> candidates;
   std::vector<double> savings(g.size(), 0);
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> muxEdges;
+  const std::vector<NodeMask> cones = faninConeMasks(g);
   for (const NodeId m : g.nodesOfKind(OpKind::Mux)) {
-    const GatedSets sets = computeGatedSets(g, m);
+    const GatedSets sets = computeGatedSets(g, m, cones);
     if (!anyScheduled(g, sets.gatedTrue) && !anyScheduled(g, sets.gatedFalse)) continue;
     savings[m] = potentialSavings(g, sets);
     candidates.push_back(m);
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    const NodeId ctrl = traceSelectProducer(g, m);
+    if (isScheduled(g.kind(ctrl))) {  // else always feasible, no edges
+      for (const NodeId t : sets.topTrue) edges.emplace_back(ctrl, t);
+      for (const NodeId t : sets.topFalse) edges.emplace_back(ctrl, t);
+    }
+    muxEdges.push_back(std::move(edges));
   }
-  std::stable_sort(candidates.begin(), candidates.end(),
-                   [&](NodeId a, NodeId b) { return savings[a] > savings[b]; });
+  {
+    std::vector<std::size_t> perm(candidates.size());
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    std::stable_sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+      return savings[candidates[a]] > savings[candidates[b]];
+    });
+    std::vector<NodeId> sortedCandidates(candidates.size());
+    std::vector<std::vector<std::pair<NodeId, NodeId>>> sortedEdges(candidates.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      sortedCandidates[i] = candidates[perm[i]];
+      sortedEdges[i] = std::move(muxEdges[perm[i]]);
+    }
+    candidates = std::move(sortedCandidates);
+    muxEdges = std::move(sortedEdges);
+  }
 
   // Exact search over the head of the candidate list; anything beyond
   // maxMuxes is handled greedily afterwards (documented in the header).
   const std::size_t exactCount = std::min(candidates.size(), maxMuxes);
 
-  // Precompute each candidate's control edges (schedule-independent).
-  std::vector<std::vector<std::pair<NodeId, NodeId>>> muxEdges(candidates.size());
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    const NodeId m = candidates[i];
-    const GatedSets sets = computeGatedSets(g, m);
-    const NodeId ctrl = traceSelectProducer(g, m);
-    if (!isScheduled(g.kind(ctrl))) continue;  // always feasible, no edges
-    for (const NodeId t : sets.topTrue) muxEdges[i].emplace_back(ctrl, t);
-    for (const NodeId t : sets.topFalse) muxEdges[i].emplace_back(ctrl, t);
-  }
+  std::optional<TimeFrameOracle> oracle;
+  if (useOracle) oracle.emplace(g, steps, LatencyModel::unit(), "power-transform");
 
-  auto feasible = [&](const std::vector<bool>& chosen) {
+  // Reference feasibility: rebuild the whole edge set and recompute frames.
+  auto feasibleRef = [&](const std::vector<bool>& chosen) {
     std::vector<std::pair<NodeId, NodeId>> edges;
     for (std::size_t i = 0; i < chosen.size(); ++i)
       if (chosen[i])
@@ -351,6 +428,9 @@ PowerManagedDesign applyPowerManagementOptimal(const Graph& g, int steps,
   for (std::size_t i = exactCount; i-- > 0;)
     suffix[i] = suffix[i + 1] + savings[candidates[i]];
 
+  // DFS over include/exclude: push the mux's edges on descend, pop on
+  // backtrack, so each node of the search tree costs one incremental
+  // repair instead of a from-scratch frame computation.
   auto dfs = [&](auto&& self, std::size_t i, double value) -> void {
     if (value + suffix[i] <= bestValue) return;  // cannot beat the best
     if (i == exactCount) {
@@ -361,22 +441,59 @@ PowerManagedDesign applyPowerManagementOptimal(const Graph& g, int steps,
       return;
     }
     current[i] = true;
-    if (feasible(current)) self(self, i + 1, value + savings[candidates[i]]);
+    bool ok;
+    if (oracle) {
+      oracle->push(muxEdges[i], /*probe=*/true);
+      ok = oracle->feasible();
+    } else {
+      ok = feasibleRef(current);
+    }
+    if (ok) self(self, i + 1, value + savings[candidates[i]]);
+    if (oracle) oracle->pop();
     current[i] = false;
     self(self, i + 1, value);
   };
   dfs(dfs, 0, 0);
 
   // Greedy tail beyond the exact window.
-  for (std::size_t i = exactCount; i < candidates.size(); ++i) {
-    best[i] = true;
-    if (!feasible(best)) best[i] = false;
+  if (oracle) {
+    for (std::size_t i = 0; i < exactCount; ++i)
+      if (best[i]) {
+        oracle->push(muxEdges[i]);
+        oracle->commit();
+      }
+    for (std::size_t i = exactCount; i < candidates.size(); ++i) {
+      oracle->push(muxEdges[i], /*probe=*/true);
+      if (oracle->feasible()) {
+        best[i] = true;
+        oracle->commit();
+      } else {
+        oracle->pop();
+      }
+    }
+  } else {
+    for (std::size_t i = exactCount; i < candidates.size(); ++i) {
+      best[i] = true;
+      if (!feasibleRef(best)) best[i] = false;
+    }
   }
 
   std::vector<NodeId> chosen;
   for (std::size_t i = 0; i < candidates.size(); ++i)
     if (best[i]) chosen.push_back(candidates[i]);
-  return runTransform(g, steps, chosen);
+  return runTransform(g, steps, chosen, useOracle, cones);
+}
+
+}  // namespace
+
+PowerManagedDesign applyPowerManagementOptimal(const Graph& g, int steps,
+                                               std::size_t maxMuxes) {
+  return runOptimal(g, steps, maxMuxes, /*useOracle=*/true);
+}
+
+PowerManagedDesign applyPowerManagementOptimalReference(const Graph& g, int steps,
+                                                        std::size_t maxMuxes) {
+  return runOptimal(g, steps, maxMuxes, /*useOracle=*/false);
 }
 
 }  // namespace pmsched

@@ -102,14 +102,29 @@ struct GatedSets {
 };
 [[nodiscard]] GatedSets computeGatedSets(const Graph& g, NodeId mux);
 
+/// Same, reading the per-operand fanin cones from a precomputed
+/// faninConeMasks(g) table instead of running three backward walks per mux.
+/// The transform drivers build the table once per run (the graph is not
+/// mutated until their edges are materialized at the end).
+[[nodiscard]] GatedSets computeGatedSets(const Graph& g, NodeId mux,
+                                         std::span<const NodeMask> cones);
+
 /// Producer of a mux's select signal traced through wires; Input/Const ids
 /// are returned as-is (caller decides they need no control step).
 [[nodiscard]] NodeId traceSelectProducer(const Graph& g, NodeId mux);
 
 /// The paper's algorithm (Fig. 3, steps 1-10). Does not run the final
 /// scheduler; callers combine the result with listSchedule /
-/// forceDirectedSchedule on `result.graph` (step 11).
+/// forceDirectedSchedule on `result.graph` (step 11). The per-mux
+/// schedulability test runs incrementally on a TimeFrameOracle.
 [[nodiscard]] PowerManagedDesign applyPowerManagement(
+    const Graph& g, int steps, MuxOrdering ordering = MuxOrdering::OutputFirst,
+    const LatencyModel& model = LatencyModel::unit());
+
+/// The retained from-scratch variant (frames recomputed per mux). The
+/// executable specification: differential tests assert applyPowerManagement
+/// produces bit-identical designs.
+[[nodiscard]] PowerManagedDesign applyPowerManagementReference(
     const Graph& g, int steps, MuxOrdering ordering = MuxOrdering::OutputFirst,
     const LatencyModel& model = LatencyModel::unit());
 
@@ -121,5 +136,10 @@ struct GatedSets {
 /// structure); `maxMuxes` guards runaway search.
 [[nodiscard]] PowerManagedDesign applyPowerManagementOptimal(const Graph& g, int steps,
                                                              std::size_t maxMuxes = 24);
+
+/// From-scratch variant of the exact search (one full frame computation per
+/// DFS node); retained as the differential-test reference.
+[[nodiscard]] PowerManagedDesign applyPowerManagementOptimalReference(const Graph& g, int steps,
+                                                                      std::size_t maxMuxes = 24);
 
 }  // namespace pmsched

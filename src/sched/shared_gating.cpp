@@ -4,20 +4,24 @@
 #include <optional>
 #include <unordered_map>
 
+#include "sched/timeframe_oracle.hpp"
+
 namespace pmsched {
 
 namespace {
 
 class SharedGatingPass {
  public:
-  explicit SharedGatingPass(PowerManagedDesign& design) : design_(design), g_(design.graph) {
+  SharedGatingPass(PowerManagedDesign& design, bool useOracle)
+      : design_(design), g_(design.graph) {
     cond_.resize(g_.size());
     need_.resize(g_.size());
+    if (useOracle) oracle_.emplace(g_, design.steps, design.latency, "shared-gating");
   }
 
   int run() {
-    // Copy the order up front: tryGate() adds control edges, which would
-    // invalidate a borrowed topoOrderView() span mid-iteration.
+    // Copy the order up front; control-edge insertion happens after the
+    // sweep (the oracle snapshots the graph, so mutation is deferred).
     const std::vector<NodeId> order = g_.topoOrder();
     int gated = 0;
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
@@ -26,7 +30,11 @@ class SharedGatingPass {
       if (!design_.gates[n].empty() || !design_.sharedGating[n].empty()) continue;
       if (tryGate(n)) ++gated;
     }
-    design_.frames = computeTimeFrames(g_, design_.steps, {}, design_.latency);
+    // The oracle's committed fixed point equals the from-scratch frames of
+    // the augmented graph; snapshot it before mutating.
+    if (oracle_) design_.frames = oracle_->frames();
+    for (const auto& [before, after] : committed_) g_.addControlEdge(before, after);
+    if (!oracle_) design_.frames = computeTimeFrames(g_, design_.steps, {}, design_.latency);
     return gated;
   }
 
@@ -119,10 +127,20 @@ class SharedGatingPass {
     for (const NodeId sel : support)
       if (isScheduled(g_.kind(sel))) tentative.emplace_back(sel, n);
 
-    const TimeFrames frames = computeTimeFrames(g_, design_.steps, tentative, design_.latency);
-    if (!frames.feasible(g_)) return false;
+    if (oracle_) {
+      oracle_->push(tentative, /*probe=*/true);
+      if (!oracle_->feasible()) {
+        oracle_->pop();
+        return false;
+      }
+      oracle_->commit();
+    } else {
+      std::vector<std::pair<NodeId, NodeId>> all = committed_;
+      all.insert(all.end(), tentative.begin(), tentative.end());
+      if (!computeTimeFrames(g_, design_.steps, all, design_.latency).feasible(g_)) return false;
+    }
 
-    for (const auto& [before, after] : tentative) g_.addControlEdge(before, after);
+    committed_.insert(committed_.end(), tentative.begin(), tentative.end());
     design_.sharedGating[n] = need;
     cond_[n].reset();  // recompute on demand with the new gating
     return true;
@@ -137,6 +155,8 @@ class SharedGatingPass {
 
   PowerManagedDesign& design_;
   Graph& g_;
+  std::optional<TimeFrameOracle> oracle_;
+  std::vector<std::pair<NodeId, NodeId>> committed_;
   std::vector<std::optional<GateDnf>> cond_;
   std::vector<std::optional<GateDnf>> need_;
   std::unordered_map<NodeId, NodeMask> faninCache_;
@@ -145,7 +165,12 @@ class SharedGatingPass {
 }  // namespace
 
 int applySharedGating(PowerManagedDesign& design) {
-  SharedGatingPass pass(design);
+  SharedGatingPass pass(design, /*useOracle=*/true);
+  return pass.run();
+}
+
+int applySharedGatingReference(PowerManagedDesign& design) {
+  SharedGatingPass pass(design, /*useOracle=*/false);
   return pass.run();
 }
 

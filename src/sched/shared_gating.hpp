@@ -31,6 +31,11 @@ enum class GatingMode {
 /// Run the shared-gating pass over an already-transformed design.
 /// Inserts the required control edges into design.graph and fills
 /// design.sharedGating. Returns the number of newly gated operations.
+/// Per-candidate schedulability runs incrementally on a TimeFrameOracle.
 int applySharedGating(PowerManagedDesign& design);
+
+/// From-scratch variant (frames recomputed per candidate); retained as the
+/// differential-test reference for applySharedGating.
+int applySharedGatingReference(PowerManagedDesign& design);
 
 }  // namespace pmsched

@@ -1,0 +1,203 @@
+#pragma once
+// Incremental ASAP/ALAP time-frame oracle.
+//
+// The paper's transform (Fig. 3, steps 5-9) and its extensions all share the
+// same inner loop: tentatively add a batch of control-precedence edges, ask
+// "does every node still have ASAP <= ALAP within the step budget?", then
+// commit or revert. computeTimeFrames() answers that from scratch — a fresh
+// topological order plus two O(V+E) sweeps per query. The oracle instead
+// owns the frames and *repairs* them per batch with the same topo-ordered
+// worklist machinery the incremental force-directed scheduler introduced
+// (PR 1), generalized to edge batches with undo:
+//
+//   push(edges)  tentatively add a batch; frames repaired incrementally
+//   pop()        revert the innermost batch; frames restored exactly
+//   commit()     keep the innermost batch (allowed at depth 1 only)
+//   pin(n, s)    permanently fix a scheduled node's start step (the
+//                force-directed scheduler's pinning decisions)
+//
+// Invariant: after every operation, the live ASAP values equal what
+// computeTimeFrames(g, steps, <all live edges>, model) — respectively
+// framesWithPins for pinned use — would compute from scratch. The frame
+// recurrences have a unique fixed point on a DAG, so repairing only the
+// nodes whose value actually changes reaches the same integers, and pop()
+// restores the previous fixed point from an undo log instead of
+// recomputing.
+//
+// Two structural shortcuts keep probe batches cheap; neither changes any
+// observable value:
+//
+//  * Lazy ALAP. Feasibility is equivalent to "no scheduled node's finish
+//    exceeds the budget": if asap[n] > alap[n] anywhere, following n's
+//    binding consumer chain to its terminal node m (whose alap is the
+//    budget cap steps - lat(m) + 1) accumulates the same latencies on both
+//    sides, giving asap[m] + lat(m) - 1 > steps. The forward pass alone
+//    therefore answers feasible(); the backward pass runs at commit() or
+//    on the first ALAP read (frames()/alap()/firstInfeasible()), and probe
+//    batches that are pushed, tested and popped never pay for it.
+//  * Infeasible probes may abort. push(edges, /*probe=*/true) stops
+//    repairing at the first over-budget node and poisons the batch:
+//    feasible() is false, commit()/push() are refused, and pop() restores
+//    the exact pre-push state from the undo log. Probe mode is for
+//    callers that only branch on feasibility (the optimal-search DFS,
+//    shared gating); the default mode repairs to the fixed point so
+//    firstInfeasible() can name the same node the reference would.
+//
+// Differential tests (tests/test_timeframe_oracle.cpp) assert frame
+// equality against computeTimeFrames under randomized batch sequences.
+//
+// The oracle snapshots the graph's CSR views at construction; the graph
+// must not be mutated while the oracle is alive. Batches and pins must not
+// be mixed (pin() requires depth() == 0): the transform consumers only
+// push/pop/commit, the scheduler only pins.
+
+#include <optional>
+#include <queue>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cdfg/graph.hpp"
+#include "sched/latency.hpp"
+#include "sched/timeframe.hpp"
+
+namespace pmsched {
+
+class TimeFrameOracle {
+ public:
+  /// (before, after): `after` must be scheduled strictly after `before`.
+  using Edge = std::pair<NodeId, NodeId>;
+
+  /// Computes the initial frames (no extra edges, no pins). `errorContext`
+  /// prefixes thrown messages so callers keep their historical diagnostics.
+  TimeFrameOracle(const Graph& g, int steps, const LatencyModel& model = LatencyModel::unit(),
+                  std::string errorContext = "TimeFrameOracle");
+
+  // ---- tentative edge batches ---------------------------------------------
+
+  /// Add a batch of tentative edges and repair the frames. Throws
+  /// SynthesisError (and leaves the oracle unchanged) if the batch creates
+  /// a cycle. An empty batch is valid and costs nothing. With `probe` the
+  /// repair may stop at the first infeasibility (see header comment);
+  /// a poisoned probe batch only supports pop().
+  void push(std::span<const Edge> edges, bool probe = false);
+  /// Revert the innermost batch, restoring the previous frames exactly.
+  void pop();
+  /// Make the innermost batch permanent. Only valid at depth() == 1 and on
+  /// a feasible (non-poisoned) batch.
+  void commit();
+  /// Number of open (uncommitted) batches.
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+
+  // ---- pins (force-directed scheduler) ------------------------------------
+
+  /// Permanently fix scheduled node `n` to start step `step` and repair
+  /// both directions eagerly. Throws InfeasibleError when a repaired value
+  /// violates any pin, with the same "<context>: pin below ASAP/above ALAP
+  /// for '<name>'" messages the reference scheduler produces. Requires
+  /// depth() == 0.
+  void pin(NodeId n, int step);
+
+  // ---- queries -------------------------------------------------------------
+
+  [[nodiscard]] int asap(NodeId n) const { return asap_[n]; }
+  /// Reading an ALAP value flushes the lazy backward repair (depth <= 1).
+  [[nodiscard]] int alap(NodeId n) {
+    ensureAlap();
+    return alap_[n];
+  }
+  /// Stable views into the frame arrays (valid for the oracle's lifetime;
+  /// contents change as batches and pins are applied). alapView() flushes
+  /// the lazy backward repair; with pins only (no batches) both views are
+  /// always current.
+  [[nodiscard]] std::span<const int> asapView() const { return asap_; }
+  [[nodiscard]] std::span<const int> alapView() {
+    ensureAlap();
+    return alap_;
+  }
+
+  /// O(1): true iff every scheduled node still fits the budget — equivalent
+  /// to "every scheduled node has ASAP <= ALAP" at the frame fixed point.
+  [[nodiscard]] bool feasible() const { return overEnd_ == 0; }
+  /// First infeasible node in id order (flushes ALAP; diagnostics only).
+  [[nodiscard]] std::optional<NodeId> firstInfeasible();
+
+  /// Materialize the current frames as a TimeFrames value (flushes ALAP).
+  [[nodiscard]] TimeFrames frames();
+
+  /// Nodes whose asap or alap changed in the last push()/pop()/pin(),
+  /// each listed once. Used by the force-directed force-cache invalidation.
+  [[nodiscard]] std::span<const NodeId> changedNodes() const { return changed_; }
+
+ private:
+  struct Batch {
+    std::vector<Edge> edges;
+    std::vector<std::pair<NodeId, int>> asapUndo;  ///< (node, previous value)
+    std::vector<std::pair<NodeId, int>> alapUndo;
+    bool bwdDone = false;   ///< backward repair ran for this batch
+    bool poisoned = false;  ///< probe stopped at the first infeasibility
+  };
+
+  enum class RepairResult { Ok, Cycle, Infeasible };
+
+  [[nodiscard]] int recomputeAsap(NodeId v) const;
+  [[nodiscard]] int recomputeAlap(NodeId v) const;
+  void setAsap(NodeId v, int value);
+  void setAlap(NodeId v, int value);
+  void beginChangeEpoch();
+  void markChanged(NodeId v);
+  RepairResult repairForward(std::span<const NodeId> seeds, Batch* undo, bool abortOnInfeasible);
+  void repairBackward(std::span<const NodeId> seeds, Batch* undo);
+  /// Run the deferred backward repair of the innermost batch, if any.
+  void ensureAlap();
+  /// Restore frames from a batch's undo log and detach its edges.
+  void undoBatch(Batch& batch);
+
+  template <typename Queue>
+  void enqueue(Queue& q, NodeId v) {
+    if (inQueue_[v]) return;
+    inQueue_[v] = 1;
+    q.emplace(topoPos_[v], v);
+  }
+
+  const Graph& g_;
+  const int steps_;
+  const LatencyModel model_;
+  const std::string ctx_;
+  const CsrAdjacency& fanoutCsr_;
+  const CsrAdjacency& ctrlSuccCsr_;
+  const CsrAdjacency& ctrlPredCsr_;
+
+  std::vector<char> sched_;
+  std::vector<int> lat_;                 ///< latency (0 for transparent nodes)
+  std::vector<int> latestStart_;         ///< steps - lat + 1 (scheduled), else steps
+  std::vector<std::uint32_t> topoPos_;   ///< position in the cached topo order
+  int bound_ = 0;                        ///< asap values beyond this imply a cycle
+
+  std::vector<int> asap_;
+  std::vector<int> alap_;
+  std::vector<int> pin_;                 ///< 0 = unpinned
+  int overEnd_ = 0;                      ///< scheduled nodes with asap > latestStart
+
+  std::vector<std::vector<NodeId>> xSucc_;  ///< live extra edges (all batches)
+  std::vector<std::vector<NodeId>> xPred_;
+  /// Pooled batch records: slots [0, depth_) are open; slots keep their
+  /// vector capacity across pushes (the DFS consumers push/pop thousands of
+  /// times, so per-push allocation is off the hot path).
+  std::vector<Batch> batchPool_;
+  std::size_t depth_ = 0;
+
+  std::vector<NodeId> changed_;
+  std::vector<char> changedFlag_;
+  std::vector<char> inQueue_;
+
+  // Pooled repair scratch (drained after every repair; capacity persists).
+  using MinItem = std::pair<std::uint32_t, NodeId>;
+  std::priority_queue<MinItem, std::vector<MinItem>, std::greater<MinItem>> fwdQueue_;
+  std::priority_queue<MinItem> bwdQueue_;
+  std::vector<NodeId> seedsF_;
+  std::vector<NodeId> seedsB_;
+};
+
+}  // namespace pmsched

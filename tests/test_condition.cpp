@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "sched/condition.hpp"
 
 namespace pmsched {
@@ -110,6 +112,97 @@ TEST(Condition, SupportLimitEnforced) {
   big.push_back(term);
   EXPECT_THROW((void)dnfProbability(big, 24), SynthesisError);
   EXPECT_NO_THROW((void)dnfProbability(big, 30));
+}
+
+TEST(Condition, MergeRecreatingExistingTermKeepsIt) {
+  // Regression: (a) | (a & s) | (a & !s) — the pair merge recreates (a),
+  // and the old subsumption filter dropped BOTH equal copies, collapsing
+  // the whole condition to FALSE (probability 1/2 -> 0).
+  GateDnf dnf{{lit(1, true)},
+              {lit(1, true), lit(2, true)},
+              {lit(1, true), lit(2, false)}};
+  const Rational before = dnfProbability(dnf);
+  const GateDnf simplified = simplifyDnf(dnf);
+  ASSERT_EQ(simplified, (GateDnf{{lit(1, true)}}));
+  EXPECT_EQ(dnfProbability(simplified), before);
+  EXPECT_EQ(simplifyDnfReference(dnf), simplified);
+}
+
+namespace {
+
+/// Seeded random DNF over `vars` selects: `terms` terms of up to `maxLen`
+/// literals (duplicates and contradictions allowed — simplify must cope).
+GateDnf randomDnf(std::mt19937_64& rng, NodeId vars, int terms, int maxLen) {
+  std::uniform_int_distribution<NodeId> sel(1, vars);
+  std::uniform_int_distribution<int> len(0, maxLen);
+  std::uniform_int_distribution<int> bit(0, 1);
+  GateDnf dnf;
+  for (int t = 0; t < terms; ++t) {
+    GateTerm term;
+    const int n = len(rng);
+    for (int i = 0; i < n; ++i) term.push_back(lit(sel(rng), bit(rng) != 0));
+    dnf.push_back(std::move(term));
+  }
+  return dnf;
+}
+
+/// Brute-force evaluation of a DNF under one assignment (bit i of `assign`
+/// is the value of select i+1).
+bool evalDnf(const GateDnf& dnf, std::uint32_t assign) {
+  for (const GateTerm& term : dnf) {
+    bool sat = true;
+    for (const GateLiteral& l : term) {
+      const bool v = ((assign >> (l.select - 1)) & 1U) != 0;
+      if (v != l.value) {
+        sat = false;
+        break;
+      }
+    }
+    if (sat) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TEST(Condition, SimplifyMatchesReferenceAndPreservesSemantics) {
+  // Property check over random DNFs: the interned engine must be
+  // structurally identical to the retained reference, and simplification
+  // must not change the function (checked by exact probability AND by
+  // brute-force truth-table comparison).
+  std::mt19937_64 rng(20260729);
+  const NodeId vars = 6;
+  for (int round = 0; round < 400; ++round) {
+    const GateDnf dnf = randomDnf(rng, vars, 1 + round % 12, 1 + round % 5);
+    const GateDnf fast = simplifyDnf(dnf);
+    const GateDnf ref = simplifyDnfReference(dnf);
+    ASSERT_EQ(fast, ref) << "round " << round;
+    ASSERT_EQ(dnfProbability(fast), dnfProbability(dnf)) << "round " << round;
+    for (std::uint32_t assign = 0; assign < (1U << vars); ++assign)
+      ASSERT_EQ(evalDnf(fast, assign), evalDnf(dnf, assign))
+          << "round " << round << " assignment " << assign;
+  }
+}
+
+TEST(Condition, AndDnfPreservesSemantics) {
+  std::mt19937_64 rng(42);
+  const NodeId vars = 5;
+  for (int round = 0; round < 200; ++round) {
+    const GateDnf a = randomDnf(rng, vars, 1 + round % 6, 1 + round % 4);
+    const GateDnf b = randomDnf(rng, vars, 1 + round % 5, 1 + round % 3);
+    const GateDnf c = andDnf(a, b);
+    for (std::uint32_t assign = 0; assign < (1U << vars); ++assign)
+      ASSERT_EQ(evalDnf(c, assign), evalDnf(a, assign) && evalDnf(b, assign))
+          << "round " << round << " assignment " << assign;
+  }
+}
+
+TEST(Condition, SimplifyIdempotent) {
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 100; ++round) {
+    const GateDnf once = simplifyDnf(randomDnf(rng, 6, 1 + round % 10, 1 + round % 4));
+    ASSERT_EQ(simplifyDnf(once), once) << "round " << round;
+  }
 }
 
 TEST(Condition, ToStringReadable) {

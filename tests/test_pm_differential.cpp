@@ -1,0 +1,147 @@
+// Differential tests for the oracle-backed power-management paths: the
+// incremental transform, exact search, and shared gating must produce
+// bit-identical designs (managed sets, gated sets, control edges, frames,
+// resolved conditions) to the retained from-scratch reference paths.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cdfg/analysis.hpp"
+#include "circuits/circuits.hpp"
+#include "sched/power_transform.hpp"
+#include "sched/shared_gating.hpp"
+#include "support/random_dfg.hpp"
+
+namespace pmsched {
+namespace {
+
+std::vector<Graph> allCircuits() {
+  std::vector<Graph> out;
+  for (const auto& entry : circuits::paperCircuits()) out.push_back(entry.build());
+  out.push_back(circuits::cordic());
+  out.push_back(circuits::diffeq());
+  out.push_back(circuits::fir8());
+  out.push_back(circuits::arf());
+  out.push_back(circuits::ewf());
+  return out;
+}
+
+void expectDesignsEqual(const PowerManagedDesign& a, const PowerManagedDesign& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.steps, b.steps) << what;
+  ASSERT_EQ(a.muxes.size(), b.muxes.size()) << what;
+  for (std::size_t i = 0; i < a.muxes.size(); ++i) {
+    const MuxPmInfo& ma = a.muxes[i];
+    const MuxPmInfo& mb = b.muxes[i];
+    ASSERT_EQ(ma.mux, mb.mux) << what;
+    ASSERT_EQ(ma.managed, mb.managed) << what << ": mux " << ma.mux;
+    ASSERT_EQ(ma.reason, mb.reason) << what << ": mux " << ma.mux;
+    ASSERT_EQ(ma.lastControl, mb.lastControl) << what << ": mux " << ma.mux;
+    ASSERT_EQ(ma.gatedTrue, mb.gatedTrue) << what << ": mux " << ma.mux;
+    ASSERT_EQ(ma.gatedFalse, mb.gatedFalse) << what << ": mux " << ma.mux;
+    ASSERT_EQ(ma.topTrue, mb.topTrue) << what << ": mux " << ma.mux;
+    ASSERT_EQ(ma.topFalse, mb.topFalse) << what << ": mux " << ma.mux;
+  }
+  ASSERT_EQ(a.frames.asap, b.frames.asap) << what;
+  ASSERT_EQ(a.frames.alap, b.frames.alap) << what;
+  ASSERT_EQ(a.graph.size(), b.graph.size()) << what;
+  ASSERT_EQ(a.graph.controlEdgeCount(), b.graph.controlEdgeCount()) << what;
+  for (NodeId n = 0; n < a.graph.size(); ++n) {
+    ASSERT_EQ(a.graph.controlPredecessors(n), b.graph.controlPredecessors(n))
+        << what << ": control preds of node " << n;
+    ASSERT_EQ(a.sharedGating[n], b.sharedGating[n]) << what << ": shared gating of " << n;
+    ASSERT_EQ(a.gates[n].size(), b.gates[n].size()) << what << ": gates of " << n;
+    for (std::size_t k = 0; k < a.gates[n].size(); ++k) {
+      ASSERT_EQ(a.gates[n][k].mux, b.gates[n][k].mux) << what;
+      ASSERT_EQ(a.gates[n][k].side, b.gates[n][k].side) << what;
+    }
+  }
+  // Resolved activation conditions compose gates and shared gating; their
+  // equality seals the full downstream-visible state.
+  const std::vector<GateDnf> condA = resolveActivationConditions(a);
+  const std::vector<GateDnf> condB = resolveActivationConditions(b);
+  ASSERT_EQ(condA, condB) << what;
+}
+
+TEST(PowerTransformDifferential, GreedyMatchesReferenceOnCircuits) {
+  for (const Graph& g : allCircuits()) {
+    const int cp = criticalPathLength(g);
+    for (const int slack : {0, 1, 3}) {
+      const std::string what = g.name() + " @" + std::to_string(cp + slack);
+      expectDesignsEqual(applyPowerManagement(g, cp + slack),
+                         applyPowerManagementReference(g, cp + slack), what);
+    }
+  }
+}
+
+TEST(PowerTransformDifferential, AllOrderingsMatchReference) {
+  const Graph g = circuits::dealer();
+  const int steps = criticalPathLength(g) + 2;
+  for (const MuxOrdering ordering :
+       {MuxOrdering::OutputFirst, MuxOrdering::InputFirst, MuxOrdering::BySavings}) {
+    expectDesignsEqual(applyPowerManagement(g, steps, ordering),
+                       applyPowerManagementReference(g, steps, ordering),
+                       "dealer ordering " + std::to_string(static_cast<int>(ordering)));
+  }
+}
+
+TEST(PowerTransformDifferential, GreedyMatchesReferenceOnRandomDfgs) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const Graph g = randomLayeredDfg(3 + static_cast<int>(seed % 6), 4, seed);
+    const int cp = criticalPathLength(g);
+    for (const int slack : {1, 4}) {
+      const std::string what = "seed " + std::to_string(seed) + " @" + std::to_string(cp + slack);
+      expectDesignsEqual(applyPowerManagement(g, cp + slack),
+                         applyPowerManagementReference(g, cp + slack), what);
+    }
+  }
+}
+
+TEST(PowerTransformDifferential, MultiCycleModelMatchesReference) {
+  const LatencyModel model = LatencyModel::multiCycleMultiplier(2);
+  for (std::uint64_t seed = 30; seed < 36; ++seed) {
+    const Graph g = randomLayeredDfg(5, 4, seed);
+    const int steps = criticalPathLength(g) * 2 + 3;
+    expectDesignsEqual(applyPowerManagement(g, steps, MuxOrdering::OutputFirst, model),
+                       applyPowerManagementReference(g, steps, MuxOrdering::OutputFirst, model),
+                       "multi-cycle seed " + std::to_string(seed));
+  }
+}
+
+TEST(PowerTransformDifferential, OptimalMatchesReference) {
+  for (const Graph& g : allCircuits()) {
+    const int steps = criticalPathLength(g) + 2;
+    expectDesignsEqual(applyPowerManagementOptimal(g, steps),
+                       applyPowerManagementOptimalReference(g, steps),
+                       g.name() + " optimal");
+  }
+  for (std::uint64_t seed = 50; seed < 58; ++seed) {
+    const Graph g = randomLayeredDfg(4 + static_cast<int>(seed % 3), 4, seed);
+    const int steps = criticalPathLength(g) + 2;
+    expectDesignsEqual(applyPowerManagementOptimal(g, steps),
+                       applyPowerManagementOptimalReference(g, steps),
+                       "optimal seed " + std::to_string(seed));
+  }
+}
+
+TEST(SharedGatingDifferential, MatchesReferenceOnCircuitsAndRandomDfgs) {
+  auto check = [](const Graph& g, int steps, const std::string& what) {
+    PowerManagedDesign fast = applyPowerManagement(g, steps);
+    PowerManagedDesign ref = applyPowerManagementReference(g, steps);
+    const int gatedFast = applySharedGating(fast);
+    const int gatedRef = applySharedGatingReference(ref);
+    ASSERT_EQ(gatedFast, gatedRef) << what;
+    expectDesignsEqual(fast, ref, what + " (after shared gating)");
+  };
+  for (const Graph& g : allCircuits())
+    check(g, criticalPathLength(g) + 2, g.name() + " shared gating");
+  for (std::uint64_t seed = 70; seed < 80; ++seed) {
+    const Graph g = randomLayeredDfg(5, 4, seed);
+    check(g, criticalPathLength(g) + 3, "shared gating seed " + std::to_string(seed));
+  }
+}
+
+}  // namespace
+}  // namespace pmsched
