@@ -9,8 +9,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <random>
+
 #include "circuits/circuits.hpp"
 #include "power/activation.hpp"
+#include "sched/bdd.hpp"
 #include "sched/force_directed.hpp"
 #include "sched/list_scheduler.hpp"
 #include "sched/power_transform.hpp"
@@ -20,6 +23,24 @@
 namespace {
 
 using namespace pmsched;
+
+/// Seeded DNF with support k shaped like real activation conditions:
+/// sliding-window conjunctions (nested gating chains share select
+/// prefixes, shared gating ORs them). Enumeration is 2^k on it regardless
+/// of structure; the BDD stays near-linear. Same seed at each size, so
+/// BM_DnfProbability* runs are comparable across builds.
+GateDnf benchDnf(int k) {
+  std::mt19937_64 rng(1996 + static_cast<unsigned>(k));
+  std::uniform_int_distribution<int> bit(0, 1);
+  GateDnf dnf;
+  for (int t = 0; t + 1 < k; t += 2) {
+    GateTerm term;
+    for (int i = t; i < t + 4 && i < k; ++i)
+      term.push_back(GateLiteral{static_cast<NodeId>(i + 1), bit(rng) != 0});
+    dnf.push_back(std::move(term));
+  }
+  return dnf;
+}
 
 void BM_PowerTransform(benchmark::State& state) {
   const Graph g = randomLayeredDfg(static_cast<int>(state.range(0)), 8, 42);
@@ -50,7 +71,7 @@ void BM_SharedGating(benchmark::State& state) {
   }
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_SharedGating)->RangeMultiplier(2)->Range(4, 32)->Complexity();
+BENCHMARK(BM_SharedGating)->RangeMultiplier(2)->Range(4, 48)->Complexity();
 
 void BM_ListSchedule(benchmark::State& state) {
   const Graph g = randomLayeredDfg(static_cast<int>(state.range(0)), 8, 42);
@@ -89,8 +110,42 @@ void BM_ActivationAnalysis(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(analyzeActivation(design));
   }
+  state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_ActivationAnalysis)->RangeMultiplier(2)->Range(4, 32);
+BENCHMARK(BM_ActivationAnalysis)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+// Probability of one condition as a function of support size. The BDD path
+// (production dnfProbability) amortizes across queries through the
+// thread-local manager; the Cold variant pays the full conversion each
+// iteration; the Reference variant is the retained 2^k enumeration, capped
+// at its 24-variable limit.
+void BM_DnfProbability(benchmark::State& state) {
+  const GateDnf dnf = benchDnf(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dnfProbability(dnf));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DnfProbability)->RangeMultiplier(2)->Range(4, 48)->Complexity();
+
+void BM_DnfProbabilityCold(benchmark::State& state) {
+  const GateDnf dnf = benchDnf(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    BddManager mgr;
+    benchmark::DoNotOptimize(mgr.probability(mgr.fromDnf(dnf)));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DnfProbabilityCold)->RangeMultiplier(2)->Range(4, 48)->Complexity();
+
+void BM_DnfProbabilityReference(benchmark::State& state) {
+  const GateDnf dnf = benchDnf(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dnfProbabilityReference(dnf));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DnfProbabilityReference)->RangeMultiplier(2)->Range(4, 24)->Complexity();
 
 void BM_Cordic_FullFlow(benchmark::State& state) {
   const Graph g = circuits::cordic();

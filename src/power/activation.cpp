@@ -8,18 +8,27 @@ ActivationResult analyzeActivation(const PowerManagedDesign& design) {
   ActivationResult result;
   result.condition = resolveActivationConditions(design);
   result.probability.assign(g.size(), Rational::one());
+  result.bdds = std::make_shared<BddManager>();
+  result.bdd.assign(g.size(), kBddTrue);
   result.averageExecuted.fill(Rational::zero());
   result.totalOps.fill(0);
 
   for (NodeId n = 0; n < g.size(); ++n) {
-    // Most nodes are ungated (TRUE) — skip the support enumeration for them.
+    // Every condition BDD lives in one manager, so the conditions of a
+    // gated cone (which share muxes and therefore subformulas) share
+    // nodes, and the per-node probability is a cache hit for every
+    // subgraph already weighed for an earlier node.
     const GateDnf& cond = result.condition[n];
-    if (dnfIsTrue(cond))
+    if (dnfIsTrue(cond)) {
+      result.bdd[n] = kBddTrue;
       result.probability[n] = Rational::one();
-    else if (cond.empty())
+    } else if (cond.empty()) {
+      result.bdd[n] = kBddFalse;
       result.probability[n] = Rational::zero();
-    else
-      result.probability[n] = dnfProbability(cond);
+    } else {
+      result.bdd[n] = result.bdds->fromDnf(cond);
+      result.probability[n] = result.bdds->probability(result.bdd[n]);
+    }
 
     const ResourceClass rc = resourceClassOf(g.kind(n));
     if (rc == ResourceClass::None) continue;

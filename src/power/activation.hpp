@@ -11,9 +11,11 @@
 // columns fall out of summing them per unit class.
 
 #include <array>
+#include <memory>
 #include <vector>
 
 #include "power/power_model.hpp"
+#include "sched/bdd.hpp"
 #include "sched/power_transform.hpp"
 #include "support/rational.hpp"
 
@@ -24,6 +26,16 @@ struct ActivationResult {
   std::vector<Rational> probability;
   /// Resolved activation condition per node (TRUE for ungated ones).
   std::vector<GateDnf> condition;
+
+  /// One BDD manager shared by every condition in the design: nested and
+  /// shared gating produce heavily overlapping conditions, so hash-consing
+  /// makes `bdd[n]` a canonical handle (equal function <=> equal ref) and
+  /// later queries (probability, support, equivalence) reuse the built
+  /// structure instead of re-enumerating. Shared so copies of the result
+  /// keep the handles valid.
+  std::shared_ptr<BddManager> bdds;
+  /// Canonical condition BDD per node (kBddTrue for ungated operations).
+  std::vector<BddRef> bdd;
 
   /// Sum of probabilities per unit class — the paper's Table II
   /// "Average Number of Operations Executed" columns.

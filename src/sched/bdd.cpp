@@ -1,0 +1,143 @@
+#include "sched/bdd.hpp"
+
+#include <algorithm>
+
+namespace pmsched {
+
+namespace {
+
+inline std::uint64_t hashTriple(std::uint32_t var, BddRef lo, BddRef hi) {
+  std::uint64_t x = (static_cast<std::uint64_t>(lo) << 32) | hi;
+  x ^= static_cast<std::uint64_t>(var) * 0x9E3779B97F4A7C15ULL;
+  x *= 0x100000001B3ULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+BddManager::BddManager() {
+  nodes_.push_back(Node{kTermVar, kBddFalse, kBddFalse});  // 0 = FALSE
+  nodes_.push_back(Node{kTermVar, kBddTrue, kBddTrue});    // 1 = TRUE
+}
+
+void BddManager::clear() {
+  nodes_.resize(2);
+  unique_.clear();
+  computed_.clear();
+  probCache_.clear();
+  varOf_.clear();
+  order_.clear();
+}
+
+BddRef BddManager::makeNode(std::uint32_t var, BddRef lo, BddRef hi) {
+  if (lo == hi) return lo;  // redundant test: both branches agree
+  std::vector<BddRef>& bucket = unique_[hashTriple(var, lo, hi)];
+  for (const BddRef r : bucket) {
+    const Node& n = nodes_[r];
+    if (n.var == var && n.lo == lo && n.hi == hi) return r;
+  }
+  const BddRef r = static_cast<BddRef>(nodes_.size());
+  nodes_.push_back(Node{var, lo, hi});
+  bucket.push_back(r);
+  return r;
+}
+
+std::uint32_t BddManager::varIndex(NodeId select) {
+  const auto [it, inserted] = varOf_.try_emplace(select, static_cast<std::uint32_t>(order_.size()));
+  if (inserted) order_.push_back(select);
+  return it->second;
+}
+
+BddRef BddManager::literal(NodeId select, bool value) {
+  const std::uint32_t v = varIndex(select);
+  return value ? makeNode(v, kBddFalse, kBddTrue) : makeNode(v, kBddTrue, kBddFalse);
+}
+
+BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
+  // Terminal cases.
+  if (f == kBddTrue) return g;
+  if (f == kBddFalse) return h;
+  if (g == h) return g;
+  if (g == kBddTrue && h == kBddFalse) return f;
+
+  const IteKey key{f, g, h};
+  if (const auto it = computed_.find(key); it != computed_.end()) return it->second;
+
+  const std::uint32_t v = std::min({nodes_[f].var, nodes_[g].var, nodes_[h].var});
+  const BddRef lo = ite(cofactor(f, v, false), cofactor(g, v, false), cofactor(h, v, false));
+  const BddRef hi = ite(cofactor(f, v, true), cofactor(g, v, true), cofactor(h, v, true));
+  const BddRef r = makeNode(v, lo, hi);
+  computed_.emplace(key, r);
+  return r;
+}
+
+BddRef BddManager::fromDnf(const GateDnf& dnf) {
+  // Register the support ascending so the variable order (and therefore
+  // the node ids a given formula produces) is deterministic.
+  for (const NodeId s : dnfSupport(dnf)) (void)varIndex(s);
+
+  BddRef acc = kBddFalse;
+  std::vector<std::pair<std::uint32_t, bool>> lits;
+  for (const GateTerm& term : dnf) {
+    lits.clear();
+    lits.reserve(term.size());
+    for (const GateLiteral& l : term) lits.emplace_back(varIndex(l.select), l.value);
+    std::sort(lits.begin(), lits.end());
+    bool contradictory = false;
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < lits.size(); ++i) {
+      if (out > 0 && lits[out - 1].first == lits[i].first) {
+        if (lits[out - 1].second != lits[i].second) {
+          contradictory = true;  // same select demanded both ways
+          break;
+        }
+        continue;  // duplicate literal
+      }
+      lits[out++] = lits[i];
+    }
+    if (contradictory) continue;
+    lits.resize(out);
+    // A conjunction over distinct variables is a single chain; building it
+    // bottom-up (highest variable first) needs no ite at all.
+    BddRef t = kBddTrue;
+    for (auto it = lits.rbegin(); it != lits.rend(); ++it)
+      t = it->second ? makeNode(it->first, kBddFalse, t) : makeNode(it->first, t, kBddFalse);
+    acc = bddOr(acc, t);
+    if (acc == kBddTrue) break;  // tautology: no later term can change it
+  }
+  return acc;
+}
+
+Rational BddManager::probability(BddRef f) {
+  if (f == kBddFalse) return Rational::zero();
+  if (f == kBddTrue) return Rational::one();
+  if (const auto it = probCache_.find(f); it != probCache_.end()) return it->second;
+  const Node& n = nodes_[f];
+  // Each reachable node is visited once; the recursion depth is bounded by
+  // the support size. Variables absent between a node and its child need
+  // no correction: they contribute the same factor to both branches.
+  const Rational p = (probability(n.lo) + probability(n.hi)) * Rational{1, 2};
+  probCache_.emplace(f, p);
+  return p;
+}
+
+std::vector<NodeId> BddManager::support(BddRef f) const {
+  std::vector<NodeId> out;
+  std::vector<BddRef> stack{f};
+  std::vector<bool> seen(nodes_.size(), false);
+  while (!stack.empty()) {
+    const BddRef r = stack.back();
+    stack.pop_back();
+    if (r <= kBddTrue || seen[r]) continue;
+    seen[r] = true;
+    out.push_back(order_[nodes_[r].var]);
+    stack.push_back(nodes_[r].lo);
+    stack.push_back(nodes_[r].hi);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace pmsched

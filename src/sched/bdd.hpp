@@ -1,0 +1,131 @@
+#pragma once
+// Reduced ordered binary decision diagrams (ROBDDs) over select signals.
+//
+// The activation analysis needs the exact probability that a DNF over
+// independent fair selects holds. Enumerating assignments costs 2^support
+// and capped the analysis at 24 variables; an ROBDD represents the same
+// function in a number of nodes that is usually far smaller than 2^support,
+// and the probability falls out of ONE bottom-up weighted pass over the
+// reachable nodes:
+//
+//   P(false) = 0,  P(true) = 1,  P(node) = (P(lo) + P(hi)) / 2
+//
+// (variables skipped between a node and its children contribute 1/2 to each
+// branch and cancel, so no level correction is needed). All arithmetic is
+// exact Rational, so the result is bit-identical to the enumeration path on
+// any support it can handle.
+//
+// Design notes (see docs/CONDITIONS.md):
+//  * nodes are hash-consed in a per-manager unique table, so structurally
+//    equal functions share one node id — semantic equality is `a == b` on
+//    refs, and every memo cache keyed by ref stays valid for the manager's
+//    lifetime;
+//  * `ite` is the single connective; AND/OR/NOT are one-line wrappers. A
+//    computed table memoizes (f, g, h) triples for the manager's lifetime;
+//  * the variable order is first-registration order. fromDnf() registers a
+//    DNF's support in ascending select-id order before building, which
+//    makes conversion deterministic and keeps the per-term chains sorted.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/condition.hpp"
+#include "support/rational.hpp"
+
+namespace pmsched {
+
+/// Handle to a BDD node inside one BddManager. Refs from different
+/// managers must never be mixed (unchecked).
+using BddRef = std::uint32_t;
+
+inline constexpr BddRef kBddFalse = 0;
+inline constexpr BddRef kBddTrue = 1;
+
+class BddManager {
+ public:
+  BddManager();
+
+  BddManager(const BddManager&) = delete;
+  BddManager& operator=(const BddManager&) = delete;
+
+  /// The single-variable function "select == value".
+  [[nodiscard]] BddRef literal(NodeId select, bool value);
+
+  /// Shannon if-then-else: f ? g : h. The universal connective.
+  [[nodiscard]] BddRef ite(BddRef f, BddRef g, BddRef h);
+
+  [[nodiscard]] BddRef bddAnd(BddRef a, BddRef b) { return ite(a, b, kBddFalse); }
+  [[nodiscard]] BddRef bddOr(BddRef a, BddRef b) { return ite(a, kBddTrue, b); }
+  [[nodiscard]] BddRef bddNot(BddRef a) { return ite(a, kBddFalse, kBddTrue); }
+
+  /// Convert a DNF (terms need not be normalized: duplicate literals are
+  /// collapsed, contradictory terms contribute FALSE). Hash-consing makes
+  /// the conversion canonical: equivalent DNFs yield the same ref.
+  [[nodiscard]] BddRef fromDnf(const GateDnf& dnf);
+
+  /// Exact P(f) under independent fair selects. Memoized per node for the
+  /// manager's lifetime, so repeated queries over a family of conditions
+  /// that share structure (e.g. nested gating) cost only the new nodes.
+  [[nodiscard]] Rational probability(BddRef f);
+
+  /// Distinct selects the function actually depends on, ascending id.
+  [[nodiscard]] std::vector<NodeId> support(BddRef f) const;
+
+  /// Live node count including the two terminals (diagnostics/tests).
+  [[nodiscard]] std::size_t nodeCount() const { return nodes_.size(); }
+
+  /// Drop every node and cache, keeping only the terminals. Invalidates
+  /// all outstanding refs — only callers that hold none may use it (the
+  /// thread-local manager behind dnfProbability does, between queries).
+  void clear();
+
+ private:
+  static constexpr std::uint32_t kTermVar = static_cast<std::uint32_t>(-1);
+
+  struct Node {
+    std::uint32_t var;  // index into order_, kTermVar for terminals
+    BddRef lo;
+    BddRef hi;
+  };
+
+  struct IteKey {
+    BddRef f, g, h;
+    friend bool operator==(const IteKey&, const IteKey&) = default;
+  };
+  struct IteKeyHash {
+    std::size_t operator()(const IteKey& k) const {
+      std::uint64_t x = (static_cast<std::uint64_t>(k.f) << 32) | k.g;
+      x ^= static_cast<std::uint64_t>(k.h) * 0x9E3779B97F4A7C15ULL;
+      x ^= x >> 29;
+      x *= 0xBF58476D1CE4E5B9ULL;
+      x ^= x >> 32;
+      return static_cast<std::size_t>(x);
+    }
+  };
+
+  /// Hash-consed node constructor; maintains the ROBDD invariants
+  /// (lo != hi, child vars strictly below — i.e. numerically above — var).
+  [[nodiscard]] BddRef makeNode(std::uint32_t var, BddRef lo, BddRef hi);
+
+  /// Variable index of a select, registering it at the end of the order on
+  /// first sight.
+  [[nodiscard]] std::uint32_t varIndex(NodeId select);
+
+  /// Cofactor of f with respect to variable v (f unchanged when its top
+  /// variable is below v).
+  [[nodiscard]] BddRef cofactor(BddRef f, std::uint32_t v, bool value) const {
+    const Node& n = nodes_[f];
+    if (n.var != v) return f;
+    return value ? n.hi : n.lo;
+  }
+
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, std::vector<BddRef>> unique_;
+  std::unordered_map<IteKey, BddRef, IteKeyHash> computed_;
+  std::unordered_map<BddRef, Rational> probCache_;
+  std::unordered_map<NodeId, std::uint32_t> varOf_;
+  std::vector<NodeId> order_;  // var index -> select id
+};
+
+}  // namespace pmsched

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "sched/bdd.hpp"
+
 namespace pmsched {
 
 bool normalizeTerm(GateTerm& term) {
@@ -33,10 +35,12 @@ bool conjoinTerms(const GateTerm& a, const GateTerm& b, GateTerm& out) {
 //  * a literal is one 64-bit word, (select << 1) | value, so a normalized
 //    term is a sorted flat array and term comparison is a word-wise
 //    lexicographic compare (identical ordering to GateTerm's operator<=>);
-//  * terms are interned in a thread-local pool (hash table over a shared
-//    literal arena): content-equal terms get the same TermId, making term
-//    equality O(1) and the complementary-pair merge a hash lookup (flip one
-//    literal, probe the pool) instead of an O(terms) scan;
+//  * terms are interned in a pool (hash table over a shared literal
+//    arena): content-equal terms get the same TermId, making term equality
+//    O(1) and the complementary-pair merge a hash lookup (flip one
+//    literal, probe the pool) instead of an O(terms) scan. The free
+//    functions below run on a thread-local DnfEngine; passes that keep
+//    handles alive across calls (shared gating) own their engine instance;
 //  * every term carries a 64-bit signature (a bloom filter of its literals);
 //    "a subsumes b" requires sig(a) ⊆ sig(b), which rejects almost every
 //    candidate pair before the literal-level std::includes runs.
@@ -82,7 +86,7 @@ inline std::uint64_t hashLits(std::span<const Lit> lits) {
   return h;
 }
 
-/// Thread-local interning pool: terms live in one flat literal arena.
+/// Interning pool: terms live in one flat literal arena.
 class TermPool {
  public:
   using Id = std::uint32_t;
@@ -161,8 +165,6 @@ class TermPool {
   std::unordered_map<std::uint64_t, std::vector<Id>> buckets_;
 };
 
-thread_local TermPool pool;  // NOLINT(cppcoreguidelines-avoid-non-const-global-variables)
-
 /// Encode + single-pass normalize (sort, dedupe, drop contradictions) one
 /// GateTerm into `buf`; false when the term is contradictory.
 bool encodeTerm(const GateTerm& term, std::vector<Lit>& buf) {
@@ -182,8 +184,8 @@ bool encodeTerm(const GateTerm& term, std::vector<Lit>& buf) {
   return true;
 }
 
-void sortUniqueIds(std::vector<TermPool::Id>& ids) {
-  std::sort(ids.begin(), ids.end(), [](TermPool::Id a, TermPool::Id b) {
+void sortUniqueIds(const TermPool& pool, std::vector<TermPool::Id>& ids) {
+  std::sort(ids.begin(), ids.end(), [&pool](TermPool::Id a, TermPool::Id b) {
     return a != b && pool.less(a, b);
   });
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
@@ -193,7 +195,7 @@ void sortUniqueIds(std::vector<TermPool::Id>& ids) {
 /// smallest i, then smallest j > i, such that term j equals term i with one
 /// literal's polarity flipped. Applies the merge (erase both, append the
 /// common remainder) and returns true.
-bool mergeFirstPair(std::vector<TermPool::Id>& ids, std::vector<Lit>& buf) {
+bool mergeFirstPair(TermPool& pool, std::vector<TermPool::Id>& ids, std::vector<Lit>& buf) {
   if (ids.size() < 2) return false;
   for (std::size_t i = 0; i < ids.size(); ++i) {
     const std::span<const Lit> lits = pool.lits(ids[i]);
@@ -207,7 +209,7 @@ bool mergeFirstPair(std::vector<TermPool::Id>& ids, std::vector<Lit>& buf) {
       // ids is sorted by content, so the flip's position is a binary search.
       const auto it = std::lower_bound(
           ids.begin(), ids.end(), std::span<const Lit>(buf),
-          [](TermPool::Id a, std::span<const Lit> lb) { return pool.lessThanLits(a, lb); });
+          [&pool](TermPool::Id a, std::span<const Lit> lb) { return pool.lessThanLits(a, lb); });
       if (it == ids.end() || *it != fid) continue;  // interned but not present here
       const std::size_t j = static_cast<std::size_t>(it - ids.begin());
       if (j > i && j < bestJ) {
@@ -231,7 +233,7 @@ bool mergeFirstPair(std::vector<TermPool::Id>& ids, std::vector<Lit>& buf) {
 /// Drop every term that another term subsumes (is a subset of), keeping the
 /// first copy of content-equal duplicates. Signature containment rejects
 /// non-subset pairs in O(1) before the literal-level check.
-bool dropSubsumed(std::vector<TermPool::Id>& ids) {
+bool dropSubsumed(const TermPool& pool, std::vector<TermPool::Id>& ids) {
   const std::size_t n = ids.size();
   if (n < 2) return false;
   std::vector<TermPool::Id> kept;
@@ -261,17 +263,17 @@ bool dropSubsumed(std::vector<TermPool::Id>& ids) {
 
 /// The reference loop on interned ids: per iteration sort+dedupe, merge one
 /// complementary pair, filter subsumed terms; repeat until stable.
-void simplifyIds(std::vector<TermPool::Id>& ids, std::vector<Lit>& buf) {
+void simplifyIds(TermPool& pool, std::vector<TermPool::Id>& ids, std::vector<Lit>& buf) {
   bool changed = true;
   while (changed) {
     changed = false;
-    sortUniqueIds(ids);
-    if (mergeFirstPair(ids, buf)) changed = true;
-    if (dropSubsumed(ids)) changed = true;
+    sortUniqueIds(pool, ids);
+    if (mergeFirstPair(pool, ids, buf)) changed = true;
+    if (dropSubsumed(pool, ids)) changed = true;
   }
 }
 
-GateDnf decodeIds(const std::vector<TermPool::Id>& ids) {
+GateDnf decodeIds(const TermPool& pool, const std::vector<TermPool::Id>& ids) {
   GateDnf out;
   out.reserve(ids.size());
   for (const TermPool::Id id : ids) {
@@ -286,38 +288,42 @@ GateDnf decodeIds(const std::vector<TermPool::Id>& ids) {
 
 }  // namespace
 
-GateDnf simplifyDnf(GateDnf dnf) {
-  pool.maybeTrim();
-  std::vector<TermPool::Id> ids;
-  ids.reserve(dnf.size());
+struct DnfEngine::Impl {
+  TermPool pool;
   std::vector<Lit> buf;
+};
+
+DnfEngine::DnfEngine() : impl_(std::make_unique<Impl>()) {}
+DnfEngine::~DnfEngine() = default;
+
+std::vector<DnfEngine::TermId> DnfEngine::encode(const GateDnf& dnf) {
+  std::vector<TermId> ids;
+  ids.reserve(dnf.size());
   for (const GateTerm& term : dnf)
-    if (encodeTerm(term, buf)) ids.push_back(pool.intern(buf));
-  simplifyIds(ids, buf);
-  return decodeIds(ids);
+    if (encodeTerm(term, impl_->buf)) ids.push_back(impl_->pool.intern(impl_->buf));
+  return ids;
 }
 
-GateDnf andDnf(const GateDnf& a, const GateDnf& b) {
-  pool.maybeTrim();
-  // Encode (and normalize) both sides once; contradictory input terms can
-  // never produce a satisfiable conjunction, so they are dropped here just
-  // as conjoinTerms would drop them pair by pair.
-  std::vector<Lit> buf;
-  std::vector<std::vector<Lit>> ea;
-  ea.reserve(a.size());
-  for (const GateTerm& t : a)
-    if (encodeTerm(t, buf)) ea.push_back(buf);
-  std::vector<std::vector<Lit>> eb;
-  eb.reserve(b.size());
-  for (const GateTerm& t : b)
-    if (encodeTerm(t, buf)) eb.push_back(buf);
+DnfEngine::Dnf DnfEngine::simplify(std::vector<TermId> terms) {
+  simplifyIds(impl_->pool, terms, impl_->buf);
+  return Dnf{std::move(terms)};
+}
+
+DnfEngine::Dnf DnfEngine::conjoin(std::span<const TermId> a, std::span<const TermId> b) {
+  TermPool& pool = impl_->pool;
+  std::vector<Lit>& buf = impl_->buf;
 
   // Cross product: merge two sorted literal arrays, dropping contradictory
-  // combinations (same select, opposite polarity).
-  std::vector<TermPool::Id> ids;
-  ids.reserve(ea.size() * eb.size());
-  for (const std::vector<Lit>& ta : ea) {
-    for (const std::vector<Lit>& tb : eb) {
+  // combinations (same select, opposite polarity). The outer term is
+  // copied out of the arena because intern() below may reallocate it.
+  std::vector<TermId> ids;
+  ids.reserve(a.size() * b.size());
+  std::vector<Lit> ta;
+  for (const TermId ia : a) {
+    const std::span<const Lit> la = pool.lits(ia);
+    ta.assign(la.begin(), la.end());
+    for (const TermId ib : b) {
+      const std::span<const Lit> tb = pool.lits(ib);
       buf.clear();
       std::size_t i = 0;
       std::size_t j = 0;
@@ -342,8 +348,61 @@ GateDnf andDnf(const GateDnf& a, const GateDnf& b) {
       ids.push_back(pool.intern(buf));
     }
   }
-  simplifyIds(ids, buf);
-  return decodeIds(ids);
+  simplifyIds(pool, ids, buf);
+  return Dnf{std::move(ids)};
+}
+
+DnfEngine::Dnf DnfEngine::disjoin(const Dnf& a, const Dnf& b) {
+  std::vector<TermId> ids = a.terms;
+  ids.insert(ids.end(), b.terms.begin(), b.terms.end());
+  return simplify(std::move(ids));
+}
+
+DnfEngine::Dnf DnfEngine::trueDnf() {
+  impl_->buf.clear();
+  return Dnf{{impl_->pool.intern(impl_->buf)}};
+}
+
+bool DnfEngine::isTrue(const Dnf& dnf) const {
+  for (const TermId id : dnf.terms)
+    if (impl_->pool.size(id) == 0) return true;
+  return false;
+}
+
+std::vector<NodeId> DnfEngine::support(const Dnf& dnf) const {
+  std::vector<NodeId> out;
+  for (const TermId id : dnf.terms)
+    for (const Lit e : impl_->pool.lits(id)) out.push_back(static_cast<NodeId>(e >> 1));
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+GateDnf DnfEngine::decode(const Dnf& dnf) const { return decodeIds(impl_->pool, dnf.terms); }
+
+void DnfEngine::maybeTrim() { impl_->pool.maybeTrim(); }
+
+namespace {
+
+DnfEngine& threadEngine() {
+  thread_local DnfEngine engine;
+  return engine;
+}
+
+}  // namespace
+
+GateDnf simplifyDnf(GateDnf dnf) {
+  DnfEngine& eng = threadEngine();
+  eng.maybeTrim();
+  return eng.decode(eng.simplify(eng.encode(dnf)));
+}
+
+GateDnf andDnf(const GateDnf& a, const GateDnf& b) {
+  DnfEngine& eng = threadEngine();
+  eng.maybeTrim();
+  const std::vector<DnfEngine::TermId> ea = eng.encode(a);
+  const std::vector<DnfEngine::TermId> eb = eng.encode(b);
+  return eng.decode(eng.conjoin(ea, eb));
 }
 
 // ---------------------------------------------------------------------------
@@ -443,7 +502,20 @@ std::vector<NodeId> dnfSupport(const GateDnf& dnf) {
   return support;
 }
 
-Rational dnfProbability(const GateDnf& dnf, unsigned maxSupport) {
+Rational dnfProbability(const GateDnf& dnf) {
+  if (dnf.empty()) return Rational::zero();
+  for (const GateTerm& term : dnf)
+    if (term.empty()) return Rational::one();
+  // Thread-local manager: hash-consing and the probability cache persist
+  // across queries, so a condition seen twice costs two hash lookups. No
+  // refs are held between calls, so the manager may be cleared once its
+  // node table outgrows the cap.
+  thread_local BddManager mgr;
+  if (mgr.nodeCount() > (std::size_t{1} << 20)) mgr.clear();
+  return mgr.probability(mgr.fromDnf(dnf));
+}
+
+Rational dnfProbabilityReference(const GateDnf& dnf, unsigned maxSupport) {
   if (dnf.empty()) return Rational::zero();
   for (const GateTerm& term : dnf)
     if (term.empty()) return Rational::one();

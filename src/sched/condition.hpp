@@ -8,6 +8,8 @@
 // conditional consumers". Probabilities are computed exactly under the
 // paper's model (independent fair selects).
 
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -60,15 +62,92 @@ using GateDnf = std::vector<GateTerm>;
 /// dropped, result simplified).
 [[nodiscard]] GateDnf andDnf(const GateDnf& a, const GateDnf& b);
 
-/// Exact satisfaction probability under independent fair selects.
-/// Throws SynthesisError if the support exceeds `maxSupport` variables
-/// (enumeration cost 2^support).
-[[nodiscard]] Rational dnfProbability(const GateDnf& dnf, unsigned maxSupport = 24);
+/// Exact satisfaction probability under independent fair selects. Runs on
+/// the ROBDD engine (see sched/bdd.hpp), so there is no support cap: the
+/// cost is the BDD size, not 2^support. Bit-identical to
+/// dnfProbabilityReference on every support the enumeration can handle.
+[[nodiscard]] Rational dnfProbability(const GateDnf& dnf);
+
+/// Retained enumeration path (counts satisfying assignments, 2^support
+/// cost). Throws SynthesisError above `maxSupport` variables; differential
+/// tests compare the BDD engine against it.
+[[nodiscard]] Rational dnfProbabilityReference(const GateDnf& dnf, unsigned maxSupport = 24);
 
 /// All distinct select signals referenced by the DNF.
 [[nodiscard]] std::vector<NodeId> dnfSupport(const GateDnf& dnf);
 
 /// Render for diagnostics/doc: e.g. "(t=1 & eq=0) | (start=0)".
 [[nodiscard]] std::string dnfToString(const GateDnf& dnf, const Graph& g);
+
+// ---------------------------------------------------------------------------
+// Interned DNF engine — the handle-level interface.
+//
+// simplifyDnf/andDnf above run on a thread-local instance of this engine
+// and decode their results back to GateDnf vectors. Passes that make many
+// dependent condition queries (shared gating's needOf/condOf recursion)
+// instead own an engine and keep interned handles alive across calls,
+// paying the encode/decode cost only at their API boundary.
+// ---------------------------------------------------------------------------
+
+class DnfEngine {
+ public:
+  /// Identity of one interned (sorted, deduped, contradiction-free) term.
+  /// Content-equal terms share an id, so term equality is id equality.
+  using TermId = std::uint32_t;
+
+  /// An interned DNF: term ids into this engine's pool, sorted by term
+  /// content and simplified (see simplifyDnf). Empty = FALSE.
+  struct Dnf {
+    std::vector<TermId> terms;
+
+    [[nodiscard]] bool isFalse() const { return terms.empty(); }
+    friend bool operator==(const Dnf&, const Dnf&) = default;
+  };
+
+  DnfEngine();
+  ~DnfEngine();
+  DnfEngine(const DnfEngine&) = delete;
+  DnfEngine& operator=(const DnfEngine&) = delete;
+
+  /// Normalize and intern every term (contradictory terms dropped); the
+  /// result is NOT simplified — it mirrors the raw GateDnf term for term.
+  [[nodiscard]] std::vector<TermId> encode(const GateDnf& dnf);
+
+  /// The simplifyDnf schedule on already-interned terms: sort/dedupe,
+  /// merge complementary pairs one at a time, drop subsumed terms, repeat
+  /// until stable. Bit-identical to simplifyDnfReference.
+  [[nodiscard]] Dnf simplify(std::vector<TermId> terms);
+
+  /// encode + simplify: the interned equivalent of simplifyDnf.
+  [[nodiscard]] Dnf intern(const GateDnf& dnf) { return simplify(encode(dnf)); }
+
+  /// AND of two term sets (cross product, contradictions dropped, one
+  /// final simplify) — the interned equivalent of andDnf.
+  [[nodiscard]] Dnf conjoin(std::span<const TermId> a, std::span<const TermId> b);
+  [[nodiscard]] Dnf conjoin(const Dnf& a, const Dnf& b) {
+    return conjoin(std::span<const TermId>(a.terms), std::span<const TermId>(b.terms));
+  }
+
+  /// OR: concatenate and simplify once, mirroring the reference pass's
+  /// "append all consumer terms, then simplifyDnf" schedule.
+  [[nodiscard]] Dnf disjoin(const Dnf& a, const Dnf& b);
+
+  [[nodiscard]] Dnf trueDnf();
+  [[nodiscard]] bool isTrue(const Dnf& dnf) const;
+
+  /// Distinct selects over all terms, ascending id.
+  [[nodiscard]] std::vector<NodeId> support(const Dnf& dnf) const;
+
+  [[nodiscard]] GateDnf decode(const Dnf& dnf) const;
+
+  /// Reset the pool once its arena outgrows a fixed cap. Invalidates every
+  /// outstanding TermId — only the thread-local wrappers (which hold no
+  /// handles between calls) may use it.
+  void maybeTrim();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace pmsched

@@ -10,13 +10,26 @@ namespace pmsched {
 
 namespace {
 
+// ---------------------------------------------------------------------------
+// Oracle-backed pass on interned DNF handles.
+//
+// needOf/condOf recurse over the consumer DAG and call the DNF engine once
+// per consumer of every candidate, so the pass owns a DnfEngine and keeps
+// the interned handles in its memo tables: terms are encoded exactly once
+// (at the design_.gates / design_.sharedGating boundary) and every
+// conjoin/disjoin below runs directly on term ids. The reference pass
+// (further down) keeps the original decode/encode-per-call flow; the
+// differential tests assert bit-identical gating decisions.
+// ---------------------------------------------------------------------------
+
 class SharedGatingPass {
  public:
-  SharedGatingPass(PowerManagedDesign& design, bool useOracle)
-      : design_(design), g_(design.graph) {
+  explicit SharedGatingPass(PowerManagedDesign& design)
+      : design_(design),
+        g_(design.graph),
+        oracle_(g_, design.steps, design.latency, "shared-gating") {
     cond_.resize(g_.size());
     need_.resize(g_.size());
-    if (useOracle) oracle_.emplace(g_, design.steps, design.latency, "shared-gating");
   }
 
   int run() {
@@ -32,9 +45,159 @@ class SharedGatingPass {
     }
     // The oracle's committed fixed point equals the from-scratch frames of
     // the augmented graph; snapshot it before mutating.
-    if (oracle_) design_.frames = oracle_->frames();
+    design_.frames = oracle_.frames();
     for (const auto& [before, after] : committed_) g_.addControlEdge(before, after);
-    if (!oracle_) design_.frames = computeTimeFrames(g_, design_.steps, {}, design_.latency);
+    return gated;
+  }
+
+ private:
+  using Dnf = DnfEngine::Dnf;
+
+  /// Activation condition of node n as an interned DNF handle.
+  const Dnf& condOf(NodeId n) {
+    if (cond_[n]) return *cond_[n];
+    Dnf result;
+    if (!design_.sharedGating[n].empty()) {
+      result = eng_.intern(design_.sharedGating[n]);
+    } else {
+      result = eng_.trueDnf();
+      for (const NodeGate& gate : design_.gates[n]) {
+        const GateDnf lit{GateTerm{
+            GateLiteral{traceSelectProducer(g_, gate.mux), gate.side == MuxSide::True}}};
+        result = eng_.conjoin(result, eng_.intern(lit));
+        result = eng_.conjoin(result, condOf(gate.mux));
+      }
+    }
+    cond_[n] = std::move(result);
+    return *cond_[n];
+  }
+
+  /// Union of the conditions under which n's *value* is used, over all data
+  /// consumers. TRUE as soon as any consumer needs it unconditionally.
+  const Dnf& needOf(NodeId n) {
+    if (need_[n]) return *need_[n];
+    Dnf result;  // FALSE
+    bool saturated = false;
+    for (const NodeId f : g_.fanouts(n)) {
+      if (saturated) break;
+      const Node& consumer = g_.node(f);
+      Dnf use;
+      if (consumer.kind == OpKind::Output) {
+        use = eng_.trueDnf();
+      } else if (consumer.kind == OpKind::Wire) {
+        use = needOf(f);  // transparent: whoever needs the wire needs n
+      } else if (consumer.kind == OpKind::Mux) {
+        // Which operand(s) of the mux does n feed?
+        std::vector<DnfEngine::TermId> terms;
+        const NodeId sel = traceSelectProducer(g_, f);
+        for (std::size_t idx = 0; idx < consumer.operands.size(); ++idx) {
+          if (consumer.operands[idx] != n) continue;
+          if (idx == 0) {
+            // Select input: needed whenever the mux computes at all.
+            const Dnf& cond = condOf(f);
+            terms.insert(terms.end(), cond.terms.begin(), cond.terms.end());
+          } else {
+            // Data input: needed when the mux computes AND selects it. This
+            // holds for unmanaged muxes too; it is a property of the value's
+            // use, not of the gating hardware.
+            const GateDnf litDnf{GateTerm{GateLiteral{sel, idx == 1}}};
+            const Dnf sideCond = eng_.conjoin(condOf(f), eng_.intern(litDnf));
+            terms.insert(terms.end(), sideCond.terms.begin(), sideCond.terms.end());
+          }
+        }
+        use = eng_.simplify(std::move(terms));
+      } else {
+        use = condOf(f);
+      }
+      result = eng_.disjoin(result, use);
+      if (eng_.isTrue(result)) {
+        result = eng_.trueDnf();
+        saturated = true;
+      }
+    }
+    need_[n] = std::move(result);
+    return *need_[n];
+  }
+
+  bool tryGate(NodeId n) {
+    if (g_.fanouts(n).empty()) return false;
+    const Dnf& need = needOf(n);
+    if (eng_.isTrue(need) || need.isFalse()) return false;
+
+    // The latch-enable for n must see every select in the (simplified)
+    // condition before n executes.
+    const std::vector<NodeId> support = eng_.support(need);
+    for (const NodeId sel : support) {
+      if (sel == n) return false;
+      if (!isScheduled(g_.kind(sel))) continue;  // PI-driven select: free
+      // A select downstream of n would make the edge cyclic. The same few
+      // selects recur across the whole pass, and transitive fanin follows
+      // data edges only (control edges added by earlier gatings cannot
+      // change it), so the masks are computed once and cached.
+      if (faninOf(sel).test(n)) return false;
+    }
+
+    std::vector<std::pair<NodeId, NodeId>> tentative;
+    for (const NodeId sel : support)
+      if (isScheduled(g_.kind(sel))) tentative.emplace_back(sel, n);
+
+    oracle_.push(tentative, /*probe=*/true);
+    if (!oracle_.feasible()) {
+      oracle_.pop();
+      return false;
+    }
+    oracle_.commit();
+
+    committed_.insert(committed_.end(), tentative.begin(), tentative.end());
+    design_.sharedGating[n] = eng_.decode(need);
+    // condOf(n) would re-intern design_.sharedGating[n]; `need` is already
+    // simplified, so the handle itself is that result.
+    cond_[n] = need;
+    return true;
+  }
+
+  /// Memoized data-edge transitive fanin of a select node.
+  const NodeMask& faninOf(NodeId sel) {
+    auto [it, inserted] = faninCache_.try_emplace(sel);
+    if (inserted) it->second = g_.transitiveFanin(sel);
+    return it->second;
+  }
+
+  PowerManagedDesign& design_;
+  Graph& g_;
+  DnfEngine eng_;
+  TimeFrameOracle oracle_;
+  std::vector<std::pair<NodeId, NodeId>> committed_;
+  std::vector<std::optional<Dnf>> cond_;
+  std::vector<std::optional<Dnf>> need_;
+  std::unordered_map<NodeId, NodeMask> faninCache_;
+};
+
+// ---------------------------------------------------------------------------
+// Retained from-scratch reference: GateDnf vectors at every engine call,
+// frames recomputed per candidate. The executable specification for the
+// interned pass above.
+// ---------------------------------------------------------------------------
+
+class SharedGatingPassReference {
+ public:
+  explicit SharedGatingPassReference(PowerManagedDesign& design)
+      : design_(design), g_(design.graph) {
+    cond_.resize(g_.size());
+    need_.resize(g_.size());
+  }
+
+  int run() {
+    const std::vector<NodeId> order = g_.topoOrder();
+    int gated = 0;
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const NodeId n = *it;
+      if (!isScheduled(g_.kind(n))) continue;
+      if (!design_.gates[n].empty() || !design_.sharedGating[n].empty()) continue;
+      if (tryGate(n)) ++gated;
+    }
+    for (const auto& [before, after] : committed_) g_.addControlEdge(before, after);
+    design_.frames = computeTimeFrames(g_, design_.steps, {}, design_.latency);
     return gated;
   }
 
@@ -82,9 +245,7 @@ class SharedGatingPass {
             // Select input: needed whenever the mux computes at all.
             for (const GateTerm& t : condOf(f)) use.push_back(t);
           } else {
-            // Data input: needed when the mux computes AND selects it. This
-            // holds for unmanaged muxes too; it is a property of the value's
-            // use, not of the gating hardware.
+            // Data input: needed when the mux computes AND selects it.
             const GateLiteral lit{sel, idx == 1};
             GateDnf sideCond = andDnf(condOf(f), GateDnf{GateTerm{lit}});
             for (GateTerm& t : sideCond) use.push_back(std::move(t));
@@ -110,16 +271,10 @@ class SharedGatingPass {
     const GateDnf& need = needOf(n);
     if (dnfIsTrue(need) || need.empty()) return false;
 
-    // The latch-enable for n must see every select in the (simplified)
-    // condition before n executes.
     const std::vector<NodeId> support = dnfSupport(need);
     for (const NodeId sel : support) {
       if (sel == n) return false;
       if (!isScheduled(g_.kind(sel))) continue;  // PI-driven select: free
-      // A select downstream of n would make the edge cyclic. The same few
-      // selects recur across the whole pass, and transitive fanin follows
-      // data edges only (control edges added by earlier gatings cannot
-      // change it), so the masks are computed once and cached.
       if (faninOf(sel).test(n)) return false;
     }
 
@@ -127,18 +282,9 @@ class SharedGatingPass {
     for (const NodeId sel : support)
       if (isScheduled(g_.kind(sel))) tentative.emplace_back(sel, n);
 
-    if (oracle_) {
-      oracle_->push(tentative, /*probe=*/true);
-      if (!oracle_->feasible()) {
-        oracle_->pop();
-        return false;
-      }
-      oracle_->commit();
-    } else {
-      std::vector<std::pair<NodeId, NodeId>> all = committed_;
-      all.insert(all.end(), tentative.begin(), tentative.end());
-      if (!computeTimeFrames(g_, design_.steps, all, design_.latency).feasible(g_)) return false;
-    }
+    std::vector<std::pair<NodeId, NodeId>> all = committed_;
+    all.insert(all.end(), tentative.begin(), tentative.end());
+    if (!computeTimeFrames(g_, design_.steps, all, design_.latency).feasible(g_)) return false;
 
     committed_.insert(committed_.end(), tentative.begin(), tentative.end());
     design_.sharedGating[n] = need;
@@ -155,7 +301,6 @@ class SharedGatingPass {
 
   PowerManagedDesign& design_;
   Graph& g_;
-  std::optional<TimeFrameOracle> oracle_;
   std::vector<std::pair<NodeId, NodeId>> committed_;
   std::vector<std::optional<GateDnf>> cond_;
   std::vector<std::optional<GateDnf>> need_;
@@ -165,12 +310,12 @@ class SharedGatingPass {
 }  // namespace
 
 int applySharedGating(PowerManagedDesign& design) {
-  SharedGatingPass pass(design, /*useOracle=*/true);
+  SharedGatingPass pass(design);
   return pass.run();
 }
 
 int applySharedGatingReference(PowerManagedDesign& design) {
-  SharedGatingPass pass(design, /*useOracle=*/false);
+  SharedGatingPassReference pass(design);
   return pass.run();
 }
 

@@ -105,13 +105,31 @@ TEST(Condition, UnionWithOverlapIsInclusionExclusion) {
   EXPECT_EQ(dnfProbability(GateDnf{{lit(1, true)}, {lit(2, true)}}), Rational(3, 4));
 }
 
-TEST(Condition, SupportLimitEnforced) {
+TEST(Condition, ReferenceSupportLimitStillEnforced) {
   GateDnf big;
   GateTerm term;
   for (NodeId i = 0; i < 30; ++i) term.push_back(lit(i, true));
   big.push_back(term);
-  EXPECT_THROW((void)dnfProbability(big, 24), SynthesisError);
-  EXPECT_NO_THROW((void)dnfProbability(big, 30));
+  EXPECT_THROW((void)dnfProbabilityReference(big, 24), SynthesisError);
+  EXPECT_NO_THROW((void)dnfProbabilityReference(big, 30));
+}
+
+TEST(Condition, ProbabilityBeyondEnumerationCap) {
+  // Regression for the lifted 24-variable cap: the seed's dnfProbability
+  // threw SynthesisError on this 30-literal term; the BDD path evaluates
+  // it exactly.
+  GateDnf big;
+  GateTerm term;
+  for (NodeId i = 0; i < 30; ++i) term.push_back(lit(i, true));
+  big.push_back(term);
+  EXPECT_EQ(dnfProbability(big), Rational::dyadic(30));
+
+  // A 48-variable union of 24 disjoint pair-terms: P = 1 - (3/4)^24.
+  GateDnf wide;
+  for (NodeId i = 0; i < 48; i += 2) wide.push_back({lit(i, true), lit(i + 1, true)});
+  Rational miss = Rational::one();
+  for (int i = 0; i < 24; ++i) miss *= Rational{3, 4};
+  EXPECT_EQ(dnfProbability(wide), Rational::one() - miss);
 }
 
 TEST(Condition, MergeRecreatingExistingTermKeepsIt) {
@@ -202,6 +220,31 @@ TEST(Condition, SimplifyIdempotent) {
   for (int round = 0; round < 100; ++round) {
     const GateDnf once = simplifyDnf(randomDnf(rng, 6, 1 + round % 10, 1 + round % 4));
     ASSERT_EQ(simplifyDnf(once), once) << "round " << round;
+  }
+}
+
+TEST(Condition, DnfEngineHandlesMatchFreeFunctions) {
+  // The handle-level engine (what shared gating holds in needOf/condOf)
+  // must agree operation for operation with the decode/encode free
+  // functions it replaces.
+  std::mt19937_64 rng(991);
+  DnfEngine eng;
+  for (int round = 0; round < 150; ++round) {
+    const GateDnf a = randomDnf(rng, 6, 1 + round % 8, 1 + round % 4);
+    const GateDnf b = randomDnf(rng, 6, 1 + round % 6, 1 + round % 3);
+    const DnfEngine::Dnf ia = eng.intern(a);
+    const DnfEngine::Dnf ib = eng.intern(b);
+    const GateDnf sa = simplifyDnf(a);
+    const GateDnf sb = simplifyDnf(b);
+    ASSERT_EQ(eng.decode(ia), sa) << "round " << round;
+    ASSERT_EQ(eng.decode(eng.conjoin(ia, ib)), andDnf(sa, sb)) << "round " << round;
+    GateDnf unioned = sa;
+    unioned.insert(unioned.end(), sb.begin(), sb.end());
+    ASSERT_EQ(eng.decode(eng.disjoin(ia, ib)), simplifyDnf(unioned)) << "round " << round;
+    ASSERT_EQ(eng.support(ia), dnfSupport(sa)) << "round " << round;
+    ASSERT_EQ(eng.isTrue(ia), dnfIsTrue(sa)) << "round " << round;
+    // Interning is idempotent and canonical: equal content, equal handle.
+    ASSERT_EQ(eng.intern(sa), ia) << "round " << round;
   }
 }
 
