@@ -1,6 +1,21 @@
 #include "power/activation.hpp"
 
+#include <memory>
+
+#include "support/thread_pool.hpp"
+
 namespace pmsched {
+
+namespace {
+
+/// Fewest nontrivial conditions for which the partitioned build is worth
+/// spinning up the pool. Partitions trade away the shared manager's
+/// cross-node cache (each rebuilds the subformulas it shares with other
+/// partitions), so small condition sets are strictly better off
+/// sequential; the threshold errs high.
+constexpr std::size_t kMinConditionsForParallel = 64;
+
+}  // namespace
 
 ActivationResult analyzeActivation(const PowerManagedDesign& design) {
   const Graph& g = design.graph;
@@ -13,23 +28,92 @@ ActivationResult analyzeActivation(const PowerManagedDesign& design) {
   result.averageExecuted.fill(Rational::zero());
   result.totalOps.fill(0);
 
+  // Every condition BDD ends up in ONE manager, so the conditions of a
+  // gated cone (which share muxes and therefore subformulas) share nodes,
+  // and the per-node probability is a cache hit for every subgraph already
+  // weighed for an earlier node.
+  std::vector<NodeId> nontrivial;
   for (NodeId n = 0; n < g.size(); ++n) {
-    // Every condition BDD lives in one manager, so the conditions of a
-    // gated cone (which share muxes and therefore subformulas) share
-    // nodes, and the per-node probability is a cache hit for every
-    // subgraph already weighed for an earlier node.
     const GateDnf& cond = result.condition[n];
     if (dnfIsTrue(cond)) {
       result.bdd[n] = kBddTrue;
-      result.probability[n] = Rational::one();
     } else if (cond.empty()) {
       result.bdd[n] = kBddFalse;
       result.probability[n] = Rational::zero();
     } else {
-      result.bdd[n] = result.bdds->fromDnf(cond);
+      nontrivial.push_back(n);
+    }
+  }
+
+  const std::size_t threads = threadCount();
+  const bool partitioned =
+      threads > 1 && (speculationMode() == SpeculationMode::Force
+                          ? nontrivial.size() >= 2
+                          : nontrivial.size() >= kMinConditionsForParallel);
+  if (partitioned) {
+    // Partitioned parallel build. Every worker builds its share of the
+    // conditions in a private manager, then the shares are merged into the
+    // shared manager by a hash-consed structural copy. Two properties make
+    // the merge canonical and the output independent of the thread count:
+    //  * all managers (partitions and the final one) pre-register the SAME
+    //    variable order — the first-use order a sequential fromDnf sweep in
+    //    node id order would produce — so a partition BDD is structurally
+    //    identical to what the merge manager would build itself;
+    //  * the merge walks nodes in id order, so the final manager's node
+    //    numbering is a deterministic function of the conditions alone.
+    // Probabilities are computed inside the partitions (exact dyadics are
+    // manager-independent) where they parallelize.
+    std::vector<NodeId> varOrder;
+    {
+      std::vector<char> seen(g.size(), 0);
+      for (const NodeId n : nontrivial)
+        for (const NodeId s : dnfSupport(result.condition[n]))
+          if (!seen[s]) {
+            seen[s] = 1;
+            varOrder.push_back(s);
+          }
+    }
+    result.bdds->registerVariables(varOrder);
+
+    struct Partition {
+      BddManager mgr;
+      std::vector<BddRef> ref;      // parallel to its slice of `nontrivial`
+      std::vector<Rational> prob;
+    };
+    const std::size_t parts = std::min(threads, nontrivial.size());
+    std::vector<std::unique_ptr<Partition>> partition(parts);
+    // Round-robin assignment: nontrivial[i] belongs to partition i % parts
+    // (balances the deep conditions, which cluster at high node ids).
+    globalThreadPool().parallelFor(0, parts, 1, [&](std::size_t, std::size_t p) {
+      auto part = std::make_unique<Partition>();
+      part->mgr.registerVariables(varOrder);
+      for (std::size_t i = p; i < nontrivial.size(); i += parts) {
+        const BddRef r = part->mgr.fromDnf(result.condition[nontrivial[i]]);
+        part->ref.push_back(r);
+        part->prob.push_back(part->mgr.probability(r));
+      }
+      partition[p] = std::move(part);
+    });
+
+    std::vector<std::vector<BddRef>> memo(parts);
+    for (std::size_t p = 0; p < parts; ++p)
+      memo[p].assign(partition[p]->mgr.nodeCount(), kBddInvalid);
+    for (std::size_t i = 0; i < nontrivial.size(); ++i) {
+      const std::size_t p = i % parts;
+      const std::size_t slot = i / parts;
+      const NodeId n = nontrivial[i];
+      result.bdd[n] = result.bdds->importFrom(partition[p]->mgr, partition[p]->ref[slot],
+                                              memo[p]);
+      result.probability[n] = partition[p]->prob[slot];
+    }
+  } else {
+    for (const NodeId n : nontrivial) {
+      result.bdd[n] = result.bdds->fromDnf(result.condition[n]);
       result.probability[n] = result.bdds->probability(result.bdd[n]);
     }
+  }
 
+  for (NodeId n = 0; n < g.size(); ++n) {
     const ResourceClass rc = resourceClassOf(g.kind(n));
     if (rc == ResourceClass::None) continue;
     result.averageExecuted[unitIndex(rc)] += result.probability[n];

@@ -1,6 +1,8 @@
 #include "sched/bdd.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 namespace pmsched {
 
@@ -109,17 +111,55 @@ BddRef BddManager::fromDnf(const GateDnf& dnf) {
   return acc;
 }
 
-Rational BddManager::probability(BddRef f) {
-  if (f == kBddFalse) return Rational::zero();
-  if (f == kBddTrue) return Rational::one();
+BddManager::Dyadic BddManager::probabilityWide(BddRef f) {
+  if (f == kBddFalse) return Dyadic{0, 0};
+  if (f == kBddTrue) return Dyadic{1, 0};
   if (const auto it = probCache_.find(f); it != probCache_.end()) return it->second;
   const Node& n = nodes_[f];
   // Each reachable node is visited once; the recursion depth is bounded by
   // the support size. Variables absent between a node and its child need
   // no correction: they contribute the same factor to both branches.
-  const Rational p = (probability(n.lo) + probability(n.hi)) * Rational{1, 2};
-  probCache_.emplace(f, p);
-  return p;
+  const Dyadic lo = probabilityWide(n.lo);
+  const Dyadic hi = probabilityWide(n.hi);
+  // (lo + hi) / 2 in exact dyadic arithmetic: align, add, halve, reduce.
+  const unsigned e = std::max(lo.exp, hi.exp);
+  if (e >= 126)
+    throw std::overflow_error(
+        "BddManager::probability: dyadic accumulation needs more than 126 "
+        "fractional bits — condition support is too wide for exact arithmetic");
+  Dyadic r{(lo.num << (e - lo.exp)) + (hi.num << (e - hi.exp)), e + 1};
+  while (r.num != 0 && (r.num & 1) == 0) {
+    r.num >>= 1;
+    --r.exp;
+  }
+  if (r.num == 0) r.exp = 0;
+  probCache_.emplace(f, r);
+  return r;
+}
+
+Rational BddManager::probability(BddRef f) {
+  const Dyadic d = probabilityWide(f);
+  // Reduced: num odd (or zero), so exp is the true denominator width.
+  if (d.exp > 62)
+    throw std::overflow_error(
+        "BddManager::probability: exact value has denominator 2^" + std::to_string(d.exp) +
+        ", beyond the 62-bit Rational limit (use a narrower condition support)");
+  return Rational{static_cast<std::int64_t>(d.num), std::int64_t{1} << d.exp};
+}
+
+void BddManager::registerVariables(std::span<const NodeId> selects) {
+  for (const NodeId s : selects) (void)varIndex(s);
+}
+
+BddRef BddManager::importFrom(const BddManager& src, BddRef f, std::vector<BddRef>& memo) {
+  if (f <= kBddTrue) return f;
+  if (memo[f] != kBddInvalid) return memo[f];
+  const Node& n = src.nodes_[f];
+  const BddRef lo = importFrom(src, n.lo, memo);
+  const BddRef hi = importFrom(src, n.hi, memo);
+  const BddRef r = makeNode(varIndex(src.order_[n.var]), lo, hi);
+  memo[f] = r;
+  return r;
 }
 
 std::vector<NodeId> BddManager::support(BddRef f) const {

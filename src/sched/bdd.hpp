@@ -41,6 +41,8 @@ using BddRef = std::uint32_t;
 
 inline constexpr BddRef kBddFalse = 0;
 inline constexpr BddRef kBddTrue = 1;
+/// Sentinel for "no ref" (importFrom memo tables).
+inline constexpr BddRef kBddInvalid = static_cast<BddRef>(-1);
 
 class BddManager {
  public:
@@ -64,9 +66,28 @@ class BddManager {
   /// the conversion canonical: equivalent DNFs yield the same ref.
   [[nodiscard]] BddRef fromDnf(const GateDnf& dnf);
 
+  /// Register selects as variables in the given order (no-op for already
+  /// known ones). The parallel activation analysis uses this to give every
+  /// partition manager — and the final merge manager — one identical
+  /// variable order, so partition BDDs are structural copies of what the
+  /// merge manager builds.
+  void registerVariables(std::span<const NodeId> selects);
+
+  /// Recursively copy `f` (a ref of `src`) into this manager, mapping
+  /// variables by select id. Requires this manager's variable order to be
+  /// consistent with src's on src's variables (see registerVariables);
+  /// hash-consing dedups against everything already built here. `memo`
+  /// carries src-ref -> dst-ref mappings across calls for one src; size it
+  /// to src.nodeCount() filled with kBddInvalid.
+  [[nodiscard]] BddRef importFrom(const BddManager& src, BddRef f, std::vector<BddRef>& memo);
+
   /// Exact P(f) under independent fair selects. Memoized per node for the
   /// manager's lifetime, so repeated queries over a family of conditions
   /// that share structure (e.g. nested gating) cost only the new nodes.
+  /// The accumulation runs in 128-bit dyadic arithmetic, so supports far
+  /// beyond Rational's 62-bit denominators cannot overflow mid-recursion;
+  /// only a FINAL value whose reduced denominator exceeds 2^62 throws
+  /// (std::overflow_error with a diagnostic naming the needed width).
   [[nodiscard]] Rational probability(BddRef f);
 
   /// Distinct selects the function actually depends on, ascending id.
@@ -104,6 +125,18 @@ class BddManager {
     }
   };
 
+  /// Probabilities are accumulated as exact dyadics num / 2^exp with a
+  /// 128-bit numerator (num <= 2^exp since P <= 1, and num is kept odd, so
+  /// exp is the reduced denominator width). This is what lifts the old
+  /// 62-variable ceiling: only results whose REDUCED denominator exceeds
+  /// Rational's 2^62 fail, with a clear diagnostic instead of an
+  /// "add/mul overflow" from the middle of the recursion.
+  struct Dyadic {
+    unsigned __int128 num = 0;
+    unsigned exp = 0;
+  };
+  [[nodiscard]] Dyadic probabilityWide(BddRef f);
+
   /// Hash-consed node constructor; maintains the ROBDD invariants
   /// (lo != hi, child vars strictly below — i.e. numerically above — var).
   [[nodiscard]] BddRef makeNode(std::uint32_t var, BddRef lo, BddRef hi);
@@ -123,7 +156,7 @@ class BddManager {
   std::vector<Node> nodes_;
   std::unordered_map<std::uint64_t, std::vector<BddRef>> unique_;
   std::unordered_map<IteKey, BddRef, IteKeyHash> computed_;
-  std::unordered_map<BddRef, Rational> probCache_;
+  std::unordered_map<BddRef, Dyadic> probCache_;
   std::unordered_map<NodeId, std::uint32_t> varOf_;
   std::vector<NodeId> order_;  // var index -> select id
 };

@@ -1,0 +1,209 @@
+#include "sched/probe_farm.hpp"
+
+#include <thread>
+
+namespace pmsched {
+
+namespace {
+
+/// Probing from more lanes than physical cores only adds contention; the
+/// clamp is skipped in Force mode so the oversubscription stress tests
+/// exercise the full configured lane count.
+std::size_t effectiveLanes() {
+  const std::size_t configured = globalThreadPool().threadCount();
+  if (speculationMode() == SpeculationMode::Force) return configured;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? configured : std::min<std::size_t>(configured, hw);
+}
+
+}  // namespace
+
+bool farmProbesWorthwhile(std::size_t graphSize) {
+  switch (speculationMode()) {
+    case SpeculationMode::Force: return true;
+    case SpeculationMode::Off: return false;
+    case SpeculationMode::Auto: break;
+  }
+  if (threadCount() <= 1) return false;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 4 && graphSize >= kMinNodesForSpeculation;
+}
+
+ProbeFarm::ProbeFarm(const Graph& g, int steps, const LatencyModel& model,
+                     std::string errorContext)
+    : g_(g),
+      steps_(steps),
+      model_(model),
+      ctx_(std::move(errorContext)),
+      lanes_(effectiveLanes()) {
+  // Everything else is lazy (see startLanes): a farm that never probes —
+  // sweeps whose candidates all predecide, waves with no probeworthy
+  // candidate — costs two integers, which is what lets the transform
+  // construct one unconditionally.
+  replicas_.resize(lanes_);
+  // Constructing an oracle touches the Graph's lazy CSR/topo caches.
+  // Every consumer owns a main oracle on the same graph before it builds
+  // the farm, so the caches are warm; touch them here (cheap, idempotent,
+  // consumer thread) rather than trusting that forever.
+  (void)g_.fanoutCsr();
+  (void)g_.controlSuccCsr();
+  (void)g_.controlPredCsr();
+  (void)g_.topoOrderView();
+}
+
+ProbeFarm::~ProbeFarm() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closing_ = true;
+  }
+  if (submittedLanes_ == 0) return;  // no drain task ever started
+  workCv_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  doneCv_.wait(lock, [this] { return exitedLanes_ == submittedLanes_; });
+}
+
+void ProbeFarm::startLanes() {
+  ThreadPool& pool = globalThreadPool();
+  for (std::size_t lane = 1; lane < lanes_; ++lane) {
+    // Capture the FARM's replica slot: lanes_ may be clamped below the
+    // pool's lane count, so the executing pool worker's own index can
+    // exceed replicas_.
+    pool.submit([this, lane](std::size_t) {
+      laneLoop(lane);
+      // Notify while holding the mutex: the destructor owns it while
+      // checking the exit predicate, so the farm (and this condition
+      // variable) cannot be torn down between the increment and the wake.
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++exitedLanes_;
+      doneCv_.notify_all();
+    });
+    ++submittedLanes_;
+  }
+}
+
+std::uint64_t ProbeFarm::version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return versionLocked_;
+}
+
+void ProbeFarm::commitBatch(const TimeFrameOracle& committedState) {
+  TimeFrameOracle::FrameSnapshot snap = committedState.snapshot();
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshots_.push_back(std::move(snap));
+  ++versionLocked_;
+}
+
+std::size_t ProbeFarm::enqueue(std::vector<Edge> edges, bool diagnose, bool exact) {
+  if (submittedLanes_ == 0 && lanes_ > 1) startLanes();
+  std::size_t ticket;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ticket = jobs_.size();
+    Job& job = jobs_.emplace_back();
+    job.edges = std::move(edges);
+    job.version = versionLocked_;
+    job.diagnose = diagnose;
+    job.exact = exact;
+  }
+  workCv_.notify_one();
+  return ticket;
+}
+
+ProbeFarm::Result ProbeFarm::await(std::size_t ticket) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    Job& job = jobs_[ticket];
+    if (job.state == JobState::Done) return job.result;
+    if (job.state == JobState::Queued) {
+      // Claim it ourselves: the consumer is blocked on this exact verdict,
+      // so running it inline (on the caller's replica) beats waiting for a
+      // lane to get to it.
+      job.state = JobState::Claimed;
+      lock.unlock();
+      Result r = runJob(replicas_[0], job);
+      lock.lock();
+      job.result = std::move(r);
+      job.state = JobState::Done;
+      return job.result;
+    }
+    doneCv_.wait(lock);
+  }
+}
+
+void ProbeFarm::laneLoop(std::size_t lane) {
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      for (;;) {
+        // Exit before claiming anything else: once the consumer is tearing
+        // the farm down, leftover abandoned jobs must not keep a lane (and
+        // its reads of the shared Graph) alive — the consumer may mutate
+        // the graph as soon as the destructor returns.
+        if (closing_) return;
+        while (nextUnclaimed_ < jobs_.size() &&
+               jobs_[nextUnclaimed_].state != JobState::Queued)
+          ++nextUnclaimed_;
+        if (nextUnclaimed_ < jobs_.size()) break;
+        workCv_.wait(lock);
+      }
+      // Resolve the element pointer under the lock: deque::push_back keeps
+      // element references stable but rewrites its internal chunk map, so
+      // unsynchronized operator[] would race the consumer's enqueue.
+      job = &jobs_[nextUnclaimed_++];
+      job->state = JobState::Claimed;
+    }
+    Result r = runJob(replicas_[lane], *job);
+    {
+      // Notify under the mutex (see the drain-task exit path).
+      std::lock_guard<std::mutex> lock(mutex_);
+      job->result = std::move(r);
+      job->state = JobState::Done;
+      doneCv_.notify_all();
+    }
+  }
+}
+
+void ProbeFarm::syncReplica(Replica& rep, std::uint64_t target) {
+  if (rep.version == target) return;
+  if (target == 0) {
+    rep.oracle->restoreInitial();
+  } else {
+    const TimeFrameOracle::FrameSnapshot* snap;
+    {
+      // Snapshots are immutable once appended (and a deque push_back moves
+      // no existing element), so only the pointer read is guarded.
+      std::lock_guard<std::mutex> lock(mutex_);
+      snap = &snapshots_[target - 1];
+    }
+    rep.oracle->restore(*snap);
+  }
+  rep.version = target;
+}
+
+ProbeFarm::Result ProbeFarm::runJob(Replica& rep, const Job& job) {
+  Result r;
+  r.version = job.version;
+  if (!job.exact) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (versionLocked_ != job.version) return r;  // stale before it ran: skip
+  }
+  if (!rep.oracle) rep.oracle = std::make_unique<TimeFrameOracle>(g_, steps_, model_, ctx_);
+  r.ran = true;
+  try {
+    syncReplica(rep, job.version);
+    rep.oracle->push(job.edges, /*probe=*/!job.diagnose);
+    r.feasible = rep.oracle->feasible();
+    if (job.diagnose && !r.feasible) r.firstInfeasible = rep.oracle->firstInfeasible();
+    rep.oracle->pop();
+  } catch (...) {
+    // A cycle throw leaves the oracle unchanged; anything else mid-probe
+    // could leave the probe batch open — unwind it so the replica stays
+    // at its restored committed state.
+    r.error = std::current_exception();
+    while (rep.oracle->depth() > 0) rep.oracle->pop();
+  }
+  return r;
+}
+
+}  // namespace pmsched

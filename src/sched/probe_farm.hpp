@@ -1,0 +1,167 @@
+#pragma once
+// ProbeFarm — parallel speculative probing for the power-management
+// transform family.
+//
+// Every transform hot path shares one inner loop: "tentatively add this
+// candidate's control edges to the committed set, ask the TimeFrameOracle
+// whether the frames stay feasible, then accept or reject". The loop is
+// inherently sequential in its *decisions* (a candidate's verdict depends
+// on every earlier acceptance), but almost all of its *work* is probes that
+// end in rejection — and a probe is a pure function of (committed edge set,
+// candidate edges). The farm exploits that: it owns one TimeFrameOracle
+// replica per ThreadPool lane and probes a wave of upcoming candidates
+// concurrently against the current committed state, while the consuming
+// thread walks candidates strictly in the original order and commits
+// winners on its own oracle.
+//
+// Versioned committed state. version() = number of committed batches. Each
+// commitBatch() stores a FrameSnapshot of the consumer's oracle — the
+// fixed-point frames plus the live extra edges — so a replica serves a job
+// at ANY version (newer or older than its last one) by restoring that
+// snapshot: an O(V) array copy, not a replay of every batch repair. A
+// candidate probe is then a single push/pop on top of the restored state.
+//
+// Determinism contract (enforced by tests/test_pm_differential.cpp at 1, 2
+// and 8 threads): results consumed from the farm are BIT-IDENTICAL to the
+// sequential sweep, because
+//  * every job's Result carries the version it ran against; the consumer
+//    accepts a verdict only under the staleness rules below, all of which
+//    reproduce exactly what a fresh probe at the candidate's turn returns;
+//  * a STALE INFEASIBLE verdict stays valid: committed batches only grow
+//    within a sweep and adding precedence edges can only raise ASAP values,
+//    so a batch infeasible against a subset of the committed set is
+//    infeasible against the full set (monotonicity);
+//  * a STALE FEASIBLE verdict proves nothing; consumers re-validate those
+//    on their own oracle (or re-enqueue), paying exactly the sequential
+//    cost for that one candidate;
+//  * `exact` jobs re-sync the replica to the captured version (up OR down
+//    the stack), which is how rejection *reason* diagnostics are produced
+//    against precisely the committed set of the candidate's turn even when
+//    the consumer has committed further in the meantime.
+//
+// Thread-safety: enqueue/await/commitBatch are single-consumer (the thread
+// that owns the sweep); lanes only claim jobs and fill results. The Graph
+// is shared read-only; the farm constructor warms its lazy caches (CSR
+// views, topo order) before any lane can touch it.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cdfg/graph.hpp"
+#include "sched/latency.hpp"
+#include "sched/timeframe_oracle.hpp"
+#include "support/thread_pool.hpp"
+
+namespace pmsched {
+
+/// Central auto-mode policy for handing probes to the farm: Force always,
+/// Off never; Auto requires more than one configured thread, at least four
+/// physical cores (cross-thread wakes on small/oversubscribed machines
+/// cost more than a typical repair), and a graph big enough that one probe
+/// outweighs one handoff.
+[[nodiscard]] bool farmProbesWorthwhile(std::size_t graphSize);
+
+class ProbeFarm {
+ public:
+  using Edge = TimeFrameOracle::Edge;
+
+  struct Result {
+    std::uint64_t version = 0;  ///< committed version the job ran against
+    bool ran = false;           ///< false: skipped (stale speculative job)
+    bool feasible = false;
+    /// Diagnose jobs only: the reference's firstInfeasible() node.
+    std::optional<NodeId> firstInfeasible;
+    /// A SynthesisError (cycle) raised by the probe, captured on the lane;
+    /// the consumer rethrows it at the candidate's turn, in order.
+    std::exception_ptr error;
+  };
+
+  /// Cheap: the drain tasks (one per pool lane beyond the caller's lane 0)
+  /// start on the first enqueue, and replicas are built lazily on their
+  /// lanes — an unprobed farm costs nothing, so consumers construct one
+  /// unconditionally and let the candidate stream decide.
+  ProbeFarm(const Graph& g, int steps, const LatencyModel& model, std::string errorContext);
+  ~ProbeFarm();
+
+  ProbeFarm(const ProbeFarm&) = delete;
+  ProbeFarm& operator=(const ProbeFarm&) = delete;
+
+  /// Total lanes (caller included) — the configured thread count.
+  [[nodiscard]] std::size_t lanes() const { return lanes_; }
+
+  /// Number of committed batches (the version speculative jobs race with).
+  [[nodiscard]] std::uint64_t version() const;
+
+  /// Advance the committed state to version()+1. `committedState` is the
+  /// consumer's oracle AFTER pushing and committing the accepted batch:
+  /// its snapshot (frames plus the full live edge set) is what replicas
+  /// restore to serve jobs at the new version — an O(V) copy instead of
+  /// replaying every batch repair per lane.
+  void commitBatch(const TimeFrameOracle& committedState);
+
+  /// Enqueue a probe of `edges` against the current committed state.
+  /// `diagnose` runs the repair to the fixed point and fills
+  /// firstInfeasible on rejection (reason strings); otherwise the probe
+  /// may abort at the first infeasibility. `exact` forces the job to run
+  /// at the captured version even if the state moved on. Returns a ticket.
+  std::size_t enqueue(std::vector<Edge> edges, bool diagnose, bool exact = false);
+
+  /// Block until the ticket resolves. The caller participates: an
+  /// unclaimed job runs inline on the caller's replica (lane 0).
+  [[nodiscard]] Result await(std::size_t ticket);
+
+ private:
+  enum class JobState : std::uint8_t { Queued, Claimed, Done };
+
+  struct Job {
+    std::vector<Edge> edges;
+    std::uint64_t version = 0;
+    bool diagnose = false;
+    bool exact = false;
+    JobState state = JobState::Queued;
+    Result result;
+  };
+
+  struct Replica {
+    std::unique_ptr<TimeFrameOracle> oracle;
+    std::uint64_t version = 0;  ///< committed version currently restored
+  };
+
+  /// Submit the drain tasks (called on the first enqueue; an unused farm
+  /// never touches the pool).
+  void startLanes();
+  void laneLoop(std::size_t lane);
+  Result runJob(Replica& rep, const Job& job);
+  void syncReplica(Replica& rep, std::uint64_t target);
+
+  const Graph& g_;
+  const int steps_;
+  const LatencyModel model_;
+  const std::string ctx_;
+  const std::size_t lanes_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable workCv_;  ///< lanes: "a job is queued" / closing
+  std::condition_variable doneCv_;  ///< consumer: "a result landed"
+  std::deque<Job> jobs_;            ///< deque: stable refs while appending
+  std::size_t nextUnclaimed_ = 0;
+  bool closing_ = false;
+  std::size_t submittedLanes_ = 0;  ///< drain tasks handed to the pool
+  std::size_t exitedLanes_ = 0;     ///< drain tasks that have returned
+
+  std::uint64_t versionLocked_ = 0;  ///< committed batches (under mutex_)
+  /// Per committed version (1-based): the consumer's committed frame
+  /// state. Deque: stable refs while appending; entries immutable.
+  std::deque<TimeFrameOracle::FrameSnapshot> snapshots_;
+
+  std::vector<Replica> replicas_;  ///< one per lane; [0] is the caller's
+};
+
+}  // namespace pmsched

@@ -4,7 +4,9 @@
 #include <optional>
 #include <unordered_map>
 
+#include "sched/probe_farm.hpp"
 #include "sched/timeframe_oracle.hpp"
+#include "support/thread_pool.hpp"
 
 namespace pmsched {
 
@@ -20,6 +22,21 @@ namespace {
 // conjoin/disjoin below runs directly on term ids. The reference pass
 // (further down) keeps the original decode/encode-per-call flow; the
 // differential tests assert bit-identical gating decisions.
+//
+// Parallel path (threadCount() > 1): candidates are processed in WAVES. The
+// main thread evaluates the DNF part of a wave's candidates under the
+// assumption that none of them is accepted (every memo write is logged),
+// dispatching each candidate's oracle probe to a ProbeFarm as soon as its
+// edges are known; verdicts are then consumed strictly in order. The
+// assumption only breaks on an acceptance — which changes condOf() of the
+// accepted node and thereby the needs of its producers (all LATER in the
+// sweep, since consumers are processed before producers) — so the wave is
+// cut at the winner: memo entries written by later candidates' evaluations
+// are rolled back and the remainder re-enters the next wave against the
+// updated state. A candidate's final decision is therefore always derived
+// from exactly the committed decisions of its turn, which is what makes
+// the pass bit-identical to the sequential sweep at any thread count (and
+// to the retained from-scratch reference).
 // ---------------------------------------------------------------------------
 
 class SharedGatingPass {
@@ -36,13 +53,20 @@ class SharedGatingPass {
     // Copy the order up front; control-edge insertion happens after the
     // sweep (the oracle snapshots the graph, so mutation is deferred).
     const std::vector<NodeId> order = g_.topoOrder();
-    int gated = 0;
+    std::vector<NodeId> cands;
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
       const NodeId n = *it;
       if (!isScheduled(g_.kind(n))) continue;
       if (!design_.gates[n].empty() || !design_.sharedGating[n].empty()) continue;
-      if (tryGate(n)) ++gated;
+      cands.push_back(n);
     }
+    // gates/sharedGating of candidates only change when a candidate is
+    // accepted (each node is visited once), so the up-front filter sees
+    // exactly what the per-turn filter would. Waves engage under the same
+    // probe-cost policy as the transform sweep (see farmProbesWorthwhile).
+    const bool waves =
+        threadCount() > 1 && cands.size() >= 8 && farmProbesWorthwhile(g_.size());
+    const int gated = waves ? runWaves(cands) : runSequential(cands);
     // The oracle's committed fixed point equals the from-scratch frames of
     // the augmented graph; snapshot it before mutating.
     design_.frames = oracle_.frames();
@@ -52,6 +76,123 @@ class SharedGatingPass {
 
  private:
   using Dnf = DnfEngine::Dnf;
+  using Edge = TimeFrameOracle::Edge;
+
+  int runSequential(const std::vector<NodeId>& cands) {
+    int gated = 0;
+    for (const NodeId n : cands)
+      if (tryGate(n)) ++gated;
+    return gated;
+  }
+
+  /// The DNF half of tryGate(): decide whether `n` is probeworthy and
+  /// compute its tentative edges. Pure with respect to the oracle; memo
+  /// writes go through the (logged) condOf/needOf below.
+  struct Eval {
+    bool probeworthy = false;
+    Dnf need;
+    std::vector<Edge> edges;
+    std::size_t ticket = static_cast<std::size_t>(-1);
+    std::size_t logEnd = 0;  ///< memoLog_ size after this evaluation
+  };
+
+  void evalCandidate(NodeId n, Eval& e) {
+    if (g_.fanouts(n).empty()) return;
+    const Dnf& need = needOf(n);
+    if (eng_.isTrue(need) || need.isFalse()) return;
+    const std::vector<NodeId> support = eng_.support(need);
+    for (const NodeId sel : support) {
+      if (sel == n) return;
+      if (!isScheduled(g_.kind(sel))) continue;
+      if (faninOf(sel).test(n)) return;
+    }
+    for (const NodeId sel : support)
+      if (isScheduled(g_.kind(sel))) e.edges.emplace_back(sel, n);
+    e.need = need;
+    e.probeworthy = true;
+  }
+
+  /// Reset every memo entry written after log position `mark` (entries are
+  /// only ever written when unset, so the undo is a reset).
+  void rollbackTo(std::size_t mark) {
+    while (memoLog_.size() > mark) {
+      const auto [table, n] = memoLog_.back();
+      memoLog_.pop_back();
+      (table == 'c' ? cond_ : need_)[n].reset();
+    }
+  }
+
+  int runWaves(const std::vector<NodeId>& cands) {
+    ProbeFarm farm(g_, design_.steps, design_.latency, "shared-gating");
+    const std::size_t wave = std::max<std::size_t>(2 * farm.lanes(), 8);
+    int gated = 0;
+    std::size_t idx = 0;
+    std::vector<Eval> evals;
+    while (idx < cands.size()) {
+      const std::size_t end = std::min(idx + wave, cands.size());
+      evals.assign(end - idx, Eval{});
+      memoLog_.clear();
+      logging_ = true;
+      for (std::size_t j = idx; j < end; ++j) {
+        Eval& e = evals[j - idx];
+        evalCandidate(cands[j], e);
+        e.logEnd = memoLog_.size();
+        // Dispatch as soon as the edges are known so lanes probe this wave
+        // while the main thread is still evaluating the rest of it.
+        if (e.probeworthy && !e.edges.empty()) e.ticket = farm.enqueue(e.edges, false);
+      }
+      logging_ = false;
+
+      std::size_t nextIdx = end;
+      for (std::size_t j = idx; j < end; ++j) {
+        Eval& e = evals[j - idx];
+        if (!e.probeworthy) continue;  // rejected before probing
+        const NodeId n = cands[j];
+        bool ok;
+        if (e.edges.empty()) {
+          ok = true;  // no scheduled select: trivially feasible
+        } else {
+          const ProbeFarm::Result r = farm.await(e.ticket);
+          if (r.error && r.version == farm.version()) std::rethrow_exception(r.error);
+          if (r.ran && !r.error && r.version == farm.version()) {
+            ok = r.feasible;
+            if (ok) {
+              oracle_.push(e.edges);
+              if (!oracle_.feasible())
+                throw SynthesisError("shared-gating: speculative verdict diverged");
+              oracle_.commit();
+              farm.commitBatch(oracle_);
+            }
+          } else {
+            // Defensive (a wave is cut at the first acceptance, so awaited
+            // results should never be stale): sequential re-validation.
+            oracle_.push(e.edges, /*probe=*/true);
+            ok = oracle_.feasible();
+            if (ok) {
+              oracle_.commit();
+              farm.commitBatch(oracle_);
+            } else {
+              oracle_.pop();
+            }
+          }
+        }
+        if (!ok) continue;
+
+        // ACCEPT: roll back the assumption-tainted memo writes of the later
+        // candidates in this wave BEFORE installing the new condition (the
+        // rollback log may contain a speculative condOf(n) entry).
+        rollbackTo(e.logEnd);
+        committed_.insert(committed_.end(), e.edges.begin(), e.edges.end());
+        design_.sharedGating[n] = eng_.decode(e.need);
+        cond_[n] = std::move(e.need);
+        ++gated;
+        nextIdx = j + 1;
+        break;
+      }
+      idx = nextIdx;
+    }
+    return gated;
+  }
 
   /// Activation condition of node n as an interned DNF handle.
   const Dnf& condOf(NodeId n) {
@@ -69,6 +210,7 @@ class SharedGatingPass {
       }
     }
     cond_[n] = std::move(result);
+    if (logging_) memoLog_.emplace_back('c', n);
     return *cond_[n];
   }
 
@@ -116,43 +258,30 @@ class SharedGatingPass {
       }
     }
     need_[n] = std::move(result);
+    if (logging_) memoLog_.emplace_back('n', n);
     return *need_[n];
   }
 
   bool tryGate(NodeId n) {
-    if (g_.fanouts(n).empty()) return false;
-    const Dnf& need = needOf(n);
-    if (eng_.isTrue(need) || need.isFalse()) return false;
+    // One evaluation path for both sweeps: the wave protocol is only
+    // bit-identical to this sequential loop because the DNF half is
+    // literally the same code (evalCandidate).
+    Eval e;
+    evalCandidate(n, e);
+    if (!e.probeworthy) return false;
 
-    // The latch-enable for n must see every select in the (simplified)
-    // condition before n executes.
-    const std::vector<NodeId> support = eng_.support(need);
-    for (const NodeId sel : support) {
-      if (sel == n) return false;
-      if (!isScheduled(g_.kind(sel))) continue;  // PI-driven select: free
-      // A select downstream of n would make the edge cyclic. The same few
-      // selects recur across the whole pass, and transitive fanin follows
-      // data edges only (control edges added by earlier gatings cannot
-      // change it), so the masks are computed once and cached.
-      if (faninOf(sel).test(n)) return false;
-    }
-
-    std::vector<std::pair<NodeId, NodeId>> tentative;
-    for (const NodeId sel : support)
-      if (isScheduled(g_.kind(sel))) tentative.emplace_back(sel, n);
-
-    oracle_.push(tentative, /*probe=*/true);
+    oracle_.push(e.edges, /*probe=*/true);
     if (!oracle_.feasible()) {
       oracle_.pop();
       return false;
     }
     oracle_.commit();
 
-    committed_.insert(committed_.end(), tentative.begin(), tentative.end());
-    design_.sharedGating[n] = eng_.decode(need);
-    // condOf(n) would re-intern design_.sharedGating[n]; `need` is already
-    // simplified, so the handle itself is that result.
-    cond_[n] = need;
+    committed_.insert(committed_.end(), e.edges.begin(), e.edges.end());
+    design_.sharedGating[n] = eng_.decode(e.need);
+    // condOf(n) would re-intern design_.sharedGating[n]; `e.need` is
+    // already simplified, so the handle itself is that result.
+    cond_[n] = std::move(e.need);
     return true;
   }
 
@@ -171,6 +300,9 @@ class SharedGatingPass {
   std::vector<std::optional<Dnf>> cond_;
   std::vector<std::optional<Dnf>> need_;
   std::unordered_map<NodeId, NodeMask> faninCache_;
+  /// Wave-evaluation memo write log for rollback (table tag, node).
+  std::vector<std::pair<char, NodeId>> memoLog_;
+  bool logging_ = false;
 };
 
 // ---------------------------------------------------------------------------

@@ -46,6 +46,35 @@ TimeFrameOracle::TimeFrameOracle(const Graph& g, int steps, const LatencyModel& 
   for (auto it = order.rbegin(); it != order.rend(); ++it) alap_[*it] = recomputeAlap(*it);
   for (NodeId v = 0; v < n; ++v)
     if (sched_[v] && asap_[v] > latestStart_[v]) ++overEnd_;
+
+  initial_.asap = asap_;
+  initial_.alap = alap_;
+  initial_.overEnd = overEnd_;
+}
+
+TimeFrameOracle::FrameSnapshot TimeFrameOracle::snapshot() const {
+  if (depth_ != 0) throw SynthesisError(ctx_ + ": snapshot with open tentative batches");
+  FrameSnapshot s;
+  s.asap = asap_;
+  s.alap = alap_;
+  s.overEnd = overEnd_;
+  for (NodeId v = 0; v < g_.size(); ++v)
+    for (const NodeId t : xSucc_[v]) s.extraEdges.emplace_back(v, t);
+  return s;
+}
+
+void TimeFrameOracle::restore(const FrameSnapshot& s) {
+  if (depth_ != 0) throw SynthesisError(ctx_ + ": restore with open tentative batches");
+  beginChangeEpoch();
+  asap_ = s.asap;
+  alap_ = s.alap;
+  overEnd_ = s.overEnd;
+  for (std::vector<NodeId>& row : xSucc_) row.clear();
+  for (std::vector<NodeId>& row : xPred_) row.clear();
+  for (const Edge& e : s.extraEdges) {
+    xSucc_[e.first].push_back(e.second);
+    xPred_[e.second].push_back(e.first);
+  }
 }
 
 int TimeFrameOracle::recomputeAsap(NodeId v) const {
@@ -175,16 +204,24 @@ void TimeFrameOracle::repairBackward(std::span<const NodeId> seeds, Batch* undo)
 
 void TimeFrameOracle::ensureAlap() {
   if (depth_ == 0) return;  // committed state is flushed at commit(); pins are eager
-  if (depth_ > 1)
-    throw SynthesisError(ctx_ + ": ALAP values are unavailable below the outermost batch");
-  Batch& batch = batchPool_[0];
-  if (batch.bwdDone) return;
-  if (batch.poisoned)
+  Batch& top = batchPool_[depth_ - 1];
+  if (top.poisoned)
     throw SynthesisError(ctx_ + ": ALAP values are unavailable on an aborted probe batch");
+  if (top.bwdDone) return;
+  // Flush the deferred backward repair for EVERY open batch's edges, but
+  // log every change into the TOP batch's undo only. The fixed point is
+  // computed over the full live edge set, so a value tightened "because of"
+  // an inner batch cannot be attributed to that batch alone — logging into
+  // an older batch would leave stale ALAPs behind when the newer batch is
+  // popped. With top-only logging, pop(top) reverts the whole flush and
+  // the lower batches deliberately keep bwdDone == false: a later read
+  // re-flushes their seeds against the then-current edge set (a cheap
+  // no-op when nothing changed), which is always attribution-correct.
   seedsB_.clear();
-  for (const Edge& e : batch.edges) seedsB_.push_back(e.first);
-  repairBackward(seedsB_, &batch);
-  batch.bwdDone = true;
+  for (std::size_t i = 0; i < depth_; ++i)
+    for (const Edge& e : batchPool_[i].edges) seedsB_.push_back(e.first);
+  repairBackward(seedsB_, &top);
+  top.bwdDone = true;
 }
 
 void TimeFrameOracle::undoBatch(Batch& batch) {

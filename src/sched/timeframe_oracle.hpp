@@ -102,7 +102,9 @@ class TimeFrameOracle {
   // ---- queries -------------------------------------------------------------
 
   [[nodiscard]] int asap(NodeId n) const { return asap_[n]; }
-  /// Reading an ALAP value flushes the lazy backward repair (depth <= 1).
+  /// Reading an ALAP value flushes the lazy backward repair of every open
+  /// batch (any depth; ProbeFarm replicas stack committed batches and read
+  /// diagnostics on top of them). Throws on an aborted probe batch.
   [[nodiscard]] int alap(NodeId n) {
     ensureAlap();
     return alap_[n];
@@ -125,6 +127,31 @@ class TimeFrameOracle {
 
   /// Materialize the current frames as a TimeFrames value (flushes ALAP).
   [[nodiscard]] TimeFrames frames();
+
+  // ---- committed-state snapshots (ProbeFarm replicas) ----------------------
+
+  /// A committed frame state: the fixed-point frames plus the live extra
+  /// edges that produced them. O(V + E) to capture or restore — the
+  /// ProbeFarm shares one per committed version so replicas jump between
+  /// versions instead of replaying every batch repair.
+  struct FrameSnapshot {
+    std::vector<int> asap;
+    std::vector<int> alap;
+    std::vector<Edge> extraEdges;
+    int overEnd = 0;
+  };
+
+  /// Capture the current committed state. Requires depth() == 0 (commit()
+  /// flushed the lazy ALAP, so the arrays are exact) and no pins.
+  [[nodiscard]] FrameSnapshot snapshot() const;
+
+  /// Replace the committed state with a snapshot taken from an oracle over
+  /// the SAME graph, budget and model. Requires depth() == 0 and no pins;
+  /// changedNodes() is reset, not populated.
+  void restore(const FrameSnapshot& s);
+
+  /// Restore the construction-time state (no extra edges, no pins).
+  void restoreInitial() { restore(initial_); }
 
   /// Nodes whose asap or alap changed in the last push()/pop()/pin(),
   /// each listed once. Used by the force-directed force-cache invalidation.
@@ -191,6 +218,8 @@ class TimeFrameOracle {
   std::vector<NodeId> changed_;
   std::vector<char> changedFlag_;
   std::vector<char> inQueue_;
+
+  FrameSnapshot initial_;  ///< construction-time frames (restoreInitial)
 
   // Pooled repair scratch (drained after every repair; capacity persists).
   using MinItem = std::pair<std::uint32_t, NodeId>;

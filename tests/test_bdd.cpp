@@ -187,5 +187,98 @@ TEST(Bdd, ClearInvalidatesNothingOutstandingAndResets) {
   EXPECT_EQ(mgr.probability(mgr.literal(5, true)), Rational(1, 2));
 }
 
+TEST(Bdd, ProbabilityBeyond62VariablesViaWideAccumulation) {
+  // Regression for the >62-support overflow: the old Rational-based
+  // recursion threw "Rational: mul overflow" from deep inside
+  // probability() as soon as an INTERMEDIATE value needed more than 62
+  // fractional bits, even when the final answer was as small as 1/2. The
+  // accumulation now runs in 128-bit dyadics, so only a final value whose
+  // reduced denominator genuinely exceeds 2^62 fails — with a diagnostic
+  // that says so.
+  BddManager mgr;
+
+  // Parity (XOR chain) of k fair bits has probability exactly 1/2, but
+  // every internal accumulation step carries a denominator of 2^depth: at
+  // 63 and 64 variables the old arithmetic overflowed.
+  for (const int k : {63, 64}) {
+    BddRef parity = kBddFalse;
+    for (NodeId i = 0; i < static_cast<NodeId>(k); ++i) {
+      const BddRef x = mgr.literal(1000 + i, true);
+      parity = mgr.ite(x, mgr.bddNot(parity), parity);  // parity XOR x
+    }
+    EXPECT_EQ(mgr.probability(parity), Rational(1, 2)) << k << " variables";
+  }
+
+  // Majority-free sanity check at 64 vars: OR of two disjoint 32-literal
+  // conjunctions — P = 2^-32 + 2^-32 - 2^-64, denominator 2^64. The exact
+  // value is NOT representable; the failure must be the clear diagnostic,
+  // not an arithmetic trap.
+  GateDnf dnf(2);
+  for (NodeId i = 0; i < 32; ++i) dnf[0].push_back(lit(1 + i, true));
+  for (NodeId i = 32; i < 64; ++i) dnf[1].push_back(lit(1 + i, true));
+  try {
+    (void)mgr.probability(mgr.fromDnf(dnf));
+    FAIL() << "expected overflow_error";
+  } catch (const std::overflow_error& e) {
+    EXPECT_NE(std::string(e.what()).find("denominator 2^64"), std::string::npos) << e.what();
+  }
+
+  // 62 fractional bits is still exactly representable end to end.
+  GateDnf chain{GateTerm{}};
+  for (NodeId i = 0; i < 62; ++i) chain[0].push_back(lit(2000 + i, true));
+  EXPECT_EQ(mgr.probability(mgr.fromDnf(chain)), Rational::dyadic(62));
+}
+
+TEST(Bdd, ImportFromMergesPartitionsCanonically) {
+  // The parallel activation path builds conditions in partition managers
+  // and merges by structural copy: with a shared variable order the
+  // imported refs must be canonical (equivalent functions collapse) and
+  // preserve probability and support.
+  std::mt19937_64 rng(2024);
+  const std::vector<NodeId> varOrder{1, 2, 3, 4, 5, 6, 7, 8};
+
+  BddManager a;
+  BddManager b;
+  BddManager merged;
+  a.registerVariables(varOrder);
+  b.registerVariables(varOrder);
+  merged.registerVariables(varOrder);
+
+  std::vector<GateDnf> dnfsA;
+  std::vector<GateDnf> dnfsB;
+  for (int i = 0; i < 20; ++i) {
+    dnfsA.push_back(randomDnf(rng, 8, 4, 3));
+    dnfsB.push_back(randomDnf(rng, 8, 4, 3));
+  }
+  // One deliberately equivalent pair across partitions.
+  dnfsA.push_back(GateDnf{{lit(1, true), lit(2, false)}});
+  dnfsB.push_back(GateDnf{{lit(2, false), lit(1, true)}});
+
+  std::vector<BddRef> memoA(0);
+  std::vector<BddRef> memoB(0);
+  auto importAll = [&](BddManager& src, const std::vector<GateDnf>& dnfs,
+                       std::vector<BddRef>& memo) {
+    std::vector<BddRef> local;
+    for (const GateDnf& d : dnfs) local.push_back(src.fromDnf(d));
+    memo.assign(src.nodeCount(), kBddInvalid);
+    std::vector<BddRef> out;
+    for (const BddRef r : local) out.push_back(merged.importFrom(src, r, memo));
+    return out;
+  };
+  const std::vector<BddRef> mergedA = importAll(a, dnfsA, memoA);
+  const std::vector<BddRef> mergedB = importAll(b, dnfsB, memoB);
+
+  for (std::size_t i = 0; i < dnfsA.size(); ++i) {
+    EXPECT_EQ(merged.probability(mergedA[i]), a.probability(a.fromDnf(dnfsA[i]))) << i;
+    EXPECT_EQ(merged.support(mergedA[i]), a.support(a.fromDnf(dnfsA[i]))) << i;
+  }
+  for (std::size_t i = 0; i < dnfsB.size(); ++i)
+    EXPECT_EQ(merged.probability(mergedB[i]), b.probability(b.fromDnf(dnfsB[i]))) << i;
+  // Canonical merge: the equivalent cross-partition pair shares one ref.
+  EXPECT_EQ(mergedA.back(), mergedB.back());
+  // And importing something the merge manager already built is a no-op ref.
+  EXPECT_EQ(merged.fromDnf(dnfsA.back()), mergedA.back());
+}
+
 }  // namespace
 }  // namespace pmsched

@@ -1,0 +1,243 @@
+// ProbeFarm: speculative probe verdicts must match from-scratch
+// computeTimeFrames() at the version each job ran against, stale rejections
+// must stay valid after further commits (monotonicity), exact jobs must
+// re-sync replicas up AND down the committed batch stack, and the whole
+// protocol must hold under interleaved commit/enqueue stress at several
+// thread counts.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "cdfg/analysis.hpp"
+#include "circuits/circuits.hpp"
+#include "sched/probe_farm.hpp"
+#include "sched/timeframe.hpp"
+#include "support/random_dfg.hpp"
+#include "support/thread_pool.hpp"
+
+namespace pmsched {
+namespace {
+
+using Edge = ProbeFarm::Edge;
+
+/// RAII thread-count override so a failing test cannot leak its setting.
+/// Speculation is FORCED (and the previous mode restored on exit) so the
+/// farm keeps every configured lane instead of clamping to the hardware —
+/// the oversubscription stress below is the point.
+struct ScopedThreads {
+  explicit ScopedThreads(std::size_t n) : prev_(speculationMode()) {
+    setThreadCount(n);
+    setSpeculationMode(SpeculationMode::Force);
+  }
+  ~ScopedThreads() {
+    setThreadCount(0);
+    setSpeculationMode(prev_);
+  }
+  SpeculationMode prev_;
+};
+
+/// Random acyclic extra edges between scheduled nodes: sources precede
+/// targets in the cached topological order.
+std::vector<Edge> randomBatch(const Graph& g, std::mt19937_64& rng, int count) {
+  const std::vector<NodeId> ops = g.scheduledNodes();
+  std::vector<std::uint32_t> pos(g.size());
+  const std::span<const NodeId> order = g.topoOrderView();
+  for (std::uint32_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  std::vector<Edge> batch;
+  if (ops.size() < 2) return batch;
+  std::uniform_int_distribution<std::size_t> pick(0, ops.size() - 1);
+  for (int i = 0; i < count; ++i) {
+    NodeId a = ops[pick(rng)];
+    NodeId b = ops[pick(rng)];
+    if (a == b) continue;
+    if (pos[a] > pos[b]) std::swap(a, b);
+    batch.emplace_back(a, b);
+  }
+  return batch;
+}
+
+/// Flatten the first `version` committed batches plus a probe batch.
+std::vector<Edge> liveEdges(const std::vector<std::vector<Edge>>& log, std::uint64_t version,
+                            const std::vector<Edge>& probe) {
+  std::vector<Edge> all;
+  for (std::uint64_t i = 0; i < version; ++i)
+    all.insert(all.end(), log[i].begin(), log[i].end());
+  all.insert(all.end(), probe.begin(), probe.end());
+  return all;
+}
+
+TEST(ProbeFarm, FreshVerdictsMatchFromScratch) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ScopedThreads guard(threads);
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      const Graph g = randomLayeredDfg(5, 4, seed);
+      const int steps = criticalPathLength(g) + 1;  // tight: rejections likely
+      ProbeFarm farm(g, steps, LatencyModel::unit(), "test");
+      std::mt19937_64 rng(seed * 13);
+
+      std::vector<std::vector<Edge>> batches;
+      std::vector<std::size_t> tickets;
+      for (int i = 0; i < 12; ++i) {
+        batches.push_back(randomBatch(g, rng, 3));
+        tickets.push_back(farm.enqueue(batches.back(), /*diagnose=*/true));
+      }
+      for (std::size_t i = 0; i < tickets.size(); ++i) {
+        const ProbeFarm::Result r = farm.await(tickets[i]);
+        ASSERT_TRUE(r.ran);  // no commits: nothing can go stale
+        ASSERT_FALSE(r.error);
+        const TimeFrames ref = computeTimeFrames(g, steps, batches[i]);
+        ASSERT_EQ(r.feasible, ref.feasible(g))
+            << "threads " << threads << " seed " << seed << " batch " << i;
+        if (!r.feasible) {
+          ASSERT_EQ(r.firstInfeasible, ref.firstInfeasible(g))
+              << "threads " << threads << " seed " << seed << " batch " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ProbeFarm, InterleavedStaleProbeRevalidationStress) {
+  // The stress the transform's sweep produces: waves of speculative probes
+  // with commits landing between enqueue and claim, so jobs resolve fresh,
+  // stale, or skipped. Every outcome is checked against the from-scratch
+  // frames at the version the job reports — including the monotonicity
+  // guarantee that a stale rejection is still a rejection at the current
+  // version.
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    ScopedThreads guard(threads);
+    for (std::uint64_t seed = 30; seed < 36; ++seed) {
+      const Graph g = randomLayeredDfg(6, 4, seed);
+      const int steps = criticalPathLength(g) + 2;
+      // The consumer's oracle: commits mirror into the farm as snapshots.
+      TimeFrameOracle oracle(g, steps);
+      ProbeFarm farm(g, steps, LatencyModel::unit(), "stress");
+      std::mt19937_64 rng(seed * 31);
+
+      std::vector<std::vector<Edge>> log;  // mirror of the farm's commit log
+      struct Pending {
+        std::vector<Edge> batch;
+        std::size_t ticket;
+      };
+      std::vector<Pending> pending;
+
+      for (int round = 0; round < 10; ++round) {
+        // Enqueue a wave of speculative probes...
+        for (int k = 0; k < 4; ++k) {
+          Pending p;
+          p.batch = randomBatch(g, rng, 2);
+          p.ticket = farm.enqueue(p.batch, /*diagnose=*/true);
+          pending.push_back(std::move(p));
+        }
+        // ...then race a commit against them: find a batch that keeps the
+        // committed state feasible and commit it mid-wave.
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          std::vector<Edge> candidate = randomBatch(g, rng, 1);
+          if (computeTimeFrames(g, steps, liveEdges(log, log.size(), candidate)).feasible(g)) {
+            log.push_back(candidate);
+            oracle.push(candidate);
+            oracle.commit();
+            farm.commitBatch(oracle);
+            break;
+          }
+        }
+
+        // Drain and verify every outcome against ground truth.
+        for (const Pending& p : pending) {
+          const ProbeFarm::Result r = farm.await(p.ticket);
+          ASSERT_FALSE(r.error);
+          if (!r.ran) continue;  // skipped: claimed after the state moved on
+          const TimeFrames atRan = computeTimeFrames(g, steps, liveEdges(log, r.version, p.batch));
+          ASSERT_EQ(r.feasible, atRan.feasible(g)) << "seed " << seed << " round " << round;
+          if (!r.feasible) {
+            ASSERT_EQ(r.firstInfeasible, atRan.firstInfeasible(g))
+                << "seed " << seed << " round " << round;
+            // Monotonicity: a rejection against an older committed prefix
+            // must still be a rejection against the full committed set.
+            const TimeFrames now =
+                computeTimeFrames(g, steps, liveEdges(log, log.size(), p.batch));
+            ASSERT_FALSE(now.feasible(g)) << "seed " << seed << " round " << round;
+          }
+        }
+        pending.clear();
+      }
+    }
+  }
+}
+
+TEST(ProbeFarm, ExactJobsRunAtTheirCapturedVersion) {
+  ScopedThreads guard(4);
+  const Graph g = circuits::dealer();
+  const int steps = criticalPathLength(g) + 2;
+  TimeFrameOracle oracle(g, steps);
+  ProbeFarm farm(g, steps, LatencyModel::unit(), "exact");
+  std::mt19937_64 rng(99);
+
+  std::vector<std::vector<Edge>> log;
+  auto commitFeasible = [&]() {
+    for (int attempt = 0; attempt < 10; ++attempt) {
+      std::vector<Edge> batch = randomBatch(g, rng, 1);
+      if (computeTimeFrames(g, steps, liveEdges(log, log.size(), batch)).feasible(g)) {
+        log.push_back(batch);
+        oracle.push(batch);
+        oracle.commit();
+        farm.commitBatch(oracle);
+        return;
+      }
+    }
+  };
+  // Build up a few committed batches.
+  for (int i = 0; i < 3; ++i) commitFeasible();
+  ASSERT_EQ(farm.version(), log.size());
+
+  // Enqueue an exact job at the current version, then commit MORE batches
+  // before awaiting: replicas that already moved to the new tip must
+  // restore back down to the captured version to serve it.
+  const std::vector<Edge> probe = randomBatch(g, rng, 3);
+  const std::uint64_t captured = farm.version();
+  const std::size_t ticket = farm.enqueue(probe, /*diagnose=*/true, /*exact=*/true);
+  for (int i = 0; i < 2; ++i) {
+    commitFeasible();
+    // Force replica syncs to the new tip with a fresh speculative job.
+    (void)farm.await(farm.enqueue(randomBatch(g, rng, 1), /*diagnose=*/false));
+  }
+
+  const ProbeFarm::Result r = farm.await(ticket);
+  ASSERT_TRUE(r.ran);  // exact jobs never skip
+  ASSERT_FALSE(r.error);
+  ASSERT_EQ(r.version, captured);
+  const TimeFrames ref = computeTimeFrames(g, steps, liveEdges(log, captured, probe));
+  EXPECT_EQ(r.feasible, ref.feasible(g));
+  if (!r.feasible) {
+    EXPECT_EQ(r.firstInfeasible, ref.firstInfeasible(g));
+  }
+}
+
+TEST(ProbeFarm, CyclicProbeReportsTheErrorWithoutPoisoningTheFarm) {
+  ScopedThreads guard(2);
+  const Graph g = circuits::absdiff();
+  const int steps = criticalPathLength(g) + 1;
+  ProbeFarm farm(g, steps, LatencyModel::unit(), "cycle");
+  const std::vector<NodeId> ops = g.scheduledNodes();
+  ASSERT_GE(ops.size(), 2u);
+
+  const std::size_t bad =
+      farm.enqueue({{ops[0], ops[1]}, {ops[1], ops[0]}}, /*diagnose=*/true);
+  const ProbeFarm::Result r = farm.await(bad);
+  ASSERT_TRUE(r.ran);
+  ASSERT_TRUE(r.error != nullptr);
+  EXPECT_THROW(std::rethrow_exception(r.error), SynthesisError);
+
+  // The lane's replica must have unwound cleanly: further probes work.
+  const std::size_t ok = farm.enqueue({}, /*diagnose=*/true);
+  const ProbeFarm::Result r2 = farm.await(ok);
+  ASSERT_TRUE(r2.ran);
+  EXPECT_FALSE(r2.error);
+  EXPECT_TRUE(r2.feasible);
+}
+
+}  // namespace
+}  // namespace pmsched

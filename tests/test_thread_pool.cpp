@@ -1,0 +1,116 @@
+// ThreadPool: lane indexing, parallelFor/parallelMap coverage and ordering,
+// deterministic exception propagation, and the PMSCHED_THREADS /
+// setThreadCount() configuration contract.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace pmsched {
+namespace {
+
+/// RAII thread-count override so a failing test cannot leak its setting.
+struct ScopedThreads {
+  explicit ScopedThreads(std::size_t n) { setThreadCount(n); }
+  ~ScopedThreads() { setThreadCount(0); }
+};
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{5}}) {
+    ThreadPool pool(threads);
+    for (const std::size_t count : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                                    std::size_t{64}, std::size_t{1000}}) {
+      std::vector<std::atomic<int>> hits(count);
+      pool.parallelFor(0, count, 3, [&](std::size_t, std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      });
+      for (std::size_t i = 0; i < count; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "threads=" << threads << " count=" << count
+                                     << " index=" << i;
+    }
+  }
+}
+
+TEST(ThreadPool, LaneIndicesStayWithinThreadCount) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> maxLane{0};
+  pool.parallelFor(0, 500, 1, [&](std::size_t lane, std::size_t) {
+    std::size_t seen = maxLane.load();
+    while (lane > seen && !maxLane.compare_exchange_weak(seen, lane)) {
+    }
+  });
+  EXPECT_LT(maxLane.load(), 4u);
+}
+
+TEST(ThreadPool, ParallelMapPreservesOrder) {
+  ThreadPool pool(3);
+  std::vector<int> items(100);
+  std::iota(items.begin(), items.end(), 0);
+  const std::vector<int> out =
+      pool.parallelMap(items, [](std::size_t, int v) { return v * v; });
+  ASSERT_EQ(out.size(), items.size());
+  for (std::size_t i = 0; i < out.size(); ++i) ASSERT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(ThreadPool, LowestChunkExceptionWins) {
+  ThreadPool pool(4);
+  // Several iterations throw; the rethrown one must be the lowest chunk's,
+  // independent of scheduling.
+  for (int round = 0; round < 20; ++round) {
+    try {
+      pool.parallelFor(0, 200, 1, [&](std::size_t, std::size_t i) {
+        if (i == 17 || i == 90 || i == 150)
+          throw std::runtime_error("boom at " + std::to_string(i));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom at 17");
+    }
+  }
+}
+
+TEST(ThreadPool, SubmittedTasksRun) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i)
+    pool.submit([&](std::size_t) { ran.fetch_add(1); });
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (ran.load() < 16 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPool, SingleLanePoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threadCount(), 1u);
+  std::vector<std::size_t> lanes;
+  pool.parallelFor(0, 10, 1, [&](std::size_t lane, std::size_t) { lanes.push_back(lane); });
+  for (const std::size_t lane : lanes) EXPECT_EQ(lane, 0u);
+  bool ran = false;
+  pool.submit([&](std::size_t lane) {
+    EXPECT_EQ(lane, 0u);
+    ran = true;  // inline: visible immediately, no synchronization needed
+  });
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, SetThreadCountControlsTheGlobalPool) {
+  {
+    ScopedThreads guard(3);
+    EXPECT_EQ(threadCount(), 3u);
+    EXPECT_EQ(globalThreadPool().threadCount(), 3u);
+  }
+  // Back to automatic: PMSCHED_THREADS or hardware_concurrency, >= 1.
+  EXPECT_GE(threadCount(), 1u);
+  EXPECT_EQ(globalThreadPool().threadCount(), threadCount());
+}
+
+}  // namespace
+}  // namespace pmsched

@@ -44,12 +44,12 @@ void expectFramesMatch(const Graph& g, TimeFrameOracle& oracle,
   ASSERT_EQ(oracle.feasible(), ref.feasible(g)) << what;
   for (NodeId n = 0; n < g.size(); ++n)
     ASSERT_EQ(oracle.asap(n), ref.asap[n]) << what << ": asap of '" << g.node(n).name << "'";
-  if (oracle.depth() <= 1) {  // ALAP reads flush the lazy backward repair
-    const TimeFrames tf = oracle.frames();
-    for (NodeId n = 0; n < g.size(); ++n)
-      ASSERT_EQ(tf.alap[n], ref.alap[n]) << what << ": alap of '" << g.node(n).name << "'";
-    ASSERT_EQ(oracle.firstInfeasible(), ref.firstInfeasible(g)) << what;
-  }
+  // ALAP reads flush the lazy backward repair of every open batch — at any
+  // depth (ProbeFarm replicas stack the committed state as open batches).
+  const TimeFrames tf = oracle.frames();
+  for (NodeId n = 0; n < g.size(); ++n)
+    ASSERT_EQ(tf.alap[n], ref.alap[n]) << what << ": alap of '" << g.node(n).name << "'";
+  ASSERT_EQ(oracle.firstInfeasible(), ref.firstInfeasible(g)) << what;
 }
 
 /// Random acyclic extra edges between scheduled nodes: sources precede
@@ -199,6 +199,34 @@ TEST(TimeFrameOracle, SourceLaterThanTargetInIdOrder) {
   expectFramesMatch(g, oracle, {batch}, 4, LatencyModel::unit(), "late-source edge");
   oracle.pop();
   EXPECT_EQ(oracle.asap(early), 1);
+}
+
+TEST(TimeFrameOracle, AlapFlushUndoAttributionAcrossStackedBatches) {
+  // Regression: reading ALAP with two batches open flushes the backward
+  // repair over the FULL live edge set; the undo must be attributed so
+  // that popping only the inner batch restores exactly the outer batch's
+  // fixed point (an inner-batch-induced tightening logged into the outer
+  // batch's undo would survive the pop as a stale ALAP).
+  for (std::uint64_t seed = 60; seed < 72; ++seed) {
+    const Graph g = randomLayeredDfg(5, 4, seed);
+    const int steps = criticalPathLength(g) + 2;
+    std::mt19937_64 rng(seed * 131);
+    TimeFrameOracle oracle(g, steps);
+
+    std::vector<Edge> a = randomBatch(g, rng, 2);
+    std::vector<Edge> b = randomBatch(g, rng, 2);
+    oracle.push(a);
+    oracle.push(b);
+    // Flush ONLY at full depth (no intermediate reads): the repair runs
+    // against a+b, which is the attribution-hostile schedule.
+    (void)oracle.frames();
+    oracle.pop();  // drop b
+    expectFramesMatch(g, oracle, {{a}}, steps, LatencyModel::unit(),
+                      "inner-pop seed " + std::to_string(seed));
+    oracle.pop();  // drop a
+    expectFramesMatch(g, oracle, {}, steps, LatencyModel::unit(),
+                      "outer-pop seed " + std::to_string(seed));
+  }
 }
 
 TEST(TimeFrameOracle, CyclicBatchThrowsAndRestores) {

@@ -4,6 +4,13 @@
 #
 # Usage: tools/bench_report.sh <bench_perf-binary> [repo-root] [filter]
 #
+# Since PR 4 the transform hot paths are parallel (speculative probing on a
+# ProbeFarm), so the snapshot records TWO runs of the suite: one pinned to
+# PMSCHED_THREADS=1 (the sequential baseline) and one at BENCH_THREADS
+# (default: nproc) — the same filter, the same binary. The output is a
+# single JSON object {"threads": {"1": <run>, "<N>": <run>}} so the
+# thread-scaling ratio of every benchmark can be read from one file.
+#
 # The output index is one past the highest existing BENCH_PR<n>.json, so
 # re-running inside one PR overwrites nothing; delete stale files if you
 # want a clean slate. Invoked by the `bench_report` CMake target.
@@ -13,6 +20,14 @@ set -eu
 BENCH_BIN=${1:?usage: bench_report.sh <bench_perf-binary> [repo-root] [filter]}
 ROOT=${2:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
 FILTER=${3:-}
+
+if [ -n "${BENCH_THREADS:-}" ]; then
+  THREADS=$BENCH_THREADS
+elif command -v nproc >/dev/null 2>&1; then
+  THREADS=$(nproc)
+else
+  THREADS=2
+fi
 
 # One past the highest existing index (never fill gaps left by deleted
 # snapshots, so the sequence stays chronological).
@@ -28,12 +43,33 @@ for f in "$ROOT"/BENCH_PR*.json; do
 done
 OUT="$ROOT/BENCH_PR$((max + 1)).json"
 
-if [ -n "$FILTER" ]; then
-  "$BENCH_BIN" --benchmark_filter="$FILTER" --benchmark_format=json \
-    --benchmark_out="$OUT" --benchmark_out_format=json
-else
-  "$BENCH_BIN" --benchmark_format=json \
-    --benchmark_out="$OUT" --benchmark_out_format=json
-fi
+TMPDIR=${TMPDIR:-/tmp}
+ONE="$TMPDIR/bench_report_t1.$$.json"
+MANY="$TMPDIR/bench_report_tN.$$.json"
+trap 'rm -f "$ONE" "$MANY"' EXIT
 
-echo "wrote $OUT"
+run_at() {
+  # $1 = thread count, $2 = output file
+  if [ -n "$FILTER" ]; then
+    PMSCHED_THREADS=$1 "$BENCH_BIN" --benchmark_filter="$FILTER" \
+      --benchmark_format=json --benchmark_out="$2" --benchmark_out_format=json
+  else
+    PMSCHED_THREADS=$1 "$BENCH_BIN" \
+      --benchmark_format=json --benchmark_out="$2" --benchmark_out_format=json
+  fi
+}
+
+echo "bench_report: run 1/2 at PMSCHED_THREADS=1"
+run_at 1 "$ONE"
+echo "bench_report: run 2/2 at PMSCHED_THREADS=$THREADS"
+run_at "$THREADS" "$MANY"
+
+{
+  printf '{\n"threads": {\n"1":\n'
+  cat "$ONE"
+  printf ',\n"%s":\n' "$THREADS"
+  cat "$MANY"
+  printf '}\n}\n'
+} > "$OUT"
+
+echo "wrote $OUT (thread counts: 1 and $THREADS)"

@@ -9,6 +9,9 @@
 //
 //   --steps N           control-step budget (required)
 //   --ordering MODE     output | input | savings   (default: output)
+//   --threads N         worker threads for the speculative transform
+//                       (default: PMSCHED_THREADS or hardware concurrency;
+//                       results are identical at every thread count)
 //   --strict            disable the shared (OR-composed) gating extension
 //   --report FILE       Markdown design report
 //   --vhdl PREFIX       PREFIX_datapath.vhd / _controller.vhd / _tb.vhd
@@ -30,6 +33,7 @@
 #include "sched/list_scheduler.hpp"
 #include "sched/shared_gating.hpp"
 #include "support/strings.hpp"
+#include "support/thread_pool.hpp"
 #include "vhdl/emit.hpp"
 
 namespace {
@@ -39,6 +43,7 @@ using namespace pmsched;
 struct Options {
   std::string inputPath;
   int steps = 0;
+  int threads = 0;  ///< 0 = automatic (PMSCHED_THREADS / hardware)
   MuxOrdering ordering = MuxOrdering::OutputFirst;
   bool shared = true;
   std::string reportPath;
@@ -51,8 +56,8 @@ struct Options {
 [[noreturn]] void usage(const std::string& error) {
   if (!error.empty()) std::cerr << "error: " << error << "\n";
   std::cerr << "usage: pmsched INPUT --steps N [--ordering output|input|savings] [--strict]\n"
-               "               [--report FILE] [--vhdl PREFIX] [--dot FILE] [--save FILE]\n"
-               "               [--power-sim N]\n";
+               "               [--threads N] [--report FILE] [--vhdl PREFIX] [--dot FILE]\n"
+               "               [--save FILE] [--power-sim N]\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -66,6 +71,7 @@ Options parseArgs(int argc, char** argv) {
     };
     if (arg == "--help" || arg == "-h") usage("");
     else if (arg == "--steps") opts.steps = std::stoi(next("--steps"));
+    else if (arg == "--threads") opts.threads = std::stoi(next("--threads"));
     else if (arg == "--ordering") {
       const std::string mode = next("--ordering");
       if (mode == "output") opts.ordering = MuxOrdering::OutputFirst;
@@ -84,6 +90,7 @@ Options parseArgs(int argc, char** argv) {
   }
   if (opts.inputPath.empty()) usage("no input file");
   if (opts.steps <= 0) usage("--steps is required and must be positive");
+  if (opts.threads < 0) usage("--threads must be positive (or omitted for automatic)");
   return opts;
 }
 
@@ -103,6 +110,11 @@ void writeFile(const std::string& path, const std::string& text) {
 }
 
 int run(const Options& opts) {
+  // Configure the transform's speculative-probing parallelism before the
+  // first pool use; every downstream pass (greedy transform, shared
+  // gating, exact search, activation analysis) picks it up from here.
+  if (opts.threads > 0) setThreadCount(static_cast<std::size_t>(opts.threads));
+
   const std::string source = readFile(opts.inputPath);
   const bool isSil = opts.inputPath.size() >= 4 &&
                      opts.inputPath.substr(opts.inputPath.size() - 4) == ".sil";
