@@ -289,7 +289,7 @@ void speculativeSweep(TimeFrameOracle& oracle, ProbeFarm& farm,
                       const SweepHooks& hooks) {
   const std::size_t n = edgeSets.size();
   constexpr std::size_t kNone = static_cast<std::size_t>(-1);
-  const std::size_t window = std::max<std::size_t>(2 * farm.lanes(), 4);
+  const std::size_t window = std::max<std::size_t>(4 * farm.lanes(), 8);
   // Adaptive engagement. An ACCEPT invalidates every in-flight speculative
   // probe (the committed baseline moved), so speculation only pays during
   // reject streaks — which is also where the work is, since rejects leave
@@ -305,13 +305,23 @@ void speculativeSweep(TimeFrameOracle& oracle, ProbeFarm& farm,
   std::vector<std::pair<std::size_t, std::size_t>> reasonJobs;  // (candidate, ticket)
   std::size_t horizon = 0;
 
-  auto dispatchTo = [&](std::size_t hi) {
+  // Batched wave handoff: STAGE every probe in the refill block (no lock,
+  // no wake), then ring the pool once — one cv round per wave instead of
+  // one per probe (see probe_farm.hpp). The consume loop refills only
+  // when the dispatched lookahead drops below half a window, so steady
+  // reject streaks ring waves of ~window/2 probes rather than degrading
+  // to per-candidate waves of one.
+  auto dispatchTo = [&](std::size_t lo, std::size_t hi) {
+    // An accept rewinds horizon to its own candidate; everything before
+    // `lo` is already decided and must not be re-staged as garbage work.
+    horizon = std::max(horizon, lo);
     for (; horizon < std::min(hi, n); ++horizon) {
       if (ticket[horizon] != kNone) continue;
       if (hooks.predecide && hooks.predecide(horizon)) continue;  // forced: no probe
       if (edgeSets[horizon].empty()) continue;                    // trivially feasible
-      ticket[horizon] = farm.enqueue(edgeSets[horizon], diagnose);
+      ticket[horizon] = farm.stage(edgeSets[horizon], diagnose);
     }
+    farm.ring();
   };
 
   // Sequential re-validation on the consumer's oracle — exactly what the
@@ -329,7 +339,7 @@ void speculativeSweep(TimeFrameOracle& oracle, ProbeFarm& farm,
   };
 
   for (std::size_t i = 0; i < n; ++i) {
-    if (cooldown == 0) dispatchTo(i + window);
+    if (cooldown == 0 && horizon < std::min(i + window / 2, n)) dispatchTo(i, i + window);
 
     if (hooks.predecide) {
       if (const std::optional<bool> forced = hooks.predecide(i)) {

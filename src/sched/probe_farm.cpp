@@ -1,6 +1,14 @@
 #include "sched/probe_farm.hpp"
 
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
 #include <thread>
+
+#include "cdfg/analysis.hpp"
+#include "support/random_dfg.hpp"
 
 namespace pmsched {
 
@@ -16,7 +24,144 @@ std::size_t effectiveLanes() {
   return hw == 0 ? configured : std::min<std::size_t>(configured, hw);
 }
 
+// ---- self-calibration ------------------------------------------------------
+
+/// A farm that cannot keep a worker lane busy has no handoff to measure;
+/// this sentinel pushes the crossover to its ceiling so auto mode declines.
+constexpr double kUnusableHandoffNs = 1e12;
+
+/// Measure the two calibration costs on this machine. A few milliseconds,
+/// run once per process (memoized by speculationCalibration()).
+SpeculationCalibration measureCalibration() {
+  using Clock = std::chrono::steady_clock;
+  SpeculationCalibration cal;
+  cal.measured = true;
+
+  // Median incremental repair cost per node, on a synthetic layered DFG
+  // shaped like the transform's inputs (same generator as the benches).
+  {
+    const Graph g = randomLayeredDfg(24, 8, 1996);
+    const int steps = criticalPathLength(g) + 4;
+    const double perProbe = measureMedianProbeNs(g, steps);
+    cal.repairNsPerNode = std::max(1e-3, perProbe / static_cast<double>(g.size()));
+  }
+
+  // Wave-amortized handoff: rounds of empty-probe waves through the real
+  // farm, lanes doing all the work (the consumer only polls — claiming
+  // inline would time the wrong path). Empty batches make the probe itself
+  // free, so the wave wall-clock IS the handoff cost.
+  const Graph g = randomLayeredDfg(6, 4, 1996);
+  const int steps = criticalPathLength(g) + 2;
+  ProbeFarm farm(g, steps, LatencyModel::unit(), "calibration");
+  if (farm.lanes() <= 1) {
+    cal.handoffNs = kUnusableHandoffNs;
+    return cal;
+  }
+  constexpr int kWave = 32;
+  constexpr int kRounds = 5;  // first round is warm-up (lane spin-up)
+  std::vector<double> rounds;
+  for (int r = 0; r <= kRounds; ++r) {
+    std::vector<std::size_t> tickets;
+    tickets.reserve(kWave);
+    const Clock::time_point t0 = Clock::now();
+    for (int i = 0; i < kWave; ++i) tickets.push_back(farm.stage({}, false));
+    farm.ring();
+    const Clock::time_point deadline = t0 + std::chrono::milliseconds(200);
+    for (const std::size_t t : tickets) {
+      while (!farm.tryResult(t)) {
+        if (Clock::now() > deadline) {
+          // Lanes starved (heavily loaded machine): claim the rest inline
+          // so the measurement terminates; the round reads slow, which is
+          // the honest verdict for this machine state.
+          (void)farm.await(t);
+          break;
+        }
+        std::this_thread::yield();
+      }
+    }
+    const double ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0).count();
+    if (r > 0) rounds.push_back(ns / kWave);
+  }
+  // The FLOOR round, not the median: the handoff estimate is the machine's
+  // capability, and a burst of transient load during the (one-shot)
+  // measurement must not permanently disable speculation. Over-farming on
+  // a loaded machine costs one amortized handoff per probe; under-farming
+  // forfeits every lane forever.
+  cal.handoffNs = std::max(1.0, *std::min_element(rounds.begin(), rounds.end()));
+  return cal;
+}
+
+std::mutex& calibrationMutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::optional<SpeculationCalibration>& calibrationOverrideSlot() {
+  static std::optional<SpeculationCalibration> value;
+  return value;
+}
+
+std::optional<SpeculationCalibration>& calibrationCacheSlot() {
+  static std::optional<SpeculationCalibration> value;
+  return value;
+}
+
 }  // namespace
+
+std::size_t SpeculationCalibration::crossoverNodes() const {
+  constexpr double kMin = 64.0;
+  constexpr double kMax = static_cast<double>(std::size_t{1} << 22);
+  if (!(repairNsPerNode > 0)) return static_cast<std::size_t>(kMax);
+  const double x = std::clamp(handoffNs / repairNsPerNode, kMin, kMax);
+  return static_cast<std::size_t>(x);
+}
+
+std::optional<SpeculationCalibration> parseCalibration(std::string_view text) {
+  const std::string s(text);
+  const char* first = s.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double handoff = std::strtod(first, &end);
+  if (end == first || *end != ',') return std::nullopt;
+  const char* second = end + 1;
+  const double repair = std::strtod(second, &end);
+  if (end == second || *end != '\0') return std::nullopt;
+  if (errno == ERANGE) return std::nullopt;
+  if (!std::isfinite(handoff) || !std::isfinite(repair)) return std::nullopt;
+  if (handoff <= 0 || repair <= 0) return std::nullopt;
+  SpeculationCalibration cal;
+  cal.handoffNs = std::clamp(handoff, 1.0, 1e9);
+  cal.repairNsPerNode = std::clamp(repair, 1e-3, 1e6);
+  cal.measured = false;
+  return cal;
+}
+
+SpeculationCalibration speculationCalibration() {
+  {
+    std::lock_guard<std::mutex> lock(calibrationMutex());
+    if (calibrationOverrideSlot()) return *calibrationOverrideSlot();
+    if (calibrationCacheSlot()) return *calibrationCacheSlot();
+    if (const char* env = std::getenv("PMSCHED_CALIBRATION")) {
+      if (std::optional<SpeculationCalibration> parsed = parseCalibration(env)) {
+        calibrationCacheSlot() = *parsed;
+        return *parsed;
+      }
+    }
+  }
+  // Measure OUTSIDE the config lock: the measurement drives the thread
+  // pool and must not serialize against concurrent mode queries.
+  const SpeculationCalibration measured = measureCalibration();
+  std::lock_guard<std::mutex> lock(calibrationMutex());
+  if (calibrationOverrideSlot()) return *calibrationOverrideSlot();
+  if (!calibrationCacheSlot()) calibrationCacheSlot() = measured;  // first writer wins
+  return *calibrationCacheSlot();
+}
+
+void setSpeculationCalibration(std::optional<SpeculationCalibration> c) {
+  std::lock_guard<std::mutex> lock(calibrationMutex());
+  calibrationOverrideSlot() = c;
+}
 
 bool farmProbesWorthwhile(std::size_t graphSize) {
   switch (speculationMode()) {
@@ -25,9 +170,10 @@ bool farmProbesWorthwhile(std::size_t graphSize) {
     case SpeculationMode::Auto: break;
   }
   if (threadCount() <= 1) return false;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw >= 4 && graphSize >= kMinNodesForSpeculation;
+  return graphSize >= speculationCalibration().crossoverNodes();
 }
+
+// ---- ProbeFarm -------------------------------------------------------------
 
 ProbeFarm::ProbeFarm(const Graph& g, int steps, const LatencyModel& model,
                      std::string errorContext)
@@ -52,6 +198,7 @@ ProbeFarm::ProbeFarm(const Graph& g, int steps, const LatencyModel& model,
 }
 
 ProbeFarm::~ProbeFarm() {
+  closingFlag_.store(true, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     closing_ = true;
@@ -81,58 +228,100 @@ void ProbeFarm::startLanes() {
   }
 }
 
-std::uint64_t ProbeFarm::version() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return versionLocked_;
-}
-
 void ProbeFarm::commitBatch(const TimeFrameOracle& committedState) {
   TimeFrameOracle::FrameSnapshot snap = committedState.snapshot();
   std::lock_guard<std::mutex> lock(mutex_);
   snapshots_.push_back(std::move(snap));
-  ++versionLocked_;
+  version_.store(version_.load(std::memory_order_relaxed) + 1, std::memory_order_release);
 }
 
-std::size_t ProbeFarm::enqueue(std::vector<Edge> edges, bool diagnose, bool exact) {
-  if (submittedLanes_ == 0 && lanes_ > 1) startLanes();
-  std::size_t ticket;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ticket = jobs_.size();
-    Job& job = jobs_.emplace_back();
-    job.edges = std::move(edges);
-    job.version = versionLocked_;
-    job.diagnose = diagnose;
-    job.exact = exact;
-  }
-  workCv_.notify_one();
+std::size_t ProbeFarm::stage(std::vector<Edge> edges, bool diagnose, bool exact) {
+  Job job;
+  job.edges = std::move(edges);
+  // The staging thread is the committing thread, so this is the version
+  // the job would also observe at ring() time — except for exact reason
+  // jobs enqueued at their candidate's turn, which is exactly the version
+  // they must pin.
+  job.version = version_.load(std::memory_order_relaxed);
+  job.diagnose = diagnose;
+  job.exact = exact;
+  const std::size_t ticket = published_.size() + pendingWave_.size();
+  pendingWave_.push_back(std::move(job));
   return ticket;
 }
 
+void ProbeFarm::ring() {
+  if (pendingWave_.empty()) return;
+  auto wave = std::make_unique<Wave>();
+  wave->jobs = std::move(pendingWave_);
+  pendingWave_.clear();
+  const std::uint32_t n = static_cast<std::uint32_t>(wave->jobs.size());
+  wave->state = std::make_unique<std::atomic<std::uint8_t>[]>(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    wave->state[i].store(kQueued, std::memory_order_relaxed);
+  // Slices amortize the claim fetch_add without starving lanes: aim for a
+  // couple of slices per worker lane, capped so a blocked consumer's
+  // inline steal of one hot job stays responsive.
+  const std::uint32_t workers = static_cast<std::uint32_t>(lanes_ > 1 ? lanes_ - 1 : 1);
+  wave->slice = std::clamp<std::uint32_t>(n / (2 * workers), 1, 16);
+  Wave* raw = wave.get();
+  for (std::uint32_t i = 0; i < n; ++i) published_.emplace_back(raw, i);
+  if (lanes_ > 1 && submittedLanes_ == 0) startLanes();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    waves_.push_back(std::move(wave));
+  }
+  workCv_.notify_all();  // the one cv round for this wave
+}
+
 ProbeFarm::Result ProbeFarm::await(std::size_t ticket) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  if (ticket >= published_.size()) ring();  // staged but never rung
+  const auto [wave, slot] = published_.at(ticket);
+  std::atomic<std::uint8_t>& st = wave->state[slot];
+  Job& job = wave->jobs[slot];
   for (;;) {
-    Job& job = jobs_[ticket];
-    if (job.state == JobState::Done) return job.result;
-    if (job.state == JobState::Queued) {
+    const std::uint8_t s = st.load(std::memory_order_acquire);
+    if (s == kDone) return job.result;
+    if (s == kQueued) {
       // Claim it ourselves: the consumer is blocked on this exact verdict,
       // so running it inline (on the caller's replica) beats waiting for a
       // lane to get to it.
-      job.state = JobState::Claimed;
-      lock.unlock();
-      Result r = runJob(replicas_[0], job);
-      lock.lock();
-      job.result = std::move(r);
-      job.state = JobState::Done;
-      return job.result;
+      std::uint8_t expected = kQueued;
+      if (st.compare_exchange_strong(expected, kClaimed, std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+        job.result = runJob(replicas_[0], job);
+        st.store(kDone, std::memory_order_release);
+        return job.result;
+      }
+      continue;
     }
-    doneCv_.wait(lock);
+    // Claimed by a lane: the result lands in about one probe time, so spin
+    // briefly before paying a sleep.
+    for (int spin = 0; spin < 64; ++spin) {
+      if (st.load(std::memory_order_acquire) == kDone) return job.result;
+      std::this_thread::yield();
+    }
+    // Dekker handshake with publishResult(): the flag store and the lane's
+    // kDone store are both seq_cst, so either the lane sees the flag and
+    // pays the lock+notify, or this predicate sees kDone and never sleeps.
+    std::unique_lock<std::mutex> lock(mutex_);
+    consumerWaiting_.store(true, std::memory_order_seq_cst);
+    doneCv_.wait(lock, [&] { return st.load(std::memory_order_seq_cst) == kDone; });
+    consumerWaiting_.store(false, std::memory_order_relaxed);
+    return job.result;
   }
+}
+
+std::optional<ProbeFarm::Result> ProbeFarm::tryResult(std::size_t ticket) {
+  if (ticket >= published_.size()) return std::nullopt;
+  const auto [wave, slot] = published_[ticket];
+  if (wave->state[slot].load(std::memory_order_acquire) != kDone) return std::nullopt;
+  return wave->jobs[slot].result;
 }
 
 void ProbeFarm::laneLoop(std::size_t lane) {
   for (;;) {
-    Job* job = nullptr;
+    Wave* wave = nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       for (;;) {
@@ -141,26 +330,52 @@ void ProbeFarm::laneLoop(std::size_t lane) {
         // its reads of the shared Graph) alive — the consumer may mutate
         // the graph as soon as the destructor returns.
         if (closing_) return;
-        while (nextUnclaimed_ < jobs_.size() &&
-               jobs_[nextUnclaimed_].state != JobState::Queued)
-          ++nextUnclaimed_;
-        if (nextUnclaimed_ < jobs_.size()) break;
+        while (firstOpenWave_ < waves_.size() && waves_[firstOpenWave_]->exhausted())
+          ++firstOpenWave_;
+        for (std::size_t k = firstOpenWave_; k < waves_.size(); ++k) {
+          if (!waves_[k]->exhausted()) {
+            wave = waves_[k].get();
+            break;
+          }
+        }
+        if (wave) break;
         workCv_.wait(lock);
       }
-      // Resolve the element pointer under the lock: deque::push_back keeps
-      // element references stable but rewrites its internal chunk map, so
-      // unsynchronized operator[] would race the consumer's enqueue.
-      job = &jobs_[nextUnclaimed_++];
-      job->state = JobState::Claimed;
     }
-    Result r = runJob(replicas_[lane], *job);
-    {
-      // Notify under the mutex (see the drain-task exit path).
-      std::lock_guard<std::mutex> lock(mutex_);
-      job->result = std::move(r);
-      job->state = JobState::Done;
-      doneCv_.notify_all();
+    drainWave(*wave, lane);
+  }
+}
+
+void ProbeFarm::drainWave(Wave& wave, std::size_t lane) {
+  const std::uint32_t n = static_cast<std::uint32_t>(wave.jobs.size());
+  for (;;) {
+    const std::uint32_t base = wave.cursor.fetch_add(wave.slice, std::memory_order_relaxed);
+    if (base >= n) return;
+    const std::uint32_t end = std::min(n, base + wave.slice);
+    for (std::uint32_t i = base; i < end; ++i) {
+      if (closingFlag_.load(std::memory_order_relaxed)) return;  // teardown: stop claiming
+      std::uint8_t expected = kQueued;
+      if (!wave.state[i].compare_exchange_strong(expected, kClaimed,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_acquire))
+        continue;  // the blocked consumer stole it
+      publishResult(wave, i, runJob(replicas_[lane], wave.jobs[i]));
     }
+  }
+}
+
+void ProbeFarm::publishResult(Wave& wave, std::uint32_t slot, Result r) {
+  wave.jobs[slot].result = std::move(r);
+  wave.state[slot].store(kDone, std::memory_order_seq_cst);
+  // Wake the consumer only if it declared itself blocked (see await):
+  // while the consumer is ahead of the lanes — the throughput case — a
+  // result costs one release store and no lock at all. The empty critical
+  // section cannot be elided: holding the mutex for the notify pins the
+  // consumer either before its predicate check (it will see kDone) or
+  // inside the wait (the notify lands).
+  if (consumerWaiting_.load(std::memory_order_seq_cst)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    doneCv_.notify_all();
   }
 }
 
@@ -184,10 +399,8 @@ void ProbeFarm::syncReplica(Replica& rep, std::uint64_t target) {
 ProbeFarm::Result ProbeFarm::runJob(Replica& rep, const Job& job) {
   Result r;
   r.version = job.version;
-  if (!job.exact) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (versionLocked_ != job.version) return r;  // stale before it ran: skip
-  }
+  if (!job.exact && version_.load(std::memory_order_acquire) != job.version)
+    return r;  // stale before it ran: skip
   if (!rep.oracle) rep.oracle = std::make_unique<TimeFrameOracle>(g_, steps_, model_, ctx_);
   r.ran = true;
   try {

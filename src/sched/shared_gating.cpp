@@ -26,8 +26,9 @@ namespace {
 // Parallel path (threadCount() > 1): candidates are processed in WAVES. The
 // main thread evaluates the DNF part of a wave's candidates under the
 // assumption that none of them is accepted (every memo write is logged),
-// dispatching each candidate's oracle probe to a ProbeFarm as soon as its
-// edges are known; verdicts are then consumed strictly in order. The
+// staging each candidate's oracle probe onto a ProbeFarm wave as its edges
+// become known and ringing the pool ONCE per wave (the PR-5 batched
+// handoff); verdicts are then consumed strictly in order. The
 // assumption only breaks on an acceptance — which changes condOf() of the
 // accepted node and thereby the needs of its producers (all LATER in the
 // sweep, since consumers are processed before producers) — so the wave is
@@ -137,11 +138,12 @@ class SharedGatingPass {
         Eval& e = evals[j - idx];
         evalCandidate(cands[j], e);
         e.logEnd = memoLog_.size();
-        // Dispatch as soon as the edges are known so lanes probe this wave
-        // while the main thread is still evaluating the rest of it.
-        if (e.probeworthy && !e.edges.empty()) e.ticket = farm.enqueue(e.edges, false);
+        // Stage as the edges become known; the single ring below hands the
+        // whole wave to the lanes in one cv round (see probe_farm.hpp).
+        if (e.probeworthy && !e.edges.empty()) e.ticket = farm.stage(e.edges, false);
       }
       logging_ = false;
+      farm.ring();
 
       std::size_t nextIdx = end;
       for (std::size_t j = idx; j < end; ++j) {

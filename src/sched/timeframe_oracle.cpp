@@ -1,6 +1,8 @@
 #include "sched/timeframe_oracle.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <random>
 
 namespace pmsched {
 
@@ -312,6 +314,53 @@ TimeFrames TimeFrameOracle::frames() {
   tf.asap = asap_;
   tf.alap = alap_;
   return tf;
+}
+
+std::vector<std::vector<TimeFrameOracle::Edge>> seededProbeBatches(const Graph& g, int count,
+                                                                   int edgesPerBatch) {
+  std::vector<std::vector<TimeFrameOracle::Edge>> batches(std::max(count, 0));
+  const std::vector<NodeId> ops = g.scheduledNodes();
+  if (ops.size() < 2) return batches;
+
+  // Edges oriented along the cached topological order, so every batch is
+  // acyclic by construction (same recipe as the farm stress tests). Fixed
+  // seed: the batches are reproducible per graph.
+  std::vector<std::uint32_t> pos(g.size());
+  const std::span<const NodeId> order = g.topoOrderView();
+  for (std::uint32_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  std::mt19937_64 rng(1996);
+  std::uniform_int_distribution<std::size_t> pick(0, ops.size() - 1);
+  for (std::vector<TimeFrameOracle::Edge>& batch : batches) {
+    for (int k = 0; k < edgesPerBatch; ++k) {
+      NodeId a = ops[pick(rng)];
+      NodeId b = ops[pick(rng)];
+      if (a == b) continue;
+      if (pos[a] > pos[b]) std::swap(a, b);
+      batch.emplace_back(a, b);
+    }
+  }
+  return batches;
+}
+
+double measureMedianProbeNs(const Graph& g, int steps, int rounds) {
+  using Clock = std::chrono::steady_clock;
+  const std::vector<std::vector<TimeFrameOracle::Edge>> batches = seededProbeBatches(g, rounds);
+
+  TimeFrameOracle oracle(g, steps);
+  std::vector<double> samples;
+  samples.reserve(batches.size());
+  for (const std::vector<TimeFrameOracle::Edge>& batch : batches) {
+    if (batch.empty()) continue;  // degenerate graph or unlucky draws
+    const Clock::time_point t0 = Clock::now();
+    oracle.push(batch);  // full repair: what a diagnose probe costs
+    (void)oracle.feasible();
+    oracle.pop();
+    samples.push_back(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0).count()));
+  }
+  if (samples.empty()) return 1e3;  // nominal probe: nothing measurable
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2, samples.end());
+  return std::max(1.0, samples[samples.size() / 2]);
 }
 
 }  // namespace pmsched

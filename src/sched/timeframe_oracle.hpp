@@ -229,4 +229,18 @@ class TimeFrameOracle {
   std::vector<NodeId> seedsB_;
 };
 
+/// `count` seeded random acyclic edge batches on `g` (`edgesPerBatch`
+/// edges each, oriented along the cached topological order so any union
+/// with other such batches stays acyclic). One recipe shared by
+/// measureMedianProbeNs and the crossover benchmarks (BM_OracleProbeInline)
+/// so both sides of the speculation calibration probe the same shape.
+[[nodiscard]] std::vector<std::vector<TimeFrameOracle::Edge>> seededProbeBatches(
+    const Graph& g, int count, int edgesPerBatch = 2);
+
+/// Median wall-clock nanoseconds of one full incremental probe (push of a
+/// small random acyclic edge batch, feasibility, pop) on `g`, over `rounds`
+/// seeded batches. The speculation self-calibration (probe_farm.hpp)
+/// divides this by g.size() to estimate probe cost on arbitrary graphs.
+[[nodiscard]] double measureMedianProbeNs(const Graph& g, int steps, int rounds = 33);
+
 }  // namespace pmsched

@@ -110,15 +110,17 @@ void setThreadCount(std::size_t n);
 
 /// When the transform consumers hand probes to the ProbeFarm.
 ///
-/// A farmed probe costs one cross-thread handoff (enqueue, wake, claim,
-/// result, wake — ~10us on bare metal, far worse on oversubscribed VMs),
-/// so speculation only pays when the probe itself is at least that big —
-/// probe cost scales with the graph. `Auto` applies a size heuristic,
-/// `Force` farms whenever more than one thread is configured (the
-/// determinism tests pin this so small differential graphs exercise the
-/// full machinery), `Off` keeps every probe on the consumer's oracle
-/// (coarse-grained parallelism — precompute, activation partitions, DFS
-/// root splitting — is unaffected). Results are bit-identical in every
+/// A farmed probe costs one cross-thread handoff — amortized over a whole
+/// wave since PR 5, but still nonzero — so speculation only pays when the
+/// probe itself is at least that big; probe cost scales with the graph.
+/// `Auto` compares the graph against the self-calibrated crossover
+/// (speculationCalibration() in probe_farm.hpp: one measured wave
+/// round-trip vs one median oracle repair on THIS machine, overridable via
+/// PMSCHED_CALIBRATION). `Force` farms whenever more than one thread is
+/// configured (the determinism tests pin this so small differential graphs
+/// exercise the full machinery), `Off` keeps every probe on the consumer's
+/// oracle (coarse-grained parallelism — precompute, activation partitions,
+/// DFS root splitting — is unaffected). Results are bit-identical in every
 /// mode; this steers only where probes run.
 enum class SpeculationMode { Auto, Force, Off };
 
@@ -126,13 +128,5 @@ enum class SpeculationMode { Auto, Force, Off };
 /// else Auto.
 [[nodiscard]] SpeculationMode speculationMode();
 void setSpeculationMode(SpeculationMode mode);
-
-/// Auto-mode heuristic: graphs below this node count probe sequentially —
-/// an incremental frame repair there is cheaper than a cross-thread
-/// handoff. The crossover is machine-dependent (futex wake ~5-10us on
-/// bare metal, >100us on oversubscribed VMs); Auto is deliberately
-/// conservative and PMSCHED_SPECULATE=force exists for hardware where
-/// probes farm well earlier.
-inline constexpr std::size_t kMinNodesForSpeculation = 4096;
 
 }  // namespace pmsched

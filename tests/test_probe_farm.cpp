@@ -4,6 +4,12 @@
 // re-sync replicas up AND down the committed batch stack, and the whole
 // protocol must hold under interleaved commit/enqueue stress at several
 // thread counts.
+//
+// PR 5 additions: the batched WAVE handoff (stage/ring/tryResult) must
+// deliver results in candidate order and keep a wave-driven sweep
+// bit-identical to the plain sequential oracle sweep under multi-wave
+// submission interleaved with commits at 1/2/8 threads; and the
+// PMSCHED_CALIBRATION override must parse, clamp and reject garbage.
 
 #include <gtest/gtest.h>
 
@@ -237,6 +243,221 @@ TEST(ProbeFarm, CyclicProbeReportsTheErrorWithoutPoisoningTheFarm) {
   ASSERT_TRUE(r2.ran);
   EXPECT_FALSE(r2.error);
   EXPECT_TRUE(r2.feasible);
+}
+
+// ---------------------------------------------------------------------------
+// PR 5: batched wave handoff.
+// ---------------------------------------------------------------------------
+
+TEST(ProbeFarmWaves, ResultsLandInCandidateOrder) {
+  // One ring for a whole wave; tickets must map to candidates in stage
+  // order and each slot must hold that candidate's own verdict.
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ScopedThreads guard(threads);
+    const Graph g = randomLayeredDfg(5, 4, 7);
+    const int steps = criticalPathLength(g) + 1;  // tight: mixed verdicts
+    ProbeFarm farm(g, steps, LatencyModel::unit(), "wave-order");
+    std::mt19937_64 rng(77);
+
+    std::vector<std::vector<Edge>> batches;
+    std::vector<std::size_t> tickets;
+    for (int i = 0; i < 24; ++i) {
+      batches.push_back(randomBatch(g, rng, 3));
+      tickets.push_back(farm.stage(batches.back(), /*diagnose=*/true));
+      ASSERT_EQ(tickets.back(), static_cast<std::size_t>(i));  // stage order == ticket order
+    }
+    farm.ring();
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      const ProbeFarm::Result r = farm.await(tickets[i]);
+      ASSERT_TRUE(r.ran);  // no commits: nothing can go stale
+      ASSERT_FALSE(r.error);
+      const TimeFrames ref = computeTimeFrames(g, steps, batches[i]);
+      ASSERT_EQ(r.feasible, ref.feasible(g)) << "threads " << threads << " slot " << i;
+      if (!r.feasible) {
+        ASSERT_EQ(r.firstInfeasible, ref.firstInfeasible(g))
+            << "threads " << threads << " slot " << i;
+      }
+      // tryResult must agree with the consumed verdict (and is how wave
+      // pollers read the lock-free result array).
+      const std::optional<ProbeFarm::Result> peek = farm.tryResult(tickets[i]);
+      ASSERT_TRUE(peek.has_value());
+      EXPECT_EQ(peek->feasible, r.feasible);
+    }
+  }
+}
+
+TEST(ProbeFarmWaves, AwaitRingsAnUnpublishedWave) {
+  ScopedThreads guard(2);
+  const Graph g = circuits::absdiff();
+  const int steps = criticalPathLength(g) + 2;
+  ProbeFarm farm(g, steps, LatencyModel::unit(), "auto-ring");
+  const std::size_t t = farm.stage({}, /*diagnose=*/false);
+  EXPECT_FALSE(farm.tryResult(t).has_value());  // not published yet
+  const ProbeFarm::Result r = farm.await(t);    // must not deadlock
+  ASSERT_TRUE(r.ran);
+  EXPECT_TRUE(r.feasible);
+}
+
+TEST(ProbeFarmWaves, MultiWaveCommitInterleavingBitIdenticalToSequentialSweep) {
+  // The stress the rewired consumers produce: windows of staged probes
+  // rung as one wave each, commits landing mid-stream (which stale the
+  // rest of the window), consumption strictly in candidate order under
+  // the PR-4 staleness rules. The accept/reject pattern and the final
+  // committed frames must be bit-identical to a plain sequential oracle
+  // sweep over the same candidates.
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ScopedThreads guard(threads);
+    for (std::uint64_t seed = 50; seed < 56; ++seed) {
+      const Graph g = randomLayeredDfg(6, 4, seed);
+      const int steps = criticalPathLength(g) + 2;
+      std::mt19937_64 rng(seed * 17);
+      std::vector<std::vector<Edge>> cands;
+      for (int i = 0; i < 28; ++i) cands.push_back(randomBatch(g, rng, 2));
+      const std::size_t n = cands.size();
+
+      // Sequential reference sweep.
+      TimeFrameOracle seq(g, steps);
+      std::vector<bool> refAccept;
+      for (const std::vector<Edge>& batch : cands) {
+        seq.push(batch);
+        if (seq.feasible()) {
+          seq.commit();
+          refAccept.push_back(true);
+        } else {
+          seq.pop();
+          refAccept.push_back(false);
+        }
+      }
+      TimeFrames refFrames = seq.frames();
+
+      // Wave sweep: windows of 6 staged candidates, one ring per window.
+      TimeFrameOracle oracle(g, steps);
+      ProbeFarm farm(g, steps, LatencyModel::unit(), "wave-sweep");
+      std::vector<bool> accept(n, false);
+      std::vector<std::size_t> ticket(n, kNone);
+      std::size_t horizon = 0;
+      std::size_t i = 0;
+      while (i < n) {
+        if (horizon <= i) {
+          for (horizon = i; horizon < std::min(i + 6, n); ++horizon)
+            ticket[horizon] = farm.stage(cands[horizon], /*diagnose=*/false);
+          farm.ring();
+        }
+        for (; i < horizon; ++i) {
+          const ProbeFarm::Result r = farm.await(ticket[i]);
+          ASSERT_FALSE(r.error);
+          bool ok;
+          if (r.ran && r.version == farm.version()) {
+            ok = r.feasible;  // fresh: use as-is
+            if (ok) {
+              oracle.push(cands[i]);
+              ASSERT_TRUE(oracle.feasible());  // fresh verdicts cannot diverge
+              oracle.commit();
+              farm.commitBatch(oracle);
+            }
+          } else if (r.ran && !r.feasible) {
+            ok = false;  // stale reject: still a reject (monotonicity)
+          } else {
+            // Skipped or stale-feasible: re-validate inline, exactly the
+            // sequential cost for this one candidate.
+            oracle.push(cands[i]);
+            ok = oracle.feasible();
+            if (ok) {
+              oracle.commit();
+              farm.commitBatch(oracle);
+            } else {
+              oracle.pop();
+            }
+          }
+          accept[i] = ok;
+          ASSERT_EQ(accept[i], refAccept[i])
+              << "threads " << threads << " seed " << seed << " candidate " << i;
+          if (ok) {  // the commit staled the rest of the window: re-stage
+            ++i;
+            break;
+          }
+        }
+      }
+      TimeFrames waveFrames = oracle.frames();
+      ASSERT_EQ(waveFrames.asap, refFrames.asap) << "threads " << threads << " seed " << seed;
+      ASSERT_EQ(waveFrames.alap, refFrames.alap) << "threads " << threads << " seed " << seed;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PR 5: speculation self-calibration (PMSCHED_CALIBRATION).
+// ---------------------------------------------------------------------------
+
+TEST(SpeculationCalibrationTest, ParseAcceptsHandoffCommaRepair) {
+  const std::optional<SpeculationCalibration> cal = parseCalibration("25000,50");
+  ASSERT_TRUE(cal.has_value());
+  EXPECT_DOUBLE_EQ(cal->handoffNs, 25000.0);
+  EXPECT_DOUBLE_EQ(cal->repairNsPerNode, 50.0);
+  EXPECT_FALSE(cal->measured);
+  EXPECT_EQ(cal->crossoverNodes(), 500u);
+  // Scientific notation and fractions are plain strtod business.
+  const std::optional<SpeculationCalibration> sci = parseCalibration("1e5,0.5");
+  ASSERT_TRUE(sci.has_value());
+  EXPECT_DOUBLE_EQ(sci->handoffNs, 1e5);
+  EXPECT_DOUBLE_EQ(sci->repairNsPerNode, 0.5);
+}
+
+TEST(SpeculationCalibrationTest, ParseClampsToSaneRanges) {
+  const std::optional<SpeculationCalibration> lo = parseCalibration("0.0001,0.0000001");
+  ASSERT_TRUE(lo.has_value());
+  EXPECT_DOUBLE_EQ(lo->handoffNs, 1.0);        // floor: 1 ns
+  EXPECT_DOUBLE_EQ(lo->repairNsPerNode, 1e-3);  // floor: 1e-3 ns/node
+  const std::optional<SpeculationCalibration> hi = parseCalibration("1e18,1e12");
+  ASSERT_TRUE(hi.has_value());
+  EXPECT_DOUBLE_EQ(hi->handoffNs, 1e9);        // cap: 1 s
+  EXPECT_DOUBLE_EQ(hi->repairNsPerNode, 1e6);  // cap: 1 ms/node
+}
+
+TEST(SpeculationCalibrationTest, ParseRejectsGarbage) {
+  for (const char* bad : {"", "fast", "100", "100,", ",50", "100,abc", "100,50,2",
+                          "-5,50", "100,-1", "0,50", "100,0", "nan,50", "100,nan",
+                          "inf,50", "100 50", "1e999,50"}) {
+    EXPECT_FALSE(parseCalibration(bad).has_value()) << "accepted garbage: '" << bad << "'";
+  }
+}
+
+TEST(SpeculationCalibrationTest, CrossoverClampsAndHandlesDegenerateRepair) {
+  SpeculationCalibration cal;
+  cal.handoffNs = 1e12;  // the "no usable second lane" sentinel
+  cal.repairNsPerNode = 50;
+  EXPECT_EQ(cal.crossoverNodes(), std::size_t{1} << 22);  // ceiling
+  cal.handoffNs = 1;
+  cal.repairNsPerNode = 1e6;
+  EXPECT_EQ(cal.crossoverNodes(), 64u);  // floor
+  cal.repairNsPerNode = 0;  // not producible by parse; defensive
+  EXPECT_EQ(cal.crossoverNodes(), std::size_t{1} << 22);
+}
+
+TEST(SpeculationCalibrationTest, AutoModeComparesGraphAgainstInjectedCrossover) {
+  const SpeculationMode prevMode = speculationMode();
+  setThreadCount(4);
+  setSpeculationMode(SpeculationMode::Auto);
+  SpeculationCalibration cal;
+  cal.handoffNs = 100000;     // 100 us amortized handoff
+  cal.repairNsPerNode = 100;  // -> crossover at 1000 nodes
+  cal.measured = true;
+  setSpeculationCalibration(cal);
+
+  EXPECT_FALSE(farmProbesWorthwhile(999));
+  EXPECT_TRUE(farmProbesWorthwhile(1000));
+  setThreadCount(1);
+  EXPECT_FALSE(farmProbesWorthwhile(1 << 20));  // one thread never farms
+  setThreadCount(4);
+  setSpeculationMode(SpeculationMode::Force);
+  EXPECT_TRUE(farmProbesWorthwhile(1));  // force ignores the calibration
+  setSpeculationMode(SpeculationMode::Off);
+  EXPECT_FALSE(farmProbesWorthwhile(1 << 20));
+
+  setSpeculationCalibration(std::nullopt);
+  setSpeculationMode(prevMode);
+  setThreadCount(0);
 }
 
 }  // namespace

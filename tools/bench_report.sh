@@ -11,6 +11,12 @@
 # single JSON object {"threads": {"1": <run>, "<N>": <run>}} so the
 # thread-scaling ratio of every benchmark can be read from one file.
 #
+# Failure behavior (PR 5): if a benchmark binary exits non-zero (including
+# a crash mid-suite) or produces a truncated/invalid JSON dump, the script
+# exits non-zero WITHOUT writing BENCH_PR<n>.json — the snapshot is
+# assembled in a temp file and moved into place only after both runs
+# validate, so a failed run can never leave a partial snapshot behind.
+#
 # The output index is one past the highest existing BENCH_PR<n>.json, so
 # re-running inside one PR overwrites nothing; delete stale files if you
 # want a clean slate. Invoked by the `bench_report` CMake target.
@@ -46,16 +52,41 @@ OUT="$ROOT/BENCH_PR$((max + 1)).json"
 TMPDIR=${TMPDIR:-/tmp}
 ONE="$TMPDIR/bench_report_t1.$$.json"
 MANY="$TMPDIR/bench_report_tN.$$.json"
-trap 'rm -f "$ONE" "$MANY"' EXIT
+# Assembled next to OUT so the final mv is an atomic same-filesystem rename.
+ASSEMBLED="$OUT.tmp.$$"
+trap 'rm -f "$ONE" "$MANY" "$ASSEMBLED"' EXIT
+
+fail() {
+  echo "bench_report: ERROR: $1" >&2
+  echo "bench_report: no snapshot written (refusing to leave a partial $OUT)" >&2
+  exit 1
+}
 
 run_at() {
-  # $1 = thread count, $2 = output file
+  # $1 = thread count, $2 = output file. The exit status is checked
+  # explicitly: a benchmark binary that crashes mid-suite (SIGSEGV, abort,
+  # sanitizer halt) leaves a truncated --benchmark_out file behind, and
+  # that must never end up inside a BENCH_PR<n>.json.
   if [ -n "$FILTER" ]; then
     PMSCHED_THREADS=$1 "$BENCH_BIN" --benchmark_filter="$FILTER" \
-      --benchmark_format=json --benchmark_out="$2" --benchmark_out_format=json
+      --benchmark_format=json --benchmark_out="$2" --benchmark_out_format=json ||
+      fail "benchmark run at PMSCHED_THREADS=$1 exited with status $?"
   else
     PMSCHED_THREADS=$1 "$BENCH_BIN" \
-      --benchmark_format=json --benchmark_out="$2" --benchmark_out_format=json
+      --benchmark_format=json --benchmark_out="$2" --benchmark_out_format=json ||
+      fail "benchmark run at PMSCHED_THREADS=$1 exited with status $?"
+  fi
+  [ -s "$2" ] || fail "benchmark run at PMSCHED_THREADS=$1 wrote no output"
+  validate_json "$2" || fail "benchmark run at PMSCHED_THREADS=$1 wrote invalid/truncated JSON"
+}
+
+validate_json() {
+  # Prefer a real parse; fall back to a closing-brace sniff on systems
+  # without python3 (a crash mid-dump always loses the final brace).
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -c 'import json, sys; json.load(open(sys.argv[1]))' "$1" 2>/dev/null
+  else
+    [ "$(tail -c 2 "$1" | tr -d '[:space:]')" = "}" ]
   fi
 }
 
@@ -70,6 +101,9 @@ run_at "$THREADS" "$MANY"
   printf ',\n"%s":\n' "$THREADS"
   cat "$MANY"
   printf '}\n}\n'
-} > "$OUT"
+} > "$ASSEMBLED"
+validate_json "$ASSEMBLED" || fail "assembled snapshot is not valid JSON"
 
+# Atomic publish: the snapshot appears at its final path fully formed.
+mv "$ASSEMBLED" "$OUT"
 echo "wrote $OUT (thread counts: 1 and $THREADS)"

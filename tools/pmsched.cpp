@@ -18,6 +18,10 @@
 //   --dot FILE          Graphviz rendering of the transformed CDFG
 //   --save FILE         serialized CDFG (with control edges)
 //   --power-sim N       gate-level power comparison over N random vectors
+//   --calibration       measure (or read) the speculation calibration and
+//                       print it as a PMSCHED_CALIBRATION=... line, then
+//                       exit — export that line to pin auto-mode decisions
+//                       across runs and machines
 //
 // Without artifact options it prints the summary to stdout.
 
@@ -31,6 +35,7 @@
 #include "lang/elaborate.hpp"
 #include "rtl/power_harness.hpp"
 #include "sched/list_scheduler.hpp"
+#include "sched/probe_farm.hpp"
 #include "sched/shared_gating.hpp"
 #include "support/strings.hpp"
 #include "support/thread_pool.hpp"
@@ -46,6 +51,7 @@ struct Options {
   int threads = 0;  ///< 0 = automatic (PMSCHED_THREADS / hardware)
   MuxOrdering ordering = MuxOrdering::OutputFirst;
   bool shared = true;
+  bool calibration = false;
   std::string reportPath;
   std::string vhdlPrefix;
   std::string dotPath;
@@ -57,7 +63,8 @@ struct Options {
   if (!error.empty()) std::cerr << "error: " << error << "\n";
   std::cerr << "usage: pmsched INPUT --steps N [--ordering output|input|savings] [--strict]\n"
                "               [--threads N] [--report FILE] [--vhdl PREFIX] [--dot FILE]\n"
-               "               [--save FILE] [--power-sim N]\n";
+               "               [--save FILE] [--power-sim N]\n"
+               "       pmsched --calibration [--threads N]\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -84,14 +91,33 @@ Options parseArgs(int argc, char** argv) {
     else if (arg == "--dot") opts.dotPath = next("--dot");
     else if (arg == "--save") opts.savePath = next("--save");
     else if (arg == "--power-sim") opts.powerSim = std::stoi(next("--power-sim"));
+    else if (arg == "--calibration") opts.calibration = true;
     else if (!arg.empty() && arg[0] == '-') usage("unknown option '" + arg + "'");
     else if (opts.inputPath.empty()) opts.inputPath = arg;
     else usage("multiple inputs given");
   }
+  if (opts.threads < 0) usage("--threads must be positive (or omitted for automatic)");
+  if (opts.calibration) {
+    if (!opts.inputPath.empty() || opts.steps != 0) usage("--calibration takes no input");
+    return opts;
+  }
   if (opts.inputPath.empty()) usage("no input file");
   if (opts.steps <= 0) usage("--steps is required and must be positive");
-  if (opts.threads < 0) usage("--threads must be positive (or omitted for automatic)");
   return opts;
+}
+
+/// --calibration: print the speculation calibration in the exact format the
+/// PMSCHED_CALIBRATION environment variable accepts, so runs can be pinned.
+int printCalibration(const Options& opts) {
+  if (opts.threads > 0) setThreadCount(static_cast<std::size_t>(opts.threads));
+  const SpeculationCalibration cal = speculationCalibration();
+  std::cout << "PMSCHED_CALIBRATION=" << cal.handoffNs << "," << cal.repairNsPerNode << "\n"
+            << "# source: " << (cal.measured ? "measured on this machine" : "environment")
+            << "\n"
+            << "# wave-amortized handoff: " << fixed(cal.handoffNs, 0) << " ns/probe\n"
+            << "# median repair: " << fixed(cal.repairNsPerNode, 2) << " ns/node\n"
+            << "# auto-mode speculation crossover: " << cal.crossoverNodes() << " nodes\n";
+  return 0;
 }
 
 std::string readFile(const std::string& path) {
@@ -192,7 +218,8 @@ int run(const Options& opts) {
 
 int main(int argc, char** argv) {
   try {
-    return run(parseArgs(argc, argv));
+    const Options opts = parseArgs(argc, argv);
+    return opts.calibration ? printCalibration(opts) : run(opts);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
