@@ -22,6 +22,7 @@
 #include "sched/shared_gating.hpp"
 #include "sched/timeframe_oracle.hpp"
 #include "support/random_dfg.hpp"
+#include "support/run_budget.hpp"
 #include "support/thread_pool.hpp"
 
 namespace {
@@ -55,6 +56,24 @@ void BM_PowerTransform(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_PowerTransform)->RangeMultiplier(2)->Range(4, 48)->Complexity();
+
+// Same sweep with a never-exhausting RunBudget attached: the delta against
+// BM_PowerTransform is the whole cost of cooperative budget polling
+// (designed to be one relaxed load per candidate — compare the two before
+// adding poll points to hotter loops).
+void BM_PowerTransformBudgeted(benchmark::State& state) {
+  const Graph g = randomLayeredDfg(static_cast<int>(state.range(0)), 8, 42);
+  const int steps = criticalPathLength(g) + 4;
+  RunBudget budget;
+  budget.setDeadline(std::chrono::hours(24));
+  budget.setProbeCap(UINT64_MAX);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        applyPowerManagement(g, steps, MuxOrdering::OutputFirst, LatencyModel::unit(), &budget));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PowerTransformBudgeted)->RangeMultiplier(2)->Range(4, 48)->Complexity();
 
 void BM_PowerTransformOptimal(benchmark::State& state) {
   const Graph g = randomLayeredDfg(static_cast<int>(state.range(0)), 8, 42);

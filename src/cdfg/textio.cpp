@@ -3,6 +3,7 @@
 #include <map>
 #include <sstream>
 
+#include "support/fault_injector.hpp"
 #include "support/strings.hpp"
 
 namespace pmsched {
@@ -60,6 +61,13 @@ Graph loadGraphText(std::string_view text) {
     if (it == byName.end()) throw ParseError(loc, "unknown node '" + name + "'");
     return it->second;
   };
+  // Catch duplicates at the defining line: silently overwriting the map
+  // entry would leave the earlier node unreachable by name and surface much
+  // later as a confusing validate() failure with no line information.
+  auto define = [&](const std::string& name, NodeId id, SourceLoc loc) {
+    if (!byName.emplace(name, id).second)
+      throw ParseError(loc, "duplicate node name '" + name + "'");
+  };
 
   std::size_t lineNo = 0;
   std::istringstream stream{std::string(text)};
@@ -81,6 +89,10 @@ Graph loadGraphText(std::string_view text) {
         throw ParseError(loc, std::string("expected ") + what + " after '" + keyword + "'");
     };
 
+    // Outside the rewrap below: an injected fault must surface as itself
+    // (the matrix asserts the internal-error path), not as a parse error.
+    fault::point("parse-stmt");
+    try {
     if (keyword == "graph") {
       std::string name;
       want(name, "graph name");
@@ -91,7 +103,7 @@ Graph loadGraphText(std::string_view text) {
       int width = 0;
       want(name, "input name");
       want(width, "width");
-      byName[name] = g.addInput(name, width);
+      define(name, g.addInput(name, width), loc);
     } else if (keyword == "const") {
       std::string name;
       int width = 0;
@@ -99,19 +111,19 @@ Graph loadGraphText(std::string_view text) {
       want(name, "const name");
       want(width, "width");
       want(value, "value");
-      byName[name] = g.addConst(value, width, name);
+      define(name, g.addConst(value, width, name), loc);
     } else if (keyword == "wire") {
       std::string name, src;
       int shift = 0;
       want(name, "wire name");
       want(src, "source");
       want(shift, "shift");
-      byName[name] = g.addWire(resolve(src, loc), shift, name);
+      define(name, g.addWire(resolve(src, loc), shift, name), loc);
     } else if (keyword == "output") {
       std::string name, src;
       want(name, "output name");
       want(src, "source");
-      byName[name] = g.addOutput(resolve(src, loc), name);
+      define(name, g.addOutput(resolve(src, loc), name), loc);
     } else if (keyword == "node") {
       std::string kindName, name;
       int width = 0;
@@ -122,7 +134,7 @@ Graph loadGraphText(std::string_view text) {
       std::vector<NodeId> operands;
       std::string operand;
       while (fields >> operand) operands.push_back(resolve(operand, loc));
-      byName[name] = g.addOp(kind, std::move(operands), name, width);
+      define(name, g.addOp(kind, std::move(operands), name, width), loc);
     } else if (keyword == "ctrl") {
       std::string from, to;
       want(from, "source node");
@@ -131,9 +143,24 @@ Graph loadGraphText(std::string_view text) {
     } else {
       throw ParseError(loc, "unknown statement '" + keyword + "'");
     }
+    } catch (const ParseError&) {
+      throw;
+    } catch (const SynthesisError& e) {
+      // Structural rejections from the Graph builders (mux arity, width
+      // mismatch, self-edge, ...) happen while THIS statement is being
+      // applied — surface them as parse errors with its location.
+      throw ParseError(loc, e.what());
+    }
   }
   if (!sawGraph) throw ParseError(SourceLoc{1, 1}, "missing 'graph NAME' header");
-  g.validate();
+  try {
+    g.validate();
+  } catch (const SynthesisError& e) {
+    // Whole-graph problems (cycles, dangling outputs) have no single line;
+    // report them as a parse error at an unknown location so every rejection
+    // of malformed text is one exception family.
+    throw ParseError(SourceLoc{0, 0}, std::string("invalid graph: ") + e.what());
+  }
   return g;
 }
 

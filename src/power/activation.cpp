@@ -1,7 +1,10 @@
 #include "power/activation.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 
+#include "support/run_budget.hpp"
 #include "support/thread_pool.hpp"
 
 namespace pmsched {
@@ -15,9 +18,69 @@ namespace {
 /// sequential; the threshold errs high.
 constexpr std::size_t kMinConditionsForParallel = 64;
 
+/// Snap a double in [0, 1] onto the 52-fractional-bit dyadic grid — every
+/// such grid point is an exact Rational, and the snap moves the value by at
+/// most 2^-53.
+Rational quantizeProbability(double v) {
+  constexpr std::int64_t kDen = std::int64_t{1} << 52;
+  const double clamped = std::min(std::max(v, 0.0), 1.0);
+  return Rational{static_cast<std::int64_t>(std::llround(clamped * static_cast<double>(kDen))),
+                  kDen};
+}
+
+/// What one condition's analysis produced, exactly or degraded.
+struct NodeOutcome {
+  BddRef ref = kBddInvalid;  // kBddInvalid when no canonical handle exists
+  Rational prob = Rational::zero();
+  double error = 0;  // 0 = exact
+  bool degraded = false;
+};
+
+/// Probability sandwich straight from the DNF, no BDD required: each
+/// normalized term holds with probability exactly 2^-|term|, so the union
+/// is at least the largest single term and at most the (clamped) sum. The
+/// midpoint with half-width error bar is the last-resort estimate when the
+/// budget refuses even the BDD build.
+NodeOutcome dnfIntervalEstimate(const GateDnf& cond) {
+  double lb = 0, ub = 0;
+  for (const GateTerm& term : cond) {
+    const double p = std::ldexp(1.0, -static_cast<int>(term.size()));
+    lb = std::max(lb, p);
+    ub += p;
+  }
+  ub = std::min(ub, 1.0);
+  NodeOutcome out;
+  out.prob = quantizeProbability((lb + ub) / 2.0);
+  out.error = (ub - lb) / 2.0 + 0x1p-53;
+  out.degraded = true;
+  return out;
+}
+
+/// Build one condition in `mgr`, degrading per the robustness contract:
+/// a node-cap trip mid-build yields the DNF interval estimate (no handle);
+/// an exact probability past Rational's width yields the bounded-error
+/// BDD estimate (handle kept). Never throws BudgetExceededError.
+NodeOutcome buildCondition(BddManager& mgr, const GateDnf& cond) {
+  NodeOutcome out;
+  try {
+    out.ref = mgr.fromDnf(cond);
+  } catch (const BudgetExceededError&) {
+    return dnfIntervalEstimate(cond);  // manager stays valid; handle refused
+  }
+  try {
+    out.prob = mgr.probability(out.ref);
+  } catch (const BudgetExceededError&) {
+    const BddManager::ApproxProbability approx = mgr.probabilityApprox(out.ref);
+    out.prob = quantizeProbability(approx.value);
+    out.error = approx.error + 0x1p-53;
+    out.degraded = true;
+  }
+  return out;
+}
+
 }  // namespace
 
-ActivationResult analyzeActivation(const PowerManagedDesign& design) {
+ActivationResult analyzeActivation(const PowerManagedDesign& design, const RunBudget* budget) {
   const Graph& g = design.graph;
 
   ActivationResult result;
@@ -25,8 +88,11 @@ ActivationResult analyzeActivation(const PowerManagedDesign& design) {
   result.probability.assign(g.size(), Rational::one());
   result.bdds = std::make_shared<BddManager>();
   result.bdd.assign(g.size(), kBddTrue);
+  result.errorBar.assign(g.size(), 0.0);
   result.averageExecuted.fill(Rational::zero());
   result.totalOps.fill(0);
+  if (budget != nullptr && budget->bddNodeCap() != 0)
+    result.bdds->setNodeLimit(budget->bddNodeCap());
 
   // Every condition BDD ends up in ONE manager, so the conditions of a
   // gated cone (which share muxes and therefore subformulas) share nodes,
@@ -77,20 +143,24 @@ ActivationResult analyzeActivation(const PowerManagedDesign& design) {
 
     struct Partition {
       BddManager mgr;
-      std::vector<BddRef> ref;      // parallel to its slice of `nontrivial`
-      std::vector<Rational> prob;
+      std::vector<NodeOutcome> out;  // parallel to its slice of `nontrivial`
     };
     const std::size_t parts = std::min(threads, nontrivial.size());
     std::vector<std::unique_ptr<Partition>> partition(parts);
     // Round-robin assignment: nontrivial[i] belongs to partition i % parts
     // (balances the deep conditions, which cluster at high node ids).
+    // Degradation happens INSIDE the lambda — buildCondition never throws
+    // a budget error, so nothing escapes parallelFor.
     globalThreadPool().parallelFor(0, parts, 1, [&](std::size_t, std::size_t p) {
       auto part = std::make_unique<Partition>();
       part->mgr.registerVariables(varOrder);
+      if (budget != nullptr && budget->bddNodeCap() != 0)
+        part->mgr.setNodeLimit(budget->bddNodeCap());
       for (std::size_t i = p; i < nontrivial.size(); i += parts) {
-        const BddRef r = part->mgr.fromDnf(result.condition[nontrivial[i]]);
-        part->ref.push_back(r);
-        part->prob.push_back(part->mgr.probability(r));
+        const GateDnf& cond = result.condition[nontrivial[i]];
+        part->out.push_back(budget != nullptr && budget->exhausted()
+                                ? dnfIntervalEstimate(cond)
+                                : buildCondition(part->mgr, cond));
       }
       partition[p] = std::move(part);
     });
@@ -102,16 +172,37 @@ ActivationResult analyzeActivation(const PowerManagedDesign& design) {
       const std::size_t p = i % parts;
       const std::size_t slot = i / parts;
       const NodeId n = nontrivial[i];
-      result.bdd[n] = result.bdds->importFrom(partition[p]->mgr, partition[p]->ref[slot],
-                                              memo[p]);
-      result.probability[n] = partition[p]->prob[slot];
+      NodeOutcome& out = partition[p]->out[slot];
+      if (out.ref != kBddInvalid) {
+        try {
+          result.bdd[n] =
+              result.bdds->importFrom(partition[p]->mgr, out.ref, memo[p]);
+        } catch (const BudgetExceededError&) {
+          result.bdd[n] = kBddInvalid;  // merge arena at its cap; keep the
+          out.degraded = true;          // partition's (exact) probability
+        }
+      } else {
+        result.bdd[n] = kBddInvalid;
+      }
+      result.probability[n] = out.prob;
+      result.errorBar[n] = out.error;
+      result.degraded = result.degraded || out.degraded;
     }
   } else {
     for (const NodeId n : nontrivial) {
-      result.bdd[n] = result.bdds->fromDnf(result.condition[n]);
-      result.probability[n] = result.bdds->probability(result.bdd[n]);
+      const GateDnf& cond = result.condition[n];
+      const NodeOutcome out = budget != nullptr && budget->exhausted()
+                                  ? dnfIntervalEstimate(cond)
+                                  : buildCondition(*result.bdds, cond);
+      result.bdd[n] = out.ref;
+      result.probability[n] = out.prob;
+      result.errorBar[n] = out.error;
+      result.degraded = result.degraded || out.degraded;
     }
   }
+  if (result.degraded && budget != nullptr)
+    budget->noteDegraded("activation-analysis", BudgetKind::RationalWidth,
+                         "some probabilities are bounded-error estimates (see errorBar)");
 
   for (NodeId n = 0; n < g.size(); ++n) {
     const ResourceClass rc = resourceClassOf(g.kind(n));

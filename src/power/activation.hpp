@@ -21,8 +21,11 @@
 
 namespace pmsched {
 
+class RunBudget;
+
 struct ActivationResult {
-  /// Exact execution probability per node (1 for ungated operations).
+  /// Execution probability per node (1 for ungated operations). Exact
+  /// unless the matching errorBar entry is nonzero (see below).
   std::vector<Rational> probability;
   /// Resolved activation condition per node (TRUE for ungated ones).
   std::vector<GateDnf> condition;
@@ -34,8 +37,18 @@ struct ActivationResult {
   /// structure instead of re-enumerating. Shared so copies of the result
   /// keep the handles valid.
   std::shared_ptr<BddManager> bdds;
-  /// Canonical condition BDD per node (kBddTrue for ungated operations).
+  /// Canonical condition BDD per node (kBddTrue for ungated operations,
+  /// kBddInvalid when the build degraded for that node — consumers that
+  /// need the BDD must check; the controller path only reads condition[]).
   std::vector<BddRef> bdd;
+
+  /// Per-node bound on |probability[n] - exact P(n)|. Zero for every node
+  /// computed exactly; nonzero entries mark nodes that fell back to the
+  /// bounded-error estimate (support past Rational's width, BDD arena at
+  /// its cap, or run budget exhausted mid-analysis).
+  std::vector<double> errorBar;
+  /// True when at least one node's probability is an estimate.
+  bool degraded = false;
 
   /// Sum of probabilities per unit class — the paper's Table II
   /// "Average Number of Operations Executed" columns.
@@ -56,7 +69,12 @@ struct ActivationResult {
 };
 
 /// Analyze a power-managed design; gating information comes from the
-/// transform (and the shared-gating pass, if it ran).
-[[nodiscard]] ActivationResult analyzeActivation(const PowerManagedDesign& design);
+/// transform (and the shared-gating pass, if it ran). With a budget, the
+/// BDD arenas honor its node cap and exhaustion mid-analysis degrades the
+/// remaining nodes to bounded-error estimates instead of aborting; either
+/// way a node whose exact probability overflows Rational falls back to
+/// BddManager::probabilityApprox with an explicit error bar.
+[[nodiscard]] ActivationResult analyzeActivation(const PowerManagedDesign& design,
+                                                 const RunBudget* budget = nullptr);
 
 }  // namespace pmsched

@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "support/diagnostics.hpp"
+#include "support/fault_injector.hpp"
+
 namespace pmsched {
 
 namespace {
@@ -28,6 +31,7 @@ void BddManager::clear() {
   unique_.clear();
   computed_.clear();
   probCache_.clear();
+  approxCache_.clear();
   varOf_.clear();
   order_.clear();
 }
@@ -39,6 +43,12 @@ BddRef BddManager::makeNode(std::uint32_t var, BddRef lo, BddRef hi) {
     const Node& n = nodes_[r];
     if (n.var == var && n.lo == lo && n.hi == hi) return r;
   }
+  fault::point("bdd-node");
+  if (nodeLimit_ != 0 && nodes_.size() >= nodeLimit_)
+    throw BudgetExceededError(BudgetKind::BddNodes,
+                              "BDD arena at its node cap (" + std::to_string(nodes_.size()) +
+                                  " nodes)",
+                              nodes_.size());
   const BddRef r = static_cast<BddRef>(nodes_.size());
   nodes_.push_back(Node{var, lo, hi});
   bucket.push_back(r);
@@ -124,9 +134,11 @@ BddManager::Dyadic BddManager::probabilityWide(BddRef f) {
   // (lo + hi) / 2 in exact dyadic arithmetic: align, add, halve, reduce.
   const unsigned e = std::max(lo.exp, hi.exp);
   if (e >= 126)
-    throw std::overflow_error(
+    throw BudgetExceededError(
+        BudgetKind::RationalWidth,
         "BddManager::probability: dyadic accumulation needs more than 126 "
-        "fractional bits — condition support is too wide for exact arithmetic");
+        "fractional bits — condition support is too wide for exact arithmetic",
+        e);
   Dyadic r{(lo.num << (e - lo.exp)) + (hi.num << (e - hi.exp)), e + 1};
   while (r.num != 0 && (r.num & 1) == 0) {
     r.num >>= 1;
@@ -138,13 +150,45 @@ BddManager::Dyadic BddManager::probabilityWide(BddRef f) {
 }
 
 Rational BddManager::probability(BddRef f) {
-  const Dyadic d = probabilityWide(f);
+  // Either failure mode — a mid-recursion 126-bit dyadic or a reduced
+  // denominator past Rational's 62 bits — is the same family of error to a
+  // caller; rethrow both with the SUPPORT WIDTH as the detail, which is the
+  // quantity the degradation path reports in its error bar diagnostics.
+  Dyadic d;
+  try {
+    d = probabilityWide(f);
+  } catch (const BudgetExceededError& e) {
+    throw BudgetExceededError(BudgetKind::RationalWidth,
+                              std::string(e.what()) + " (support width " +
+                                  std::to_string(support(f).size()) + ")",
+                              support(f).size());
+  }
   // Reduced: num odd (or zero), so exp is the true denominator width.
   if (d.exp > 62)
-    throw std::overflow_error(
+    throw BudgetExceededError(
+        BudgetKind::RationalWidth,
         "BddManager::probability: exact value has denominator 2^" + std::to_string(d.exp) +
-        ", beyond the 62-bit Rational limit (use a narrower condition support)");
+            ", beyond the 62-bit Rational limit (support width " +
+            std::to_string(support(f).size()) + ")",
+        support(f).size());
   return Rational{static_cast<std::int64_t>(d.num), std::int64_t{1} << d.exp};
+}
+
+BddManager::ApproxProbability BddManager::probabilityApprox(BddRef f) {
+  if (f == kBddFalse) return {0.0, 0.0};
+  if (f == kBddTrue) return {1.0, 0.0};
+  if (const auto it = approxCache_.find(f); it != approxCache_.end()) return it->second;
+  const Node& n = nodes_[f];
+  const ApproxProbability lo = probabilityApprox(n.lo);
+  const ApproxProbability hi = probabilityApprox(n.hi);
+  // (lo + hi) / 2: the halving is exact in binary floating point; the
+  // addition rounds once, bounded by half an ulp of a value <= 2, i.e.
+  // 2^-53 absolute. Child errors average, so the bound only grows along
+  // the (node-count-bounded) additions, never exponentially.
+  const ApproxProbability r{(lo.value + hi.value) / 2.0,
+                            (lo.error + hi.error) / 2.0 + 0x1p-53};
+  approxCache_.emplace(f, r);
+  return r;
 }
 
 void BddManager::registerVariables(std::span<const NodeId> selects) {

@@ -86,15 +86,34 @@ class BddManager {
   /// that share structure (e.g. nested gating) cost only the new nodes.
   /// The accumulation runs in 128-bit dyadic arithmetic, so supports far
   /// beyond Rational's 62-bit denominators cannot overflow mid-recursion;
-  /// only a FINAL value whose reduced denominator exceeds 2^62 throws
-  /// (std::overflow_error with a diagnostic naming the needed width).
+  /// only a FINAL value whose reduced denominator exceeds 2^62 throws —
+  /// BudgetExceededError(RationalWidth) carrying the support width, so the
+  /// activation analysis can degrade to probabilityApprox() instead of
+  /// letting the run die.
   [[nodiscard]] Rational probability(BddRef f);
+
+  /// Bounded-error double estimate of P(f): one bottom-up pass in IEEE
+  /// doubles. `error` bounds |value - P(f)| (each node adds at most one
+  /// half-ulp rounding; halving is exact), so it grows with the node count,
+  /// not the support width — the degradation target for conditions past
+  /// probability()'s exact range. Never throws.
+  struct ApproxProbability {
+    double value = 0;
+    double error = 0;
+  };
+  [[nodiscard]] ApproxProbability probabilityApprox(BddRef f);
 
   /// Distinct selects the function actually depends on, ascending id.
   [[nodiscard]] std::vector<NodeId> support(BddRef f) const;
 
   /// Live node count including the two terminals (diagnostics/tests).
   [[nodiscard]] std::size_t nodeCount() const { return nodes_.size(); }
+
+  /// Cap the node arena (0 = unlimited, the default). Once nodeCount()
+  /// would exceed the cap, makeNode throws BudgetExceededError(BddNodes);
+  /// consumers catch it at the per-condition boundary and degrade (the
+  /// manager stays valid — only the new node is refused).
+  void setNodeLimit(std::size_t maxNodes) { nodeLimit_ = maxNodes; }
 
   /// Drop every node and cache, keeping only the terminals. Invalidates
   /// all outstanding refs — only callers that hold none may use it (the
@@ -157,8 +176,10 @@ class BddManager {
   std::unordered_map<std::uint64_t, std::vector<BddRef>> unique_;
   std::unordered_map<IteKey, BddRef, IteKeyHash> computed_;
   std::unordered_map<BddRef, Dyadic> probCache_;
+  std::unordered_map<BddRef, ApproxProbability> approxCache_;
   std::unordered_map<NodeId, std::uint32_t> varOf_;
   std::vector<NodeId> order_;  // var index -> select id
+  std::size_t nodeLimit_ = 0;  // 0 = unlimited
 };
 
 }  // namespace pmsched

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "sched/bdd.hpp"
+#include "support/fault_injector.hpp"
 
 namespace pmsched {
 
@@ -113,6 +114,7 @@ class TermPool {
     std::vector<Id>& bucket = buckets_[hashLits(sorted)];
     for (const Id id : bucket)
       if (equals(id, sorted)) return id;
+    fault::point("dnf-intern");
     Ref r;
     r.offset = static_cast<std::uint32_t>(arena_.size());
     r.len = static_cast<std::uint32_t>(sorted.size());
@@ -145,6 +147,8 @@ class TermPool {
     refs_.clear();
     buckets_.clear();
   }
+
+  [[nodiscard]] std::size_t arenaLiterals() const { return arena_.size(); }
 
  private:
   static constexpr std::size_t kArenaCap = std::size_t{1} << 22;  // 32 MiB of literals
@@ -381,6 +385,8 @@ std::vector<NodeId> DnfEngine::support(const Dnf& dnf) const {
 GateDnf DnfEngine::decode(const Dnf& dnf) const { return decodeIds(impl_->pool, dnf.terms); }
 
 void DnfEngine::maybeTrim() { impl_->pool.maybeTrim(); }
+
+std::size_t DnfEngine::arenaLiterals() const { return impl_->pool.arenaLiterals(); }
 
 namespace {
 

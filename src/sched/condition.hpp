@@ -145,6 +145,11 @@ class DnfEngine {
   /// handles between calls) may use it.
   void maybeTrim();
 
+  /// Literals currently interned in the arena — the growth measure a
+  /// RunBudget's DNF term cap is checked against (passes that hold handles
+  /// cannot trim, so they stop gating instead; see shared_gating.cpp).
+  [[nodiscard]] std::size_t arenaLiterals() const;
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;

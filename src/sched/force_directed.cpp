@@ -10,6 +10,7 @@
 
 #include "sched/timeframe.hpp"
 #include "sched/timeframe_oracle.hpp"
+#include "support/run_budget.hpp"
 
 namespace pmsched {
 
@@ -93,13 +94,14 @@ PinnedFrames framesWithPins(const Graph& g, int steps, const std::vector<int>& p
 
 class IncrementalForceDirected {
  public:
-  IncrementalForceDirected(const Graph& g, int steps)
+  IncrementalForceDirected(const Graph& g, int steps, const RunBudget* budget = nullptr)
       : g_(g),
         steps_(steps),
         fanoutCsr_(g.fanoutCsr()),
         ctrlSuccCsr_(g.controlSuccCsr()),
         ctrlPredCsr_(g.controlPredCsr()),
-        ops_(g.scheduledNodes()) {}
+        ops_(g.scheduledNodes()),
+        budget_(budget) {}
 
   Schedule run() {
     if (steps_ <= 0) throw InfeasibleError("force-directed: steps must be positive");
@@ -149,6 +151,18 @@ class IncrementalForceDirected {
 
     std::size_t pinned = 0;
     for (std::size_t iter = 0; iter < ops_.size(); ++iter) {
+      if (budget_ != nullptr && budget_->exhausted()) {
+        // Degrade: place every remaining unpinned op at its current ASAP.
+        // The ASAP fixed point already respects the committed pins and all
+        // edges (asap[succ] >= asap[pred] + latency), so the completed
+        // schedule validates — it just stops balancing resources here.
+        for (const NodeId op : ops_)
+          if (pin_[op] == 0) pin_[op] = asap_[op];
+        budget_->noteDegraded("force-directed", budget_->exhaustedWhy().value_or(
+                                                     BudgetKind::Deadline),
+                              "remaining operations placed at ASAP; schedule stays valid");
+        break;
+      }
       // The distribution graph depends only on the frames of scheduled
       // nodes; when a pin moved none of them (forced placements on the
       // critical path), the previous dg and every force cache stay exact.
@@ -367,12 +381,13 @@ class IncrementalForceDirected {
   std::vector<int> candStep_;
   std::vector<char> candValid_;
 
+  const RunBudget* budget_ = nullptr;
 };
 
 }  // namespace
 
-Schedule forceDirectedSchedule(const Graph& g, int steps) {
-  return IncrementalForceDirected(g, steps).run();
+Schedule forceDirectedSchedule(const Graph& g, int steps, const RunBudget* budget) {
+  return IncrementalForceDirected(g, steps, budget).run();
 }
 
 Schedule forceDirectedScheduleReference(const Graph& g, int steps) {

@@ -22,12 +22,19 @@
 
 namespace pmsched {
 
+class RunBudget;
+
 /// Schedule `g` into `steps` control steps, choosing placements that balance
 /// per-class concurrency (and therefore minimize execution units).
 ///
 /// Respects data and control edges. Throws InfeasibleError when the step
 /// budget is below the critical path.
-[[nodiscard]] Schedule forceDirectedSchedule(const Graph& g, int steps);
+/// With a budget, exhaustion mid-run degrades gracefully: the remaining
+/// unpinned operations are placed at their current ASAP steps (a consistent
+/// placement under the committed pins), so the returned schedule always
+/// validates — it just stops optimizing for resource balance early.
+[[nodiscard]] Schedule forceDirectedSchedule(const Graph& g, int steps,
+                                             const RunBudget* budget = nullptr);
 
 /// From-scratch reference implementation; same results, asymptotically
 /// slower. Kept for differential tests and perf-trajectory benchmarks.

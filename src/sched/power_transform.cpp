@@ -11,6 +11,7 @@
 #include "cdfg/analysis.hpp"
 #include "sched/probe_farm.hpp"
 #include "sched/timeframe_oracle.hpp"
+#include "support/run_budget.hpp"
 #include "support/thread_pool.hpp"
 
 namespace pmsched {
@@ -284,9 +285,14 @@ struct SweepHooks {
   std::function<void(std::size_t, const std::optional<NodeId>&)> lateReason;
 };
 
-void speculativeSweep(TimeFrameOracle& oracle, ProbeFarm& farm,
-                      const std::vector<std::vector<Edge>>& edgeSets, bool diagnose,
-                      const SweepHooks& hooks) {
+/// Returns the number of candidates decided — `n` on a full sweep, less
+/// when the budget ran out (the caller marks the undecided tail degraded).
+/// On early stop the staged-but-unawaited jobs are abandoned: the lanes
+/// poll the same budget before claiming, so the farm drains within one
+/// slice-quantum and the farm destructor reaps the rest.
+std::size_t speculativeSweep(TimeFrameOracle& oracle, ProbeFarm& farm,
+                             const std::vector<std::vector<Edge>>& edgeSets, bool diagnose,
+                             const SweepHooks& hooks, const RunBudget* budget = nullptr) {
   const std::size_t n = edgeSets.size();
   constexpr std::size_t kNone = static_cast<std::size_t>(-1);
   const std::size_t window = std::max<std::size_t>(4 * farm.lanes(), 8);
@@ -327,6 +333,7 @@ void speculativeSweep(TimeFrameOracle& oracle, ProbeFarm& farm,
   // Sequential re-validation on the consumer's oracle — exactly what the
   // sequential sweep does at this candidate's turn.
   auto probeInline = [&](std::size_t i, std::optional<NodeId>& bad) {
+    if (budget != nullptr) budget->chargeProbes();
     oracle.push(edgeSets[i], /*probe=*/!diagnose);
     if (oracle.feasible()) {
       oracle.commit();
@@ -339,6 +346,7 @@ void speculativeSweep(TimeFrameOracle& oracle, ProbeFarm& farm,
   };
 
   for (std::size_t i = 0; i < n; ++i) {
+    if (budget != nullptr && budget->exhausted()) return i;  // undecided tail
     if (cooldown == 0 && horizon < std::min(i + window / 2, n)) dispatchTo(i, i + window);
 
     if (hooks.predecide) {
@@ -409,10 +417,15 @@ void speculativeSweep(TimeFrameOracle& oracle, ProbeFarm& farm,
   }
 
   for (const auto& [idx, t] : reasonJobs) {
+    // Reasons are diagnostics only; an exhausted budget leaves the rest
+    // blank rather than paying one frame computation each (the verdicts
+    // above are already final).
+    if (budget != nullptr && budget->exhausted()) break;
     const ProbeFarm::Result r = farm.await(t);
     if (r.error) std::rethrow_exception(r.error);
     if (hooks.lateReason) hooks.lateReason(idx, r.firstInfeasible);
   }
+  return n;
 }
 
 /// Shared driver: offer power management to `candidates` in order, keeping
@@ -422,11 +435,27 @@ void speculativeSweep(TimeFrameOracle& oracle, ProbeFarm& farm,
 /// `speculate` and more than one thread is configured; otherwise frames are
 /// recomputed from scratch per mux (the retained reference path
 /// differential tests pin the oracle against).
+constexpr const char* kBudgetReason = "not attempted: run budget exhausted";
+
+/// Mark a transform design degraded (once) and mirror it into the budget's
+/// event log so the CLI can report which stage stopped early.
+void markTransformDegraded(PowerManagedDesign& design, const RunBudget* budget) {
+  if (design.degraded) return;
+  design.degraded = true;
+  const BudgetKind kind =
+      budget->exhaustedWhy().value_or(BudgetKind::Deadline);
+  design.degradeReason = std::string("power-management transform stopped early (") +
+                         budgetKindName(kind) + "); remaining muxes left unmanaged";
+  budget->noteDegraded("power-transform", kind,
+                       "remaining muxes left unmanaged; design stays valid");
+}
+
 PowerManagedDesign runTransformWithModel(const Graph& g, int steps,
                                          const std::vector<NodeId>& candidates,
                                          const LatencyModel& model, bool useOracle,
                                          std::span<const NodeMask> cones,
-                                         bool speculate = true) {
+                                         bool speculate = true,
+                                         const RunBudget* budget = nullptr) {
   PowerManagedDesign design;
   design.graph = g.clone();
   design.steps = steps;
@@ -449,6 +478,16 @@ PowerManagedDesign runTransformWithModel(const Graph& g, int steps,
     for (const NodeId m : candidates) {
       MuxPmInfo info;
       info.mux = m;
+
+      if (budget != nullptr && budget->exhausted()) {
+        // Degrade: stop offering gating. Everything committed so far stays;
+        // the design (and its final frames) remains exactly as if the
+        // candidate list had ended here, so it is still schedulable.
+        info.reason = kBudgetReason;
+        markTransformDegraded(design, budget);
+        design.muxes.push_back(std::move(info));
+        continue;
+      }
 
       GatedSets sets = computeGatedSets(work, m, cones);
       info.gatedTrue = std::move(sets.gatedTrue);
@@ -473,6 +512,7 @@ PowerManagedDesign runTransformWithModel(const Graph& g, int steps,
       // step, so gating it is always feasible (lastControl stays invalid).
 
       std::optional<NodeId> bad;
+      if (budget != nullptr && !newEdges.empty()) budget->chargeProbes();
       if (oracle) {
         oracle->push(newEdges);
         if (oracle->feasible()) {
@@ -602,18 +642,33 @@ PowerManagedDesign runTransformWithModel(const Graph& g, int steps,
     // The farm must be torn down (its destructor waits for every lane)
     // before the graph below is mutated: lanes running abandoned stale
     // jobs read the shared graph until then.
-    ProbeFarm farm(work, steps, model, "power-transform");
-    speculativeSweep(*oracle, farm, edgeSets, /*diagnose=*/true, hooks);
+    std::size_t decided = n;
+    {
+      ProbeFarm farm(work, steps, model, "power-transform", budget);
+      decided = speculativeSweep(*oracle, farm, edgeSets, /*diagnose=*/true, hooks, budget);
+    }
+    for (std::size_t i = decided; i < n; ++i) {
+      design.muxes[i].reason =
+          cand[i].gatedWork ? kBudgetReason
+                            : "no operations are exclusive to one data input";
+      markTransformDegraded(design, budget);
+    }
   } else {
     for (std::size_t i = 0; i < n; ++i) {
       if (!cand[i].gatedWork) {
         design.muxes[i].reason = "no operations are exclusive to one data input";
         continue;
       }
+      if (budget != nullptr && budget->exhausted()) {
+        design.muxes[i].reason = kBudgetReason;
+        markTransformDegraded(design, budget);
+        continue;
+      }
       if (edgeSets[i].empty()) {  // no scheduled control: always feasible
         accept(i);
         continue;
       }
+      if (budget != nullptr) budget->chargeProbes();
       oracle->push(edgeSets[i]);
       if (oracle->feasible()) {
         oracle->commit();
@@ -640,11 +695,11 @@ PowerManagedDesign runTransform(const Graph& g, int steps,
 }  // namespace
 
 PowerManagedDesign applyPowerManagement(const Graph& g, int steps, MuxOrdering ordering,
-                                        const LatencyModel& model) {
+                                        const LatencyModel& model, const RunBudget* budget) {
   g.validate();
   const std::vector<NodeMask> cones = faninConeMasks(g);
   return runTransformWithModel(g, steps, orderMuxes(g, ordering, cones), model,
-                               /*useOracle=*/true, cones);
+                               /*useOracle=*/true, cones, /*speculate=*/true, budget);
 }
 
 PowerManagedDesign applyPowerManagementReference(const Graph& g, int steps, MuxOrdering ordering,
@@ -731,8 +786,14 @@ struct ChosenSet {
   }
 };
 
-PowerManagedDesign runOptimal(const Graph& g, int steps, std::size_t maxMuxes, bool useOracle) {
+PowerManagedDesign runOptimal(const Graph& g, int steps, std::size_t maxMuxes, bool useOracle,
+                              const RunBudget* budget = nullptr) {
   g.validate();
+  // Set once any search phase stops on the budget; the chosen subset at
+  // that point is the best COMPLETE assignment found so far (possibly
+  // empty), which is always jointly feasible — the final materialization
+  // below turns it into a valid, differentially-checkable design.
+  std::atomic<bool> stopped{false};
 
   // Candidates: muxes with gated work, most promising first. The gated sets
   // feed both the savings estimate and the control edges, so compute them
@@ -857,6 +918,10 @@ PowerManagedDesign runOptimal(const Graph& g, int steps, std::size_t maxMuxes, b
     std::vector<bool> current(candidates.size(), false);
     auto dfs = [&](auto&& self, std::size_t i, double value) -> void {
       if (escaped) return;
+      if (budget != nullptr && budget->exhausted()) {
+        stopped.store(true, std::memory_order_relaxed);
+        return;  // best-so-far stands
+      }
       if (value + suffix[i] <= bestValue) return;
       if (i == exactCount) {
         if (value > bestValue) {
@@ -870,6 +935,7 @@ PowerManagedDesign runOptimal(const Graph& g, int steps, std::size_t maxMuxes, b
           escaped = true;
           return;
         }
+        if (budget != nullptr) budget->chargeProbes();
         oracle->push(muxEdges[i], /*probe=*/true);
         if (oracle->feasible()) {
           current[i] = true;
@@ -886,6 +952,9 @@ PowerManagedDesign runOptimal(const Graph& g, int steps, std::size_t maxMuxes, b
       self(self, i + 1, value);
     };
     dfs(dfs, 0, 0);
+    // A budget stop outranks the probe escape: restarting on the parallel
+    // path would discard the best-so-far the degradation contract promises.
+    if (stopped.load(std::memory_order_relaxed)) escaped = false;
     if (escaped) {
       bestValue = -1;
       best.assign(candidates.size(), false);
@@ -914,11 +983,16 @@ PowerManagedDesign runOptimal(const Graph& g, int steps, std::size_t maxMuxes, b
       ChosenSet chosen(exactCount);
       std::vector<bool> prefix(K, false);
       auto enumerate = [&](auto&& self, std::size_t i, double value) -> void {
+        if (budget != nullptr && budget->exhausted()) {
+          stopped.store(true, std::memory_order_relaxed);
+          return;  // the leaves found so far still cover valid prefixes
+        }
         if (i == K) {
           leaves.push_back(Leaf{prefix, chosen.list, value});
           return;
         }
         if (!memo.blocked(i, chosen.mask)) {
+          if (budget != nullptr) budget->chargeProbes();
           oracle->push(muxEdges[i], /*probe=*/true);
           if (oracle->feasible()) {
             prefix[i] = true;
@@ -969,6 +1043,10 @@ PowerManagedDesign runOptimal(const Graph& g, int steps, std::size_t maxMuxes, b
       std::vector<bool> current(exactCount, false);
       for (std::size_t j = 0; j < K; ++j) current[j] = leaf.chosenPrefix[j];
       auto dfs = [&](auto&& self, std::size_t i, double value) -> void {
+        if (budget != nullptr && budget->exhausted()) {
+          stopped.store(true, std::memory_order_relaxed);
+          return;  // this leaf keeps its best complete assignment so far
+        }
         if (value + suffix[i] <= std::max(out.value, hint())) return;
         if (i == exactCount) {
           if (value > out.value) {
@@ -978,6 +1056,7 @@ PowerManagedDesign runOptimal(const Graph& g, int steps, std::size_t maxMuxes, b
           return;
         }
         if (!memo.blocked(i, chosen.mask)) {
+          if (budget != nullptr) budget->chargeProbes();
           sub.push(muxEdges[i], /*probe=*/true);
           if (sub.feasible()) {
             current[i] = true;
@@ -1015,7 +1094,7 @@ PowerManagedDesign runOptimal(const Graph& g, int steps, std::size_t maxMuxes, b
   const bool farmTail = farmProbesWorthwhile(g.size()) &&
                         tailProbeworthy >= std::max<std::size_t>(3 * threads, 8);
   std::optional<ProbeFarm> farm;
-  if (farmTail) farm.emplace(g, steps, LatencyModel::unit(), "power-transform");
+  if (farmTail) farm.emplace(g, steps, LatencyModel::unit(), "power-transform", budget);
   for (std::size_t i = 0; i < exactCount; ++i)
     if (best[i] && !muxEdges[i].empty()) {
       oracle->push(muxEdges[i]);
@@ -1029,9 +1108,16 @@ PowerManagedDesign runOptimal(const Graph& g, int steps, std::size_t maxMuxes, b
       hooks.decided = [&](std::size_t i, bool accepted, const std::optional<NodeId>&) {
         best[exactCount + i] = accepted;
       };
-      speculativeSweep(*oracle, *farm, tailEdges, /*diagnose=*/false, hooks);
+      const std::size_t decided =
+          speculativeSweep(*oracle, *farm, tailEdges, /*diagnose=*/false, hooks, budget);
+      if (decided < tailEdges.size()) stopped.store(true, std::memory_order_relaxed);
     } else {
       for (std::size_t i = exactCount; i < candidates.size(); ++i) {
+        if (budget != nullptr && budget->exhausted()) {
+          stopped.store(true, std::memory_order_relaxed);
+          break;  // remaining tail muxes stay unmanaged
+        }
+        if (budget != nullptr) budget->chargeProbes();
         oracle->push(muxEdges[i], /*probe=*/true);
         if (oracle->feasible()) {
           best[i] = true;
@@ -1048,14 +1134,26 @@ PowerManagedDesign runOptimal(const Graph& g, int steps, std::size_t maxMuxes, b
     if (best[i]) chosen.push_back(candidates[i]);
   // The chosen subset is jointly feasible: replaying it is pure
   // materialization, so the speculative machinery would only add overhead.
-  return runTransform(g, steps, chosen, useOracle, cones, /*speculate=*/false);
+  // The replay runs WITHOUT the budget — the committed decisions must be
+  // materialized completely for the design to be consistent.
+  PowerManagedDesign design = runTransform(g, steps, chosen, useOracle, cones,
+                                           /*speculate=*/false);
+  if (stopped.load(std::memory_order_relaxed)) {
+    design.degraded = true;
+    const BudgetKind kind = budget->exhaustedWhy().value_or(BudgetKind::Deadline);
+    design.degradeReason = std::string("exact search stopped early (") + budgetKindName(kind) +
+                           "); result is the best subset found so far";
+    budget->noteDegraded("optimal-search", kind,
+                         "best-so-far subset kept; design stays valid");
+  }
+  return design;
 }
 
 }  // namespace
 
-PowerManagedDesign applyPowerManagementOptimal(const Graph& g, int steps,
-                                               std::size_t maxMuxes) {
-  return runOptimal(g, steps, maxMuxes, /*useOracle=*/true);
+PowerManagedDesign applyPowerManagementOptimal(const Graph& g, int steps, std::size_t maxMuxes,
+                                               const RunBudget* budget) {
+  return runOptimal(g, steps, maxMuxes, /*useOracle=*/true, budget);
 }
 
 PowerManagedDesign applyPowerManagementOptimalReference(const Graph& g, int steps,

@@ -29,6 +29,8 @@
 
 namespace pmsched {
 
+class RunBudget;
+
 /// Order in which muxes are offered power management (§III default is
 /// OutputFirst; the alternatives implement the §IV-A reordering study).
 enum class MuxOrdering {
@@ -76,6 +78,13 @@ struct PowerManagedDesign {
   /// Nodes with a shared condition have empty `gates`.
   std::vector<GateDnf> sharedGating;
 
+  /// True when a RunBudget ran out before the transform finished: the
+  /// design is still valid and differentially checkable, but muxes past
+  /// the stopping point were left unmanaged (their `reason` says so) —
+  /// see docs/ROBUSTNESS.md for the per-stage contract.
+  bool degraded = false;
+  std::string degradeReason;  ///< empty unless degraded
+
   /// Muxes that were selected AND gate at least one operation — the paper's
   /// Table II "P.Man. Muxs" column.
   [[nodiscard]] int managedCount() const;
@@ -119,7 +128,7 @@ struct GatedSets {
 /// schedulability test runs incrementally on a TimeFrameOracle.
 [[nodiscard]] PowerManagedDesign applyPowerManagement(
     const Graph& g, int steps, MuxOrdering ordering = MuxOrdering::OutputFirst,
-    const LatencyModel& model = LatencyModel::unit());
+    const LatencyModel& model = LatencyModel::unit(), const RunBudget* budget = nullptr);
 
 /// The retained from-scratch variant (frames recomputed per mux). The
 /// executable specification: differential tests assert applyPowerManagement
@@ -135,7 +144,8 @@ struct GatedSets {
 /// for the paper-scale circuits (<= ~50 muxes with shallow conflict
 /// structure); `maxMuxes` guards runaway search.
 [[nodiscard]] PowerManagedDesign applyPowerManagementOptimal(const Graph& g, int steps,
-                                                             std::size_t maxMuxes = 24);
+                                                             std::size_t maxMuxes = 24,
+                                                             const RunBudget* budget = nullptr);
 
 /// From-scratch variant of the exact search (one full frame computation per
 /// DFS node); retained as the differential-test reference.

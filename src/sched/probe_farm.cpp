@@ -8,7 +8,9 @@
 #include <thread>
 
 #include "cdfg/analysis.hpp"
+#include "support/fault_injector.hpp"
 #include "support/random_dfg.hpp"
+#include "support/run_budget.hpp"
 
 namespace pmsched {
 
@@ -176,12 +178,13 @@ bool farmProbesWorthwhile(std::size_t graphSize) {
 // ---- ProbeFarm -------------------------------------------------------------
 
 ProbeFarm::ProbeFarm(const Graph& g, int steps, const LatencyModel& model,
-                     std::string errorContext)
+                     std::string errorContext, const RunBudget* budget)
     : g_(g),
       steps_(steps),
       model_(model),
       ctx_(std::move(errorContext)),
-      lanes_(effectiveLanes()) {
+      lanes_(effectiveLanes()),
+      budget_(budget) {
   // Everything else is lazy (see startLanes): a farm that never probes —
   // sweeps whose candidates all predecide, waves with no probeworthy
   // candidate — costs two integers, which is what lets the transform
@@ -236,6 +239,7 @@ void ProbeFarm::commitBatch(const TimeFrameOracle& committedState) {
 }
 
 std::size_t ProbeFarm::stage(std::vector<Edge> edges, bool diagnose, bool exact) {
+  fault::point("farm-stage");
   Job job;
   job.edges = std::move(edges);
   // The staging thread is the committing thread, so this is the version
@@ -353,7 +357,14 @@ void ProbeFarm::drainWave(Wave& wave, std::size_t lane) {
     if (base >= n) return;
     const std::uint32_t end = std::min(n, base + wave.slice);
     for (std::uint32_t i = base; i < end; ++i) {
+      // Both polls sit BEFORE the claim: a job this lane has claimed always
+      // publishes (publishResult below), so the consumer's await can never
+      // hang on a silently dropped slot. An exhausted budget (including a
+      // cancelled token) therefore drains the farm within one slice-quantum
+      // — the unclaimed remainder is either run inline by the consumer or
+      // reaped by the destructor.
       if (closingFlag_.load(std::memory_order_relaxed)) return;  // teardown: stop claiming
+      if (budget_ != nullptr && budget_->exhausted()) return;    // cancellation: stop claiming
       std::uint8_t expected = kQueued;
       if (!wave.state[i].compare_exchange_strong(expected, kClaimed,
                                                  std::memory_order_acq_rel,
@@ -404,6 +415,9 @@ ProbeFarm::Result ProbeFarm::runJob(Replica& rep, const Job& job) {
   if (!rep.oracle) rep.oracle = std::make_unique<TimeFrameOracle>(g_, steps_, model_, ctx_);
   r.ran = true;
   try {
+    // Inside the try: an injected fault is captured like a cycle error and
+    // rethrown by the consumer at the candidate's turn, in order.
+    fault::point("farm-run");
     syncReplica(rep, job.version);
     rep.oracle->push(job.edges, /*probe=*/!job.diagnose);
     r.feasible = rep.oracle->feasible();

@@ -92,6 +92,8 @@
 
 namespace pmsched {
 
+class RunBudget;
+
 // ---- speculation self-calibration ------------------------------------------
 
 /// Machine-specific costs that decide when farming a probe beats running it
@@ -159,7 +161,14 @@ class ProbeFarm {
   /// start on the first ring, and replicas are built lazily on their
   /// lanes — an unprobed farm costs nothing, so consumers construct one
   /// unconditionally and let the candidate stream decide.
-  ProbeFarm(const Graph& g, int steps, const LatencyModel& model, std::string errorContext);
+  ///
+  /// With a `budget`, lanes poll it between slice jobs exactly like the
+  /// closing flag: an exhausted budget (or a cancelled token) makes every
+  /// lane stop claiming, so a cancelled request drains within one
+  /// slice-quantum. Jobs a lane has already claimed still publish — a
+  /// claimed-but-silent slot would deadlock the consumer's await.
+  ProbeFarm(const Graph& g, int steps, const LatencyModel& model, std::string errorContext,
+            const RunBudget* budget = nullptr);
   ~ProbeFarm();
 
   ProbeFarm(const ProbeFarm&) = delete;
@@ -263,6 +272,7 @@ class ProbeFarm {
   const LatencyModel model_;
   const std::string ctx_;
   const std::size_t lanes_;
+  const RunBudget* budget_ = nullptr;  ///< optional; lanes poll between slices
 
   mutable std::mutex mutex_;
   std::condition_variable workCv_;  ///< lanes: "a wave is published" / closing

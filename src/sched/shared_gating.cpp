@@ -6,6 +6,8 @@
 
 #include "sched/probe_farm.hpp"
 #include "sched/timeframe_oracle.hpp"
+#include "support/fault_injector.hpp"
+#include "support/run_budget.hpp"
 #include "support/thread_pool.hpp"
 
 namespace pmsched {
@@ -42,10 +44,11 @@ namespace {
 
 class SharedGatingPass {
  public:
-  explicit SharedGatingPass(PowerManagedDesign& design)
+  explicit SharedGatingPass(PowerManagedDesign& design, const RunBudget* budget = nullptr)
       : design_(design),
         g_(design.graph),
-        oracle_(g_, design.steps, design.latency, "shared-gating") {
+        oracle_(g_, design.steps, design.latency, "shared-gating"),
+        budget_(budget) {
     cond_.resize(g_.size());
     need_.resize(g_.size());
   }
@@ -79,10 +82,35 @@ class SharedGatingPass {
   using Dnf = DnfEngine::Dnf;
   using Edge = TimeFrameOracle::Edge;
 
+  /// True once the pass must stop accepting new gates: the global budget
+  /// ran out, or the DNF arena outgrew the term cap. The pass holds live
+  /// interned handles (cond_/need_), so it cannot trim the arena — per the
+  /// degradation contract it stops at the last accepted gate instead.
+  [[nodiscard]] bool budgetStop() {
+    if (budget_ == nullptr) return false;
+    if (budget_->exhausted()) return true;
+    return budget_->dnfTermCap() != 0 && eng_.arenaLiterals() > budget_->dnfTermCap();
+  }
+
+  void markDegraded() {
+    if (design_.degraded) return;
+    design_.degraded = true;
+    const BudgetKind kind = budget_->exhaustedWhy().value_or(BudgetKind::DnfTerms);
+    design_.degradeReason = std::string("shared gating stopped early (") +
+                            budgetKindName(kind) + "); kept every gate accepted so far";
+    budget_->noteDegraded("shared-gating", kind,
+                          "stopped at the last accepted gate; design stays valid");
+  }
+
   int runSequential(const std::vector<NodeId>& cands) {
     int gated = 0;
-    for (const NodeId n : cands)
+    for (const NodeId n : cands) {
+      if (budgetStop()) {
+        markDegraded();
+        break;
+      }
       if (tryGate(n)) ++gated;
+    }
     return gated;
   }
 
@@ -124,12 +152,20 @@ class SharedGatingPass {
   }
 
   int runWaves(const std::vector<NodeId>& cands) {
-    ProbeFarm farm(g_, design_.steps, design_.latency, "shared-gating");
+    ProbeFarm farm(g_, design_.steps, design_.latency, "shared-gating", budget_);
     const std::size_t wave = std::max<std::size_t>(2 * farm.lanes(), 8);
     int gated = 0;
     std::size_t idx = 0;
     std::vector<Eval> evals;
     while (idx < cands.size()) {
+      if (budgetStop()) {
+        // Stop between waves: everything committed so far stays, staged
+        // probes of the abandoned wave are reaped by the farm destructor
+        // (its lanes poll the same budget, so the drain is one
+        // slice-quantum).
+        markDegraded();
+        break;
+      }
       const std::size_t end = std::min(idx + wave, cands.size());
       evals.assign(end - idx, Eval{});
       memoLog_.clear();
@@ -183,6 +219,7 @@ class SharedGatingPass {
         // ACCEPT: roll back the assumption-tainted memo writes of the later
         // candidates in this wave BEFORE installing the new condition (the
         // rollback log may contain a speculative condOf(n) entry).
+        fault::point("gating-commit");
         rollbackTo(e.logEnd);
         committed_.insert(committed_.end(), e.edges.begin(), e.edges.end());
         design_.sharedGating[n] = eng_.decode(e.need);
@@ -272,11 +309,13 @@ class SharedGatingPass {
     evalCandidate(n, e);
     if (!e.probeworthy) return false;
 
+    if (budget_ != nullptr && !e.edges.empty()) budget_->chargeProbes();
     oracle_.push(e.edges, /*probe=*/true);
     if (!oracle_.feasible()) {
       oracle_.pop();
       return false;
     }
+    fault::point("gating-commit");
     oracle_.commit();
 
     committed_.insert(committed_.end(), e.edges.begin(), e.edges.end());
@@ -298,6 +337,7 @@ class SharedGatingPass {
   Graph& g_;
   DnfEngine eng_;
   TimeFrameOracle oracle_;
+  const RunBudget* budget_ = nullptr;
   std::vector<std::pair<NodeId, NodeId>> committed_;
   std::vector<std::optional<Dnf>> cond_;
   std::vector<std::optional<Dnf>> need_;
@@ -443,8 +483,8 @@ class SharedGatingPassReference {
 
 }  // namespace
 
-int applySharedGating(PowerManagedDesign& design) {
-  SharedGatingPass pass(design);
+int applySharedGating(PowerManagedDesign& design, const RunBudget* budget) {
+  SharedGatingPass pass(design, budget);
   return pass.run();
 }
 

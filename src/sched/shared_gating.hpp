@@ -32,7 +32,11 @@ enum class GatingMode {
 /// Inserts the required control edges into design.graph and fills
 /// design.sharedGating. Returns the number of newly gated operations.
 /// Per-candidate schedulability runs incrementally on a TimeFrameOracle.
-int applySharedGating(PowerManagedDesign& design);
+/// With a budget, the pass stops at the last accepted gate once the budget
+/// is exhausted or the DNF arena outgrows the term cap (the pass holds
+/// interned handles, so it cannot trim — it stops gating instead); the
+/// design stays valid and the degraded flag is set.
+int applySharedGating(PowerManagedDesign& design, const RunBudget* budget = nullptr);
 
 /// From-scratch variant (frames recomputed per candidate); retained as the
 /// differential-test reference for applySharedGating.

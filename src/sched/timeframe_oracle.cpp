@@ -4,6 +4,8 @@
 #include <chrono>
 #include <random>
 
+#include "support/fault_injector.hpp"
+
 namespace pmsched {
 
 TimeFrameOracle::TimeFrameOracle(const Graph& g, int steps, const LatencyModel& model,
@@ -284,6 +286,9 @@ void TimeFrameOracle::commit() {
     throw SynthesisError(ctx_ + ": commit requires exactly one open batch");
   if (batchPool_[0].poisoned)
     throw SynthesisError(ctx_ + ": commit of an aborted probe batch");
+  // Before any state changes: an injected fault here leaves the batch open
+  // and the committed state untouched (the caller's pop still works).
+  fault::point("oracle-commit");
   // Flush the lazy backward repair so committed state is always ALAP-exact
   // (commits are rare — accepted candidates only).
   ensureAlap();

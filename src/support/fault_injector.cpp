@@ -1,0 +1,80 @@
+#include "support/fault_injector.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+namespace pmsched {
+
+namespace fault {
+
+namespace {
+
+// The registry of every point() call compiled into the library. Kept here
+// (not distributed) so the CI fault matrix and docs/ROBUSTNESS.md have one
+// authoritative list to iterate.
+constexpr std::array<std::string_view, 7> kSites = {
+    "parse-stmt",      // textio: per accepted statement (input path)
+    "bdd-node",        // BddManager::makeNode (allocation)
+    "dnf-intern",      // DnfEngine term interning (allocation)
+    "farm-stage",      // ProbeFarm::stage (consumer-side handoff)
+    "farm-run",        // ProbeFarm lane job execution (lane-side handoff)
+    "oracle-commit",   // TimeFrameOracle::commit (commit)
+    "gating-commit",   // shared-gating acceptance (commit)
+};
+
+std::atomic<bool> armed{false};
+std::atomic<std::uint64_t> hits{0};
+std::uint64_t targetHit = 1;
+std::string armedSite;  // written only while disarmed (see arm())
+std::once_flag envOnce;
+
+void armLocked(std::string_view spec) {
+  armed.store(false, std::memory_order_release);
+  hits.store(0, std::memory_order_relaxed);
+  armedSite.clear();
+  targetHit = 1;
+  if (spec.empty()) return;
+  const std::size_t colon = spec.find(':');
+  armedSite = std::string(spec.substr(0, colon));
+  if (colon != std::string_view::npos) {
+    const std::string n(spec.substr(colon + 1));
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(n.c_str(), &end, 10);
+    targetHit = (end && *end == '\0' && v > 0) ? v : 1;
+  }
+  armed.store(true, std::memory_order_release);
+}
+
+void parseEnvOnce() {
+  std::call_once(envOnce, [] {
+    if (const char* env = std::getenv("PMSCHED_FAULT")) armLocked(env);
+  });
+}
+
+}  // namespace
+
+std::span<const std::string_view> sites() { return kSites; }
+
+void arm(std::string_view spec) {
+  // Suppress a later (first-point) env parse from clobbering the test's arm.
+  std::call_once(envOnce, [] {});
+  armLocked(spec);
+}
+
+void point(const char* site) {
+  if (!armed.load(std::memory_order_acquire)) {
+    // The env variable must be honored even when the first point() is the
+    // first fault-aware code to run; call_once makes the parse race-free.
+    parseEnvOnce();
+    if (!armed.load(std::memory_order_acquire)) return;
+  }
+  if (armedSite != site) return;
+  if (hits.fetch_add(1, std::memory_order_relaxed) + 1 == targetHit)
+    throw FaultInjectedError(site, targetHit);
+}
+
+}  // namespace fault
+
+}  // namespace pmsched

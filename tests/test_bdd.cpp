@@ -211,15 +211,17 @@ TEST(Bdd, ProbabilityBeyond62VariablesViaWideAccumulation) {
 
   // Majority-free sanity check at 64 vars: OR of two disjoint 32-literal
   // conjunctions — P = 2^-32 + 2^-32 - 2^-64, denominator 2^64. The exact
-  // value is NOT representable; the failure must be the clear diagnostic,
-  // not an arithmetic trap.
+  // value is NOT representable; the failure must be the typed
+  // BudgetExceededError carrying the support width, not an arithmetic trap.
   GateDnf dnf(2);
   for (NodeId i = 0; i < 32; ++i) dnf[0].push_back(lit(1 + i, true));
   for (NodeId i = 32; i < 64; ++i) dnf[1].push_back(lit(1 + i, true));
   try {
     (void)mgr.probability(mgr.fromDnf(dnf));
-    FAIL() << "expected overflow_error";
-  } catch (const std::overflow_error& e) {
+    FAIL() << "expected BudgetExceededError";
+  } catch (const BudgetExceededError& e) {
+    EXPECT_EQ(e.kind(), BudgetKind::RationalWidth);
+    EXPECT_EQ(e.detail(), 64u) << "detail must carry the support width";
     EXPECT_NE(std::string(e.what()).find("denominator 2^64"), std::string::npos) << e.what();
   }
 

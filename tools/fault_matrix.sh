@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Fire every compiled-in fault-injection site once (PMSCHED_FAULT=<site>:1)
+# against an input that actually reaches it, and pin the contract: the CLI
+# exits 5 (internal error) with a structured error[internal] diagnostic
+# naming the fault — never a crash, signal death, hang, or silent success.
+# Lane-side sites (farm-*) run with 2 threads and forced speculation so the
+# error crosses the ProbeFarm handoff. Registered as the `fault_matrix`
+# ctest; the CI robustness job runs it against an ASan build.
+#
+# Usage: fault_matrix.sh PMSCHED_BINARY CORPUS_DIR
+
+set -u
+
+if [ $# -ne 2 ]; then
+  echo "usage: $0 PMSCHED_BINARY CORPUS_DIR" >&2
+  exit 2
+fi
+
+pmsched=$1
+corpus=$2
+failures=0
+
+run_site() {
+  local site=$1
+  shift
+  local stderr_file
+  stderr_file=$(mktemp)
+  PMSCHED_FAULT="$site:1" PMSCHED_THREADS=2 PMSCHED_SPECULATE=force \
+    "$pmsched" "$@" >/dev/null 2>"$stderr_file"
+  local got=$?
+  if [ "$got" -ne 5 ]; then
+    echo "FAIL $site: exit $got, want 5 (internal)" >&2
+    sed 's/^/  stderr: /' "$stderr_file" >&2
+    failures=$((failures + 1))
+  elif ! grep -q "error\[internal\].*fault injected at site '$site'" "$stderr_file"; then
+    echo "FAIL $site: exit 5 but diagnostic does not name the fault" >&2
+    sed 's/^/  stderr: /' "$stderr_file" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok   $site"
+  fi
+  rm -f "$stderr_file"
+}
+
+# Consumer-side sites: a file input that exercises parse, per-mux gating,
+# shared gating, oracle commits, and the BDD/DNF engines.
+run_site parse-stmt "$corpus/shared.ok.cdfg" --steps 6
+run_site bdd-node "$corpus/shared.ok.cdfg" --steps 6
+run_site dnf-intern "$corpus/shared.ok.cdfg" --steps 6
+run_site oracle-commit "$corpus/shared.ok.cdfg" --steps 6
+run_site gating-commit "$corpus/shared.ok.cdfg" --steps 6
+# Lane-side sites: a graph big enough that forced speculation actually
+# stages probe waves; the injected error must be captured by the lane and
+# rethrown on the consumer in candidate order.
+run_site farm-stage --random-dfg 16x6:2
+run_site farm-run --random-dfg 16x6:2
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures fault-matrix failure(s)" >&2
+  exit 1
+fi
+echo "fault matrix clean: all 7 sites produced a structured internal diagnostic"

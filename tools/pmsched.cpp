@@ -2,17 +2,23 @@
 //
 // Usage:
 //   pmsched INPUT --steps N [options]
+//   pmsched --random-dfg LxP[:SEED] [--steps N] [options]
 //
 // INPUT is a behavioral .sil source or a serialized .cdfg graph. The tool
 // runs the power-management transform and the resource-minimizing
 // scheduler, then emits whatever artifacts are requested:
 //
-//   --steps N           control-step budget (required)
+//   --steps N           control-step budget (required for file inputs;
+//                       defaults to critical path + 2 for --random-dfg)
 //   --ordering MODE     output | input | savings   (default: output)
 //   --threads N         worker threads for the speculative transform
 //                       (default: PMSCHED_THREADS or hardware concurrency;
 //                       results are identical at every thread count)
+//   --optimal           exact maximum-savings mux subset (DFS) instead of
+//                       the paper's greedy order
 //   --strict            disable the shared (OR-composed) gating extension
+//   --random-dfg LxP[:SEED]  synthesize a random layered DFG (L layers of
+//                       P ops, default seed 1) instead of reading INPUT
 //   --report FILE       Markdown design report
 //   --vhdl PREFIX       PREFIX_datapath.vhd / _controller.vhd / _tb.vhd
 //   --dot FILE          Graphviz rendering of the transformed CDFG
@@ -23,11 +29,26 @@
 //                       exit — export that line to pin auto-mode decisions
 //                       across runs and machines
 //
+// Run budget (see docs/ROBUSTNESS.md for the per-stage contract):
+//
+//   --budget-ms N         wall-clock deadline for the optimizing stages
+//   --budget-probes N     total oracle-probe cap
+//   --budget-bdd-nodes N  per-manager BDD node cap
+//   --budget-dnf-terms N  DNF literal-arena cap for shared gating
+//   --fail-degraded       exit 4 when any stage degraded (for CI gates)
+//
+// Exit codes: 0 success, 2 usage error, 3 unreadable/malformed input,
+// 4 budget exceeded (--fail-degraded), 5 internal error, 6 infeasible
+// constraints. Every failure prints one structured "pmsched: error[...]"
+// line to stderr — never a raw abort.
+//
 // Without artifact options it prints the summary to stdout.
 
+#include <exception>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
 
 #include "alloc/binding.hpp"
 #include "analysis/report.hpp"
@@ -37,6 +58,10 @@
 #include "sched/list_scheduler.hpp"
 #include "sched/probe_farm.hpp"
 #include "sched/shared_gating.hpp"
+#include "support/diagnostics.hpp"
+#include "support/fault_injector.hpp"
+#include "support/random_dfg.hpp"
+#include "support/run_budget.hpp"
 #include "support/strings.hpp"
 #include "support/thread_pool.hpp"
 #include "vhdl/emit.hpp"
@@ -45,27 +70,98 @@ namespace {
 
 using namespace pmsched;
 
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitInput = 3;  ///< unreadable file or parse error
+constexpr int kExitBudget = 4;
+constexpr int kExitInternal = 5;
+constexpr int kExitInfeasible = 6;
+
+/// Bad command line (maps to exit 2 and the usage text).
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Unreadable input file (exit 3, like a parse error: the input is at fault).
+struct InputError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 struct Options {
   std::string inputPath;
   int steps = 0;
   int threads = 0;  ///< 0 = automatic (PMSCHED_THREADS / hardware)
   MuxOrdering ordering = MuxOrdering::OutputFirst;
   bool shared = true;
+  bool optimal = false;
   bool calibration = false;
+  bool failDegraded = false;
   std::string reportPath;
   std::string vhdlPrefix;
   std::string dotPath;
   std::string savePath;
   int powerSim = 0;
+
+  // --random-dfg LxP[:SEED]
+  bool randomDfg = false;
+  int dfgLayers = 0;
+  int dfgPerLayer = 0;
+  std::uint64_t dfgSeed = 1;
+
+  // Run budget (0 = unlimited / not set).
+  long long budgetMs = 0;
+  long long budgetProbes = 0;
+  long long budgetBddNodes = 0;
+  long long budgetDnfTerms = 0;
+
+  [[nodiscard]] bool hasBudget() const {
+    return budgetMs > 0 || budgetProbes > 0 || budgetBddNodes > 0 || budgetDnfTerms > 0;
+  }
 };
 
-[[noreturn]] void usage(const std::string& error) {
-  if (!error.empty()) std::cerr << "error: " << error << "\n";
-  std::cerr << "usage: pmsched INPUT --steps N [--ordering output|input|savings] [--strict]\n"
-               "               [--threads N] [--report FILE] [--vhdl PREFIX] [--dot FILE]\n"
-               "               [--save FILE] [--power-sim N]\n"
-               "       pmsched --calibration [--threads N]\n";
-  std::exit(error.empty() ? 0 : 2);
+void printUsage(std::ostream& os) {
+  os << "usage: pmsched INPUT --steps N [--ordering output|input|savings] [--strict]\n"
+        "               [--optimal] [--threads N] [--report FILE] [--vhdl PREFIX]\n"
+        "               [--dot FILE] [--save FILE] [--power-sim N]\n"
+        "               [--budget-ms N] [--budget-probes N] [--budget-bdd-nodes N]\n"
+        "               [--budget-dnf-terms N] [--fail-degraded]\n"
+        "       pmsched --random-dfg LxP[:SEED] [--steps N] [options]\n"
+        "       pmsched --calibration [--threads N]\n";
+}
+
+/// Strict integer parsing: the whole token must be a number in [lo, hi].
+/// Replaces raw std::stoi, whose std::invalid_argument would surface as an
+/// internal error instead of a usage error.
+long long parseInt(const std::string& text, const char* what, long long lo, long long hi) {
+  long long value = 0;
+  std::size_t pos = 0;
+  try {
+    value = std::stoll(text, &pos);
+  } catch (const std::exception&) {
+    throw UsageError(std::string(what) + " expects an integer, got '" + text + "'");
+  }
+  if (pos != text.size())
+    throw UsageError(std::string(what) + " expects an integer, got '" + text + "'");
+  if (value < lo || value > hi)
+    throw UsageError(std::string(what) + " must be in [" + std::to_string(lo) + ", " +
+                     std::to_string(hi) + "], got " + text);
+  return value;
+}
+
+/// "LxP" or "LxP:SEED" for --random-dfg.
+void parseRandomDfg(const std::string& spec, Options& opts) {
+  const auto x = spec.find('x');
+  if (x == std::string::npos)
+    throw UsageError("--random-dfg expects LxP[:SEED], got '" + spec + "'");
+  const auto colon = spec.find(':', x + 1);
+  const std::string perLayer =
+      spec.substr(x + 1, colon == std::string::npos ? std::string::npos : colon - x - 1);
+  opts.dfgLayers = static_cast<int>(parseInt(spec.substr(0, x), "--random-dfg layers", 1, 4096));
+  opts.dfgPerLayer = static_cast<int>(parseInt(perLayer, "--random-dfg ops per layer", 1, 4096));
+  if (colon != std::string::npos)
+    opts.dfgSeed = static_cast<std::uint64_t>(
+        parseInt(spec.substr(colon + 1), "--random-dfg seed", 0, INT64_MAX));
+  opts.randomDfg = true;
 }
 
 Options parseArgs(int argc, char** argv) {
@@ -73,36 +169,55 @@ Options parseArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&](const char* what) -> std::string {
-      if (i + 1 >= argc) usage(std::string("missing value for ") + what);
+      if (i + 1 >= argc) throw UsageError(std::string("missing value for ") + what);
       return argv[++i];
     };
-    if (arg == "--help" || arg == "-h") usage("");
-    else if (arg == "--steps") opts.steps = std::stoi(next("--steps"));
-    else if (arg == "--threads") opts.threads = std::stoi(next("--threads"));
+    auto nextInt = [&](const char* what, long long lo, long long hi) {
+      return parseInt(next(what), what, lo, hi);
+    };
+    if (arg == "--help" || arg == "-h") {
+      printUsage(std::cout);
+      std::exit(kExitOk);
+    } else if (arg == "--steps") opts.steps = static_cast<int>(nextInt("--steps", 1, 1 << 20));
+    else if (arg == "--threads") opts.threads = static_cast<int>(nextInt("--threads", 1, 4096));
     else if (arg == "--ordering") {
       const std::string mode = next("--ordering");
       if (mode == "output") opts.ordering = MuxOrdering::OutputFirst;
       else if (mode == "input") opts.ordering = MuxOrdering::InputFirst;
       else if (mode == "savings") opts.ordering = MuxOrdering::BySavings;
-      else usage("unknown ordering '" + mode + "'");
+      else throw UsageError("unknown ordering '" + mode + "'");
     } else if (arg == "--strict") opts.shared = false;
+    else if (arg == "--optimal") opts.optimal = true;
+    else if (arg == "--random-dfg") parseRandomDfg(next("--random-dfg"), opts);
     else if (arg == "--report") opts.reportPath = next("--report");
     else if (arg == "--vhdl") opts.vhdlPrefix = next("--vhdl");
     else if (arg == "--dot") opts.dotPath = next("--dot");
     else if (arg == "--save") opts.savePath = next("--save");
-    else if (arg == "--power-sim") opts.powerSim = std::stoi(next("--power-sim"));
+    else if (arg == "--power-sim")
+      opts.powerSim = static_cast<int>(nextInt("--power-sim", 1, 1 << 24));
     else if (arg == "--calibration") opts.calibration = true;
-    else if (!arg.empty() && arg[0] == '-') usage("unknown option '" + arg + "'");
+    else if (arg == "--budget-ms") opts.budgetMs = nextInt("--budget-ms", 1, 1LL << 32);
+    else if (arg == "--budget-probes") opts.budgetProbes = nextInt("--budget-probes", 1, INT64_MAX);
+    else if (arg == "--budget-bdd-nodes")
+      opts.budgetBddNodes = nextInt("--budget-bdd-nodes", 1, INT64_MAX);
+    else if (arg == "--budget-dnf-terms")
+      opts.budgetDnfTerms = nextInt("--budget-dnf-terms", 1, INT64_MAX);
+    else if (arg == "--fail-degraded") opts.failDegraded = true;
+    else if (!arg.empty() && arg[0] == '-') throw UsageError("unknown option '" + arg + "'");
     else if (opts.inputPath.empty()) opts.inputPath = arg;
-    else usage("multiple inputs given");
+    else throw UsageError("multiple inputs given");
   }
-  if (opts.threads < 0) usage("--threads must be positive (or omitted for automatic)");
   if (opts.calibration) {
-    if (!opts.inputPath.empty() || opts.steps != 0) usage("--calibration takes no input");
+    if (!opts.inputPath.empty() || opts.steps != 0 || opts.randomDfg)
+      throw UsageError("--calibration takes no input");
     return opts;
   }
-  if (opts.inputPath.empty()) usage("no input file");
-  if (opts.steps <= 0) usage("--steps is required and must be positive");
+  if (opts.randomDfg) {
+    if (!opts.inputPath.empty()) throw UsageError("--random-dfg replaces the INPUT file");
+  } else {
+    if (opts.inputPath.empty()) throw UsageError("no input file");
+    if (opts.steps <= 0) throw UsageError("--steps is required and must be positive");
+  }
   return opts;
 }
 
@@ -117,12 +232,12 @@ int printCalibration(const Options& opts) {
             << "# wave-amortized handoff: " << fixed(cal.handoffNs, 0) << " ns/probe\n"
             << "# median repair: " << fixed(cal.repairNsPerNode, 2) << " ns/node\n"
             << "# auto-mode speculation crossover: " << cal.crossoverNodes() << " nodes\n";
-  return 0;
+  return kExitOk;
 }
 
 std::string readFile(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  if (!in) throw InputError("cannot open '" + path + "'");
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return buffer.str();
@@ -130,7 +245,7 @@ std::string readFile(const std::string& path) {
 
 void writeFile(const std::string& path, const std::string& text) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot write '" + path + "'");
+  if (!out) throw InputError("cannot write '" + path + "'");
   out << text;
   std::cout << "wrote " << path << " (" << text.size() << " bytes)\n";
 }
@@ -141,28 +256,48 @@ int run(const Options& opts) {
   // gating, exact search, activation analysis) picks it up from here.
   if (opts.threads > 0) setThreadCount(static_cast<std::size_t>(opts.threads));
 
-  const std::string source = readFile(opts.inputPath);
-  const bool isSil = opts.inputPath.size() >= 4 &&
-                     opts.inputPath.substr(opts.inputPath.size() - 4) == ".sil";
-  Graph g = isSil ? lang::compile(source) : loadGraphText(source);
+  RunBudget budgetStorage;
+  const RunBudget* budget = nullptr;
+  if (opts.hasBudget()) {
+    if (opts.budgetMs > 0)
+      budgetStorage.setDeadline(std::chrono::milliseconds(opts.budgetMs));
+    if (opts.budgetProbes > 0)
+      budgetStorage.setProbeCap(static_cast<std::uint64_t>(opts.budgetProbes));
+    if (opts.budgetBddNodes > 0)
+      budgetStorage.setBddNodeCap(static_cast<std::size_t>(opts.budgetBddNodes));
+    if (opts.budgetDnfTerms > 0)
+      budgetStorage.setDnfTermCap(static_cast<std::size_t>(opts.budgetDnfTerms));
+    budget = &budgetStorage;
+  }
+
+  Graph g;
+  int steps = opts.steps;
+  if (opts.randomDfg) {
+    g = randomLayeredDfg(opts.dfgLayers, opts.dfgPerLayer, opts.dfgSeed);
+    if (steps <= 0) steps = criticalPathLength(g) + 2;
+  } else {
+    const std::string source = readFile(opts.inputPath);
+    const bool isSil = opts.inputPath.size() >= 4 &&
+                       opts.inputPath.substr(opts.inputPath.size() - 4) == ".sil";
+    g = isSil ? lang::compile(source) : loadGraphText(source);
+  }
 
   std::cout << "circuit '" << g.name() << "': " << countOps(g).totalUnits()
             << " operations, critical path " << criticalPathLength(g) << ", budget "
-            << opts.steps << " steps\n";
+            << steps << " steps\n";
 
-  PowerManagedDesign design = applyPowerManagement(g, opts.steps, opts.ordering);
+  PowerManagedDesign design =
+      opts.optimal ? applyPowerManagementOptimal(g, steps, 24, budget)
+                   : applyPowerManagement(g, steps, opts.ordering, LatencyModel::unit(), budget);
   int sharedGated = 0;
-  if (opts.shared) sharedGated = applySharedGating(design);
+  if (opts.shared) sharedGated = applySharedGating(design, budget);
 
-  const ResourceVector units = minimizeResources(design.graph, opts.steps);
-  const ListScheduleResult scheduled = listSchedule(design.graph, opts.steps, units);
-  if (!scheduled.schedule) {
-    std::cerr << "scheduling failed: " << scheduled.message << "\n";
-    return 1;
-  }
+  const ResourceVector units = minimizeResources(design.graph, steps);
+  const ListScheduleResult scheduled = listSchedule(design.graph, steps, units);
+  if (!scheduled.schedule) throw InfeasibleError(scheduled.message);
   const Schedule& sched = *scheduled.schedule;
   const Binding binding = bindDesign(design.graph, sched);
-  const ActivationResult activation = analyzeActivation(design);
+  const ActivationResult activation = analyzeActivation(design, budget);
   const ControllerSpec ctrl = synthesizeController(design, sched, binding, activation);
 
   const OpPowerModel model = OpPowerModel::paperWeights();
@@ -171,6 +306,31 @@ int run(const Options& opts) {
             << ", units: " << units.toString() << "\n"
             << "expected datapath power reduction: "
             << fixed(activation.reductionPercent(model), 2) << "%\n";
+
+  // One stable, machine-grepped degradation summary; the per-stage log
+  // follows so humans can see exactly what was cut short.
+  const bool degraded =
+      design.degraded || activation.degraded || (budget != nullptr && budget->degraded());
+  if (degraded) {
+    std::string why;
+    if (budget != nullptr && budget->exhaustedWhy())
+      why = budgetKindName(*budget->exhaustedWhy());
+    else if (budget != nullptr && !budget->events().empty())
+      why = budgetKindName(budget->events().front().kind);
+    else if (!design.degradeReason.empty())
+      why = design.degradeReason;
+    else
+      why = "stage-local limit";
+    std::cout << "degraded: yes (" << why << ")\n";
+    if (budget != nullptr)
+      for (const DegradeEvent& ev : budget->events())
+        std::cout << "  degraded[" << ev.stage << "] " << budgetKindName(ev.kind) << ": "
+                  << ev.detail << "\n";
+    if (!design.degradeReason.empty())
+      std::cout << "  degraded[transform] " << design.degradeReason << "\n";
+  } else {
+    std::cout << "degraded: no\n";
+  }
 
   if (!opts.reportPath.empty()) {
     writeFile(opts.reportPath, analysis::renderDesignReport(
@@ -187,9 +347,11 @@ int run(const Options& opts) {
   if (!opts.savePath.empty()) writeFile(opts.savePath, saveGraphText(design.graph));
 
   if (opts.powerSim > 0) {
-    const PowerManagedDesign baseline = unmanagedDesign(g, opts.steps);
-    const ResourceVector baseUnits = minimizeResources(baseline.graph, opts.steps);
-    const Schedule baseSched = *listSchedule(baseline.graph, opts.steps, baseUnits).schedule;
+    const PowerManagedDesign baseline = unmanagedDesign(g, steps);
+    const ResourceVector baseUnits = minimizeResources(baseline.graph, steps);
+    const ListScheduleResult baseScheduled = listSchedule(baseline.graph, steps, baseUnits);
+    if (!baseScheduled.schedule) throw InfeasibleError(baseScheduled.message);
+    const Schedule& baseSched = *baseScheduled.schedule;
     const Binding baseBinding = bindDesign(baseline.graph, baseSched);
     const ActivationResult baseAct = analyzeActivation(baseline);
 
@@ -211,17 +373,59 @@ int run(const Options& opts) {
               << "% lower), functional mismatches: "
               << orig.functionalMismatches + pm.functionalMismatches << "\n";
   }
-  return 0;
+
+  if (degraded && opts.failDegraded) {
+    std::cerr << "pmsched: "
+              << Diagnostic{"budget", SourceLoc{},
+                            "run degraded under its budget (--fail-degraded)"}
+                     .toString()
+              << "\n";
+    return kExitBudget;
+  }
+  return kExitOk;
+}
+
+void printDiag(const std::string& category, SourceLoc loc, const std::string& message) {
+  std::cerr << "pmsched: " << Diagnostic{category, loc, message}.toString() << "\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Every failure path funnels through here: one structured diagnostic on
+  // stderr and a category-specific exit code — never an uncaught throw.
   try {
     const Options opts = parseArgs(argc, argv);
     return opts.calibration ? printCalibration(opts) : run(opts);
+  } catch (const UsageError& e) {
+    printDiag("usage", SourceLoc{}, e.what());
+    printUsage(std::cerr);
+    return kExitUsage;
+  } catch (const ParseError& e) {
+    // what() already embeds the location prefix; strip it so the structured
+    // line carries the location exactly once.
+    std::string message = e.what();
+    const std::string prefix = e.loc().toString() + ": ";
+    if (message.rfind(prefix, 0) == 0) message = message.substr(prefix.size());
+    printDiag("parse", e.loc(), message);
+    return kExitInput;
+  } catch (const InputError& e) {
+    printDiag("parse", SourceLoc{}, e.what());
+    return kExitInput;
+  } catch (const BudgetExceededError& e) {
+    printDiag("budget", SourceLoc{}, e.what());
+    return kExitBudget;
+  } catch (const InfeasibleError& e) {
+    printDiag("infeasible", SourceLoc{}, e.what());
+    return kExitInfeasible;
+  } catch (const FaultInjectedError& e) {
+    printDiag("internal", SourceLoc{}, e.what());
+    return kExitInternal;
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    printDiag("internal", SourceLoc{}, e.what());
+    return kExitInternal;
+  } catch (...) {
+    printDiag("internal", SourceLoc{}, "unknown exception");
+    return kExitInternal;
   }
 }
