@@ -1,6 +1,9 @@
 #include "ctrl/controller.hpp"
 
 #include <algorithm>
+#include <unordered_map>
+
+#include "sched/condition.hpp"
 
 namespace pmsched {
 
@@ -21,13 +24,20 @@ double ControllerSpec::estimatedArea() const {
   double area = 4.0 * steps;
   // One DFF per status bit.
   area += 4.0 * static_cast<double>(statusCaptures.size());
-  // Enable decode: one AND input per literal, one OR input per extra term,
-  // one final AND with the state line per gated load.
+  // Enable decode: one AND input per literal, one OR input per extra term —
+  // paid once per condition class, since loads in the same class share the
+  // decoder — plus one final AND with the state line per gated load.
+  std::vector<bool> counted(static_cast<std::size_t>(std::max(conditionClasses, 0)), false);
   for (const LoadAction& l : loads) {
     if (!l.isGated()) continue;
+    area += 1.0;  // state-line AND
+    const bool shared = l.conditionClass >= 0 &&
+                        l.conditionClass < static_cast<int>(counted.size());
+    if (shared && counted[static_cast<std::size_t>(l.conditionClass)]) continue;
+    if (shared) counted[static_cast<std::size_t>(l.conditionClass)] = true;
     int literals = 0;
     for (const GateTerm& term : l.condition) literals += static_cast<int>(term.size());
-    area += literals + static_cast<double>(l.condition.size()) - 1 + 1;
+    area += literals + static_cast<double>(l.condition.size()) - 1;
   }
   return area;
 }
@@ -46,11 +56,12 @@ ControllerSpec synthesizeController(const PowerManagedDesign& design, const Sche
   // must persist until the mux's step). Scheduled selects are captured when
   // produced; PI selects need no capture (they are stable inputs).
   std::vector<NodeId> statusSignals;
+  std::vector<bool> seenStatus(g.size(), false);
   auto noteStatus = [&](NodeId sel) {
     if (!isScheduled(g.kind(sel))) return;
-    if (std::find_if(statusSignals.begin(), statusSignals.end(),
-                     [&](NodeId s) { return s == sel; }) == statusSignals.end())
-      statusSignals.push_back(sel);
+    if (seenStatus[sel]) return;
+    seenStatus[sel] = true;
+    statusSignals.push_back(sel);
   };
   for (NodeId n = 0; n < g.size(); ++n) {
     for (const GateTerm& term : activation.condition[n])
@@ -60,6 +71,23 @@ ControllerSpec synthesizeController(const PowerManagedDesign& design, const Sche
   for (const NodeId sel : statusSignals)
     spec.statusCaptures.emplace_back(sel, sched.stepOf(sel));
 
+  // Condition classes: the activation pass already hash-conses every
+  // condition into a canonical BDD, so "same enable function" is one ref
+  // compare instead of a DNF term-set comparison. Nodes whose BDD build
+  // degraded (bdd[n] == kBddInvalid) fall back to the thread-local
+  // probability manager — pinned, so its periodic trim cannot invalidate
+  // the keys mid-generation. The two key spaces are kept disjoint by tag.
+  BddManager& fallback = dnfProbabilityManager();
+  const BddPin holdFallback(fallback);
+  std::unordered_map<std::uint64_t, int> classOf;
+  auto conditionClassOf = [&](NodeId n) {
+    const BddRef ref = n < activation.bdd.size() ? activation.bdd[n] : kBddInvalid;
+    const std::uint64_t key =
+        ref != kBddInvalid ? std::uint64_t{ref}
+                           : (std::uint64_t{1} << 32) | fallback.fromDnf(activation.condition[n]);
+    return classOf.emplace(key, static_cast<int>(classOf.size())).first->second;
+  };
+
   // Load actions: one per registered value.
   for (NodeId n = 0; n < g.size(); ++n) {
     if (!isScheduled(g.kind(n)) || binding.registerOf[n] < 0) continue;
@@ -68,6 +96,7 @@ ControllerSpec synthesizeController(const PowerManagedDesign& design, const Sche
     load.reg = binding.registerOf[n];
     load.value = n;
     load.condition = activation.condition[n];
+    if (load.isGated()) load.conditionClass = conditionClassOf(n);
 
     // Sanity: every status bit a condition reads must be captured strictly
     // before this load fires.
@@ -83,6 +112,8 @@ ControllerSpec synthesizeController(const PowerManagedDesign& design, const Sche
     }
     spec.loads.push_back(std::move(load));
   }
+
+  spec.conditionClasses = static_cast<int>(classOf.size());
 
   std::sort(spec.loads.begin(), spec.loads.end(), [](const LoadAction& a, const LoadAction& b) {
     if (a.step != b.step) return a.step < b.step;

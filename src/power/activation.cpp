@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <memory>
+#include <utility>
 
 #include "support/run_budget.hpp"
 #include "support/thread_pool.hpp"
@@ -111,22 +113,47 @@ ActivationResult analyzeActivation(const PowerManagedDesign& design, const RunBu
     }
   }
 
+  // Condition classes: nodes gated by the same cone carry *equal* DNFs, so
+  // each distinct condition is analyzed once and the outcome fanned out to
+  // every node in its class. Within one manager an equal DNF hash-conses to
+  // the identical ref anyway, so the dedup changes no result — it removes
+  // the redundant rebuild (and, partitioned, the redundant merge) work.
+  std::vector<const GateDnf*> classCond;            // first occurrence, class order
+  std::vector<int> classOfNode(nontrivial.size());  // parallel to `nontrivial`
+  {
+    std::map<GateDnf, int> index;
+    for (std::size_t i = 0; i < nontrivial.size(); ++i) {
+      const GateDnf& cond = result.condition[nontrivial[i]];
+      const auto [it, fresh] = index.emplace(cond, static_cast<int>(classCond.size()));
+      if (fresh) classCond.push_back(&cond);
+      classOfNode[i] = it->second;
+    }
+  }
+
+  std::vector<NodeOutcome> outs(classCond.size());
   const std::size_t threads = threadCount();
   const bool partitioned =
       threads > 1 && (speculationMode() == SpeculationMode::Force
-                          ? nontrivial.size() >= 2
-                          : nontrivial.size() >= kMinConditionsForParallel);
+                          ? classCond.size() >= 2
+                          : classCond.size() >= kMinConditionsForParallel);
   if (partitioned) {
-    // Partitioned parallel build. Every worker builds its share of the
-    // conditions in a private manager, then the shares are merged into the
-    // shared manager by a hash-consed structural copy. Two properties make
-    // the merge canonical and the output independent of the thread count:
-    //  * all managers (partitions and the final one) pre-register the SAME
-    //    variable order — the first-use order a sequential fromDnf sweep in
-    //    node id order would produce — so a partition BDD is structurally
-    //    identical to what the merge manager would build itself;
-    //  * the merge walks nodes in id order, so the final manager's node
-    //    numbering is a deterministic function of the conditions alone.
+    // Partitioned parallel build, in two passes. Pass 1 builds a shared
+    // core — every term that occurs in more than one condition class, i.e.
+    // the cross-partition common subconditions — directly in the final
+    // manager; pass 2 has every partition import that core (a structural
+    // copy under the shared variable order) and then build its share of
+    // the classes on top, so the sharing the partition split forfeits is
+    // recovered instead of re-derived per partition. The merge stays
+    // canonical and thread-count independent:
+    //  * all managers pre-register the SAME variable order — the first-use
+    //    order a sequential fromDnf sweep in node id order would produce —
+    //    so a class BDD is structurally identical no matter which
+    //    partition built it (reordering may change an order mid-build;
+    //    importFrom then falls back to its ite-based transfer, which is
+    //    still exact — see PARALLELISM.md);
+    //  * the merge walks classes in first-occurrence order, so the final
+    //    manager's node numbering is a deterministic function of the
+    //    conditions alone.
     // Probabilities are computed inside the partitions (exact dyadics are
     // manager-independent) where they parallelize.
     std::vector<NodeId> varOrder;
@@ -141,64 +168,92 @@ ActivationResult analyzeActivation(const PowerManagedDesign& design, const RunBu
     }
     result.bdds->registerVariables(varOrder);
 
+    // Pass 1: the shared core, in deterministic first-occurrence order.
+    std::vector<GateDnf> coreTerms;
+    {
+      std::map<GateTerm, int> occurrences;
+      for (const GateDnf* cond : classCond)
+        for (const GateTerm& term : *cond) ++occurrences[term];
+      std::map<GateTerm, bool> emitted;
+      for (const GateDnf* cond : classCond)
+        for (const GateTerm& term : *cond)
+          if (occurrences[term] >= 2 && !std::exchange(emitted[term], true))
+            coreTerms.push_back(GateDnf{term});
+    }
+    std::vector<BddRef> coreRefs;
+    try {
+      for (const GateDnf& term : coreTerms) coreRefs.push_back(result.bdds->fromDnf(term));
+    } catch (const BudgetExceededError&) {
+      // The core is purely an optimization: partitions that cannot seed
+      // from it simply rebuild what they need.
+    }
+
+    // Pass 2: partitions import the core, then build their classes.
     struct Partition {
       BddManager mgr;
-      std::vector<NodeOutcome> out;  // parallel to its slice of `nontrivial`
+      std::vector<NodeOutcome> out;  // parallel to its slice of the classes
     };
-    const std::size_t parts = std::min(threads, nontrivial.size());
+    const std::size_t parts = std::min(threads, classCond.size());
     std::vector<std::unique_ptr<Partition>> partition(parts);
-    // Round-robin assignment: nontrivial[i] belongs to partition i % parts
+    // Round-robin assignment: class c belongs to partition c % parts
     // (balances the deep conditions, which cluster at high node ids).
     // Degradation happens INSIDE the lambda — buildCondition never throws
-    // a budget error, so nothing escapes parallelFor.
+    // a budget error, so nothing escapes parallelFor. The core manager is
+    // only read (importFrom takes src const), so the concurrent seeding
+    // imports are race-free.
     globalThreadPool().parallelFor(0, parts, 1, [&](std::size_t, std::size_t p) {
       auto part = std::make_unique<Partition>();
       part->mgr.registerVariables(varOrder);
       if (budget != nullptr && budget->bddNodeCap() != 0)
         part->mgr.setNodeLimit(budget->bddNodeCap());
-      for (std::size_t i = p; i < nontrivial.size(); i += parts) {
-        const GateDnf& cond = result.condition[nontrivial[i]];
-        part->out.push_back(budget != nullptr && budget->exhausted()
-                                ? dnfIntervalEstimate(cond)
-                                : buildCondition(part->mgr, cond));
+      {
+        std::vector<BddRef> coreMemo(result.bdds->nodeCount(), kBddInvalid);
+        try {
+          for (const BddRef r : coreRefs) (void)part->mgr.importFrom(*result.bdds, r, coreMemo);
+        } catch (const BudgetExceededError&) {
+          // Partition arena at its cap already: build unseeded; the class
+          // builds degrade through buildCondition as usual.
+        }
       }
+      for (std::size_t c = p; c < classCond.size(); c += parts)
+        part->out.push_back(budget != nullptr && budget->exhausted()
+                                ? dnfIntervalEstimate(*classCond[c])
+                                : buildCondition(part->mgr, *classCond[c]));
       partition[p] = std::move(part);
     });
 
+    // Merge per class; core structure is already present in the final
+    // manager, so the shared parts of every import are memo hits.
     std::vector<std::vector<BddRef>> memo(parts);
     for (std::size_t p = 0; p < parts; ++p)
       memo[p].assign(partition[p]->mgr.nodeCount(), kBddInvalid);
-    for (std::size_t i = 0; i < nontrivial.size(); ++i) {
-      const std::size_t p = i % parts;
-      const std::size_t slot = i / parts;
-      const NodeId n = nontrivial[i];
-      NodeOutcome& out = partition[p]->out[slot];
+    for (std::size_t c = 0; c < classCond.size(); ++c) {
+      const std::size_t p = c % parts;
+      NodeOutcome out = partition[p]->out[c / parts];
       if (out.ref != kBddInvalid) {
         try {
-          result.bdd[n] =
-              result.bdds->importFrom(partition[p]->mgr, out.ref, memo[p]);
+          out.ref = result.bdds->importFrom(partition[p]->mgr, out.ref, memo[p]);
         } catch (const BudgetExceededError&) {
-          result.bdd[n] = kBddInvalid;  // merge arena at its cap; keep the
-          out.degraded = true;          // partition's (exact) probability
+          out.ref = kBddInvalid;  // merge arena at its cap; keep the
+          out.degraded = true;    // partition's (exact) probability
         }
-      } else {
-        result.bdd[n] = kBddInvalid;
       }
-      result.probability[n] = out.prob;
-      result.errorBar[n] = out.error;
-      result.degraded = result.degraded || out.degraded;
+      outs[c] = out;
     }
   } else {
-    for (const NodeId n : nontrivial) {
-      const GateDnf& cond = result.condition[n];
-      const NodeOutcome out = budget != nullptr && budget->exhausted()
-                                  ? dnfIntervalEstimate(cond)
-                                  : buildCondition(*result.bdds, cond);
-      result.bdd[n] = out.ref;
-      result.probability[n] = out.prob;
-      result.errorBar[n] = out.error;
-      result.degraded = result.degraded || out.degraded;
-    }
+    for (std::size_t c = 0; c < classCond.size(); ++c)
+      outs[c] = budget != nullptr && budget->exhausted()
+                    ? dnfIntervalEstimate(*classCond[c])
+                    : buildCondition(*result.bdds, *classCond[c]);
+  }
+
+  for (std::size_t i = 0; i < nontrivial.size(); ++i) {
+    const NodeOutcome& out = outs[static_cast<std::size_t>(classOfNode[i])];
+    const NodeId n = nontrivial[i];
+    result.bdd[n] = out.ref;
+    result.probability[n] = out.prob;
+    result.errorBar[n] = out.error;
+    result.degraded = result.degraded || out.degraded;
   }
   if (result.degraded && budget != nullptr)
     budget->noteDegraded("activation-analysis", BudgetKind::RationalWidth,

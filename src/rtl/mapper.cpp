@@ -330,12 +330,22 @@ class Mapper {
   }
 
   /// Gated-enable condition of `op` during `cycle`; kNoSignal when the op
-  /// is unconditional or gating is disabled.
+  /// is unconditional or gating is disabled. Ops whose conditions are the
+  /// same Boolean function (canonical activation BDD ref — degraded nodes
+  /// key through the pinned thread-local manager instead) share one decode
+  /// network per cycle rather than re-building identical AND-OR trees.
   SignalId conditionSignal(NodeId op, int cycle) {
     if (!opts_.latchGating) return kNoSignal;
     const GateDnf& dnf = activation_.condition[op];
     if (dnfIsTrue(dnf)) return kNoSignal;
     if (dnf.empty()) return nl().constant(false);
+
+    const BddRef ref = op < activation_.bdd.size() ? activation_.bdd[op] : kBddInvalid;
+    const std::uint64_t key =
+        ref != kBddInvalid ? std::uint64_t{ref}
+                           : (std::uint64_t{1} << 32) | condKeys_.fromDnf(dnf);
+    const auto memo = condMemo_.find({key, cycle});
+    if (memo != condMemo_.end()) return memo->second;
 
     SignalId orAll = kNoSignal;
     for (const GateTerm& term : dnf) {
@@ -347,6 +357,7 @@ class Mapper {
       }
       orAll = orAll == kNoSignal ? andAll : nl().addGate(GateKind::Or2, orAll, andAll);
     }
+    condMemo_.emplace(std::make_pair(key, cycle), orAll);
     return orAll;
   }
 
@@ -377,6 +388,13 @@ class Mapper {
   std::vector<UnitRtl> unitRtl_;
   std::map<NodeId, SignalId> statusReg_;
   std::vector<Word> valueReg_;
+
+  /// Memoized enable decoders, keyed by (condition class, cycle). The
+  /// fallback manager is pinned for the mapper's lifetime so its periodic
+  /// trim cannot recycle refs that serve as memo keys.
+  std::map<std::pair<std::uint64_t, int>, SignalId> condMemo_;
+  BddManager& condKeys_ = dnfProbabilityManager();
+  BddPin condKeysPin_{condKeys_};
 };
 
 }  // namespace

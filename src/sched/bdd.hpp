@@ -16,17 +16,28 @@
 // any support it can handle.
 //
 // Design notes (see docs/CONDITIONS.md):
-//  * nodes are hash-consed in a per-manager unique table, so structurally
-//    equal functions share one node id — semantic equality is `a == b` on
-//    refs, and every memo cache keyed by ref stays valid for the manager's
-//    lifetime;
+//  * nodes live in one contiguous arena (std::vector) addressed by 32-bit
+//    index refs, hash-consed through per-level open-addressing unique
+//    subtables (power-of-two, linear probing) — no pointer-chasing buckets
+//    on the makeNode/ite hot path, and the per-level split is exactly what
+//    sifting needs to swap adjacent levels in place;
 //  * `ite` is the single connective; AND/OR/NOT are one-line wrappers. A
-//    computed table memoizes (f, g, h) triples for the manager's lifetime;
-//  * the variable order is first-registration order. fromDnf() registers a
-//    DNF's support in ascending select-id order before building, which
-//    makes conversion deterministic and keeps the per-term chains sorted.
+//    direct-mapped lossy computed table memoizes (f, g, h) triples; losing
+//    an entry only costs a recomputation that re-finds existing nodes, so
+//    node numbering stays deterministic;
+//  * the variable order is first-registration order until sifting moves it.
+//    fromDnf() registers a DNF's support in ascending select-id order
+//    before building, which makes conversion deterministic;
+//  * dynamic reordering (Rudell-style sifting) swaps adjacent levels IN
+//    PLACE: every live ref keeps denoting the same function, so refs,
+//    probability caches and importFrom memos held by callers stay valid
+//    across a sift. Liveness is "reachable from any ref a public call ever
+//    returned"; everything else is garbage the sift may drop from the
+//    unique tables (the arena itself never shrinks, so refs are never
+//    reused).
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -41,8 +52,26 @@ using BddRef = std::uint32_t;
 
 inline constexpr BddRef kBddFalse = 0;
 inline constexpr BddRef kBddTrue = 1;
-/// Sentinel for "no ref" (importFrom memo tables).
+/// Sentinel for "no ref" (importFrom memo tables, empty unique-table slots).
 inline constexpr BddRef kBddInvalid = static_cast<BddRef>(-1);
+
+/// Dynamic-reordering policy for every BddManager in the process.
+enum class BddReorderMode {
+  Auto,  ///< sift when a manager's arena crosses its growth watermark
+  Off,   ///< never reorder (variable order = first-registration order)
+};
+
+/// Effective mode: programmatic override if set, else PMSCHED_BDD_REORDER
+/// (off|auto), else Auto.
+[[nodiscard]] BddReorderMode bddReorderMode();
+/// Override the mode for this process (tests, --bdd-reorder).
+void setBddReorderMode(BddReorderMode mode);
+
+/// Initial node-count watermark that arms the Auto trigger: programmatic
+/// override if set, else PMSCHED_BDD_REORDER_WATERMARK, else 4096.
+[[nodiscard]] std::size_t bddReorderWatermark();
+/// Override the initial watermark (0 = back to env/default).
+void setBddReorderWatermark(std::size_t nodes);
 
 class BddManager {
  public:
@@ -63,7 +92,10 @@ class BddManager {
 
   /// Convert a DNF (terms need not be normalized: duplicate literals are
   /// collapsed, contradictory terms contribute FALSE). Hash-consing makes
-  /// the conversion canonical: equivalent DNFs yield the same ref.
+  /// the conversion canonical: equivalent DNFs yield the same ref — and
+  /// in-place sifting preserves that, so the guarantee survives reordering.
+  /// Under BddReorderMode::Auto this is the one entry point that may
+  /// trigger a sift (never mid-build, never inside ite or importFrom).
   [[nodiscard]] BddRef fromDnf(const GateDnf& dnf);
 
   /// Register selects as variables in the given order (no-op for already
@@ -74,11 +106,12 @@ class BddManager {
   void registerVariables(std::span<const NodeId> selects);
 
   /// Recursively copy `f` (a ref of `src`) into this manager, mapping
-  /// variables by select id. Requires this manager's variable order to be
-  /// consistent with src's on src's variables (see registerVariables);
-  /// hash-consing dedups against everything already built here. `memo`
-  /// carries src-ref -> dst-ref mappings across calls for one src; size it
-  /// to src.nodeCount() filled with kBddInvalid.
+  /// variables by select id. When this manager's variable order is
+  /// consistent with src's on src's variables the copy is a cheap
+  /// structural walk; otherwise (either side reordered) it falls back to a
+  /// memoized ite-based transfer that is correct under any order pair.
+  /// `memo` carries src-ref -> dst-ref mappings across calls for one src;
+  /// size it to src.nodeCount() filled with kBddInvalid.
   [[nodiscard]] BddRef importFrom(const BddManager& src, BddRef f, std::vector<BddRef>& memo);
 
   /// Exact P(f) under independent fair selects. Memoized per node for the
@@ -89,14 +122,16 @@ class BddManager {
   /// only a FINAL value whose reduced denominator exceeds 2^62 throws —
   /// BudgetExceededError(RationalWidth) carrying the support width, so the
   /// activation analysis can degrade to probabilityApprox() instead of
-  /// letting the run die.
+  /// letting the run die. Order-independent: a sift never changes it.
   [[nodiscard]] Rational probability(BddRef f);
 
   /// Bounded-error double estimate of P(f): one bottom-up pass in IEEE
   /// doubles. `error` bounds |value - P(f)| (each node adds at most one
   /// half-ulp rounding; halving is exact), so it grows with the node count,
   /// not the support width — the degradation target for conditions past
-  /// probability()'s exact range. Never throws.
+  /// probability()'s exact range. Never throws. The value/error pair
+  /// depends on the node structure, so it is deterministic for a fixed
+  /// variable order but may differ across orders (the exact path doesn't).
   struct ApproxProbability {
     double value = 0;
     double error = 0;
@@ -106,18 +141,49 @@ class BddManager {
   /// Distinct selects the function actually depends on, ascending id.
   [[nodiscard]] std::vector<NodeId> support(BddRef f) const;
 
+  /// One full Rudell sifting pass: each variable (most populated level
+  /// first) is moved through the order by in-place adjacent-level swaps and
+  /// parked at its best position. Refs keep their functions, so handles,
+  /// probability caches and import memos stay valid. A node-cap trip or an
+  /// injected fault ("bdd-sift") between swaps aborts cleanly: the manager
+  /// stays canonical for whatever order it reached. No-op under pressure of
+  /// fewer than two variables.
+  void sift();
+
+  /// Auto-trigger used by fromDnf: sift when the arena has crossed the
+  /// watermark, then rearm the watermark at 2x the post-sift size.
+  void maybeReorder();
+
+  /// Sifting passes completed (including aborted ones) / aborted mid-pass.
+  [[nodiscard]] std::size_t reorderCount() const { return reorders_; }
+  [[nodiscard]] std::size_t reorderAborts() const { return reorderAborts_; }
+
+  /// Pin/unpin: while pinned() the owner promises there are outstanding
+  /// refs, and maintenance that would invalidate them (the thread-local
+  /// dnfProbability manager's periodic clear) must be skipped. sift() needs
+  /// no pin — it preserves refs.
+  void pin() { ++pins_; }
+  void unpin() { --pins_; }
+  [[nodiscard]] bool pinned() const { return pins_ > 0; }
+
+  /// Bumped by every clear(); lets holders assert their refs' generation.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
   /// Live node count including the two terminals (diagnostics/tests).
+  /// Counts every arena slot; sifting may leave unreferenced slots behind.
   [[nodiscard]] std::size_t nodeCount() const { return nodes_.size(); }
 
   /// Cap the node arena (0 = unlimited, the default). Once nodeCount()
   /// would exceed the cap, makeNode throws BudgetExceededError(BddNodes);
   /// consumers catch it at the per-condition boundary and degrade (the
-  /// manager stays valid — only the new node is refused).
+  /// manager stays valid — only the new node is refused). sift() checks the
+  /// cap BEFORE mutating a level pair, so a trip aborts the pass cleanly.
   void setNodeLimit(std::size_t maxNodes) { nodeLimit_ = maxNodes; }
 
   /// Drop every node and cache, keeping only the terminals. Invalidates
   /// all outstanding refs — only callers that hold none may use it (the
-  /// thread-local manager behind dnfProbability does, between queries).
+  /// thread-local manager behind dnfProbability does, between queries,
+  /// unless a holder pinned it). Bumps epoch().
   void clear();
 
  private:
@@ -129,19 +195,23 @@ class BddManager {
     BddRef hi;
   };
 
-  struct IteKey {
-    BddRef f, g, h;
-    friend bool operator==(const IteKey&, const IteKey&) = default;
+  /// Open-addressing unique subtable for one level (variable position).
+  /// Slots hold refs (kBddInvalid = empty), keyed by the node's (lo, hi) —
+  /// the var is implied by the level. Power-of-two capacity, linear
+  /// probing, grown at ~70% load. Entries are only removed wholesale
+  /// (clear / sift rebuild), so no tombstones are needed.
+  struct Level {
+    std::vector<BddRef> slots;
+    std::size_t count = 0;
   };
-  struct IteKeyHash {
-    std::size_t operator()(const IteKey& k) const {
-      std::uint64_t x = (static_cast<std::uint64_t>(k.f) << 32) | k.g;
-      x ^= static_cast<std::uint64_t>(k.h) * 0x9E3779B97F4A7C15ULL;
-      x ^= x >> 29;
-      x *= 0xBF58476D1CE4E5B9ULL;
-      x ^= x >> 32;
-      return static_cast<std::size_t>(x);
-    }
+
+  /// Direct-mapped lossy computed-table entry for ite(f, g, h) -> r.
+  /// f == kBddInvalid marks an empty entry.
+  struct IteEntry {
+    BddRef f = kBddInvalid;
+    BddRef g = kBddFalse;
+    BddRef h = kBddFalse;
+    BddRef r = kBddFalse;
   };
 
   /// Probabilities are accumulated as exact dyadics num / 2^exp with a
@@ -150,15 +220,50 @@ class BddManager {
   /// 62-variable ceiling: only results whose REDUCED denominator exceeds
   /// Rational's 2^62 fail, with a clear diagnostic instead of an
   /// "add/mul overflow" from the middle of the recursion.
+  /// exp == kDyadicUnset marks an empty flat-cache slot.
+  static constexpr unsigned kDyadicUnset = static_cast<unsigned>(-1);
   struct Dyadic {
     unsigned __int128 num = 0;
-    unsigned exp = 0;
+    unsigned exp = kDyadicUnset;
   };
   [[nodiscard]] Dyadic probabilityWide(BddRef f);
 
   /// Hash-consed node constructor; maintains the ROBDD invariants
   /// (lo != hi, child vars strictly below — i.e. numerically above — var).
   [[nodiscard]] BddRef makeNode(std::uint32_t var, BddRef lo, BddRef hi);
+  /// Hash-cons lookup/insert without the fault point or cap check — used
+  /// inside a level swap after the cap was pre-checked (swaps are atomic).
+  [[nodiscard]] BddRef makeNodeRaw(std::uint32_t var, BddRef lo, BddRef hi);
+  /// Insert r (known absent) into its level's subtable.
+  void insertUnique(BddRef r);
+  void growLevel(Level& lv, std::uint32_t var);
+
+  /// Internal ite recursion; public ite() additionally registers the
+  /// result as a root for sift()'s liveness marking.
+  [[nodiscard]] BddRef iteRec(BddRef f, BddRef g, BddRef h);
+
+  /// Remember r as externally held: every ref a public call returns is a
+  /// liveness root for sift(). Deduped via a stamp vector.
+  void noteRoot(BddRef r);
+
+  /// importFrom's two strategies (see importFrom).
+  [[nodiscard]] BddRef importStructural(const BddManager& src, BddRef f, std::vector<BddRef>& memo);
+  [[nodiscard]] BddRef importByIte(const BddManager& src, BddRef f, std::vector<BddRef>& memo);
+
+  /// The one shared bottom-up traversal (satellite of PR 7): append to
+  /// `out` every node reachable from `roots` (nonterminals only), children
+  /// strictly before parents, skipping subgraphs rooted at nodes for which
+  /// `done(r)` is true (their value is already cached). Used by
+  /// probabilityWide, probabilityApprox and sift()'s live marking.
+  /// Stamp-based visited marks, so no per-call O(arena) reset.
+  template <class Done>
+  void collectBottomUp(std::span<const BddRef> roots, Done done, std::vector<BddRef>& out);
+
+  /// Swap order positions i and i+1 in place. All refs keep their
+  /// functions; only nodes in the two levels' subtables are touched. May
+  /// create nodes at level i+1. Throws (before any mutation) on a node-cap
+  /// trip or an armed "bdd-sift" fault.
+  void swapLevels(std::uint32_t i);
 
   /// Variable index of a select, registering it at the end of the order on
   /// first sight.
@@ -172,14 +277,47 @@ class BddManager {
     return value ? n.hi : n.lo;
   }
 
-  std::vector<Node> nodes_;
-  std::unordered_map<std::uint64_t, std::vector<BddRef>> unique_;
-  std::unordered_map<IteKey, BddRef, IteKeyHash> computed_;
-  std::unordered_map<BddRef, Dyadic> probCache_;
-  std::unordered_map<BddRef, ApproxProbability> approxCache_;
+  /// Sum of live subtable entries (excludes terminals and dropped garbage).
+  [[nodiscard]] std::size_t tableSize() const;
+
+  std::vector<Node> nodes_;               // the arena; never shrinks except clear()
+  std::vector<Level> levels_;             // one unique subtable per order position
+  std::vector<IteEntry> computed_;        // direct-mapped, lossy
+  std::vector<Dyadic> probCache_;         // flat, ref-indexed
+  std::vector<ApproxProbability> approxCache_;  // flat, ref-indexed; error < 0 = empty
   std::unordered_map<NodeId, std::uint32_t> varOf_;
-  std::vector<NodeId> order_;  // var index -> select id
-  std::size_t nodeLimit_ = 0;  // 0 = unlimited
+  std::vector<NodeId> order_;             // var index -> select id
+
+  std::vector<BddRef> roots_;             // refs returned by public calls (deduped)
+  std::vector<std::uint8_t> isRoot_;      // ref-indexed dedup mask for roots_
+
+  std::vector<std::uint32_t> visitStamp_;  // collectBottomUp marks (stamped)
+  std::uint32_t visitTick_ = 0;
+
+  std::size_t computedMisses_ = 0;  // since the last computed_ resize
+
+  std::size_t nodeLimit_ = 0;   // 0 = unlimited
+  std::size_t watermark_ = 0;   // 0 = not yet armed from bddReorderWatermark()
+  std::size_t reorders_ = 0;
+  std::size_t reorderAborts_ = 0;
+  int pins_ = 0;
+  std::uint64_t epoch_ = 0;
+};
+
+/// RAII pin on a BddManager (see BddManager::pin).
+class BddPin {
+ public:
+  explicit BddPin(BddManager& m) : m_(&m) { m.pin(); }
+  ~BddPin() {
+    if (m_ != nullptr) m_->unpin();
+  }
+  BddPin(BddPin&& o) noexcept : m_(o.m_) { o.m_ = nullptr; }
+  BddPin(const BddPin&) = delete;
+  BddPin& operator=(const BddPin&) = delete;
+  BddPin& operator=(BddPin&&) = delete;
+
+ private:
+  BddManager* m_;
 };
 
 }  // namespace pmsched

@@ -508,16 +508,30 @@ std::vector<NodeId> dnfSupport(const GateDnf& dnf) {
   return support;
 }
 
+BddManager& dnfProbabilityManager() {
+  // Thread-local manager: hash-consing and the probability cache persist
+  // across queries, so a condition seen twice costs two hash lookups.
+  thread_local BddManager mgr;
+  return mgr;
+}
+
+bool trimDnfProbabilityManager(std::size_t cap) {
+  BddManager& mgr = dnfProbabilityManager();
+  if (mgr.nodeCount() <= cap) return false;
+  // Live pins mean someone (SharedGatingPass, the controller generator's
+  // degraded-path keys) still holds refs into this manager: defer the trim
+  // rather than invalidate them. The holder's unpin lets a later call clear.
+  if (mgr.pinned()) return false;
+  mgr.clear();
+  return true;
+}
+
 Rational dnfProbability(const GateDnf& dnf) {
   if (dnf.empty()) return Rational::zero();
   for (const GateTerm& term : dnf)
     if (term.empty()) return Rational::one();
-  // Thread-local manager: hash-consing and the probability cache persist
-  // across queries, so a condition seen twice costs two hash lookups. No
-  // refs are held between calls, so the manager may be cleared once its
-  // node table outgrows the cap.
-  thread_local BddManager mgr;
-  if (mgr.nodeCount() > (std::size_t{1} << 20)) mgr.clear();
+  BddManager& mgr = dnfProbabilityManager();
+  trimDnfProbabilityManager(std::size_t{1} << 20);
   return mgr.probability(mgr.fromDnf(dnf));
 }
 

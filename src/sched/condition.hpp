@@ -73,6 +73,22 @@ using GateDnf = std::vector<GateTerm>;
 /// tests compare the BDD engine against it.
 [[nodiscard]] Rational dnfProbabilityReference(const GateDnf& dnf, unsigned maxSupport = 24);
 
+class BddManager;
+
+/// The calling thread's DNF→probability manager — the instance
+/// dnfProbability runs on. Passes that want O(1) condition identity (the
+/// controller generator) or hold refs across queries (SharedGatingPass)
+/// build on this instance and pin it (BddManager::pin / BddPin) so the
+/// periodic trim below cannot invalidate their handles.
+[[nodiscard]] BddManager& dnfProbabilityManager();
+
+/// Clear the calling thread's manager once its arena exceeds `cap` nodes —
+/// unless pins are live, in which case the trim is deferred (held refs stay
+/// valid; BddManager::epoch() only advances on an actual clear). Returns
+/// true iff a clear happened. dnfProbability calls this with the production
+/// cap (2^20); tests call it with cap 0 to force the lifecycle.
+bool trimDnfProbabilityManager(std::size_t cap);
+
 /// All distinct select signals referenced by the DNF.
 [[nodiscard]] std::vector<NodeId> dnfSupport(const GateDnf& dnf);
 

@@ -4,6 +4,8 @@
 #include <optional>
 #include <unordered_map>
 
+#include "sched/bdd.hpp"
+#include "sched/condition.hpp"
 #include "sched/probe_farm.hpp"
 #include "sched/timeframe_oracle.hpp"
 #include "support/fault_injector.hpp"
@@ -170,16 +172,28 @@ class SharedGatingPass {
       evals.assign(end - idx, Eval{});
       memoLog_.clear();
       logging_ = true;
+      // Sub-waves: publish every ~lanes staged probes instead of ringing
+      // once at the end, so the lanes work on the early candidates' probes
+      // WHILE the consumer is still evaluating the later candidates' DNFs.
+      // Verdicts are still consumed strictly in j order below (and no
+      // commit happens during staging, so every job's captured version is
+      // unchanged) — the overlap moves wall-clock idle time, not results.
+      const std::size_t subWave = std::max<std::size_t>(farm.lanes(), 4);
+      std::size_t staged = 0;
       for (std::size_t j = idx; j < end; ++j) {
         Eval& e = evals[j - idx];
         evalCandidate(cands[j], e);
         e.logEnd = memoLog_.size();
-        // Stage as the edges become known; the single ring below hands the
-        // whole wave to the lanes in one cv round (see probe_farm.hpp).
-        if (e.probeworthy && !e.edges.empty()) e.ticket = farm.stage(e.edges, false);
+        if (e.probeworthy && !e.edges.empty()) {
+          e.ticket = farm.stage(e.edges, false);
+          if (++staged >= subWave) {
+            farm.ring();
+            staged = 0;
+          }
+        }
       }
       logging_ = false;
-      farm.ring();
+      farm.ring();  // tail sub-wave (no-op when nothing is pending)
 
       std::size_t nextIdx = end;
       for (std::size_t j = idx; j < end; ++j) {
@@ -345,6 +359,12 @@ class SharedGatingPass {
   /// Wave-evaluation memo write log for rollback (table tag, node).
   std::vector<std::pair<char, NodeId>> memoLog_;
   bool logging_ = false;
+  /// Pipeline callers interleave this pass with code holding refs into the
+  /// thread's DNF→probability manager (controller condition-class keys,
+  /// mapper decode-memo keys). Pin it for the pass's lifetime so any
+  /// dnfProbability call made while the sweep runs cannot trim the manager
+  /// and invalidate those refs mid-pipeline (see trimDnfProbabilityManager).
+  BddPin probabilityPin_{dnfProbabilityManager()};
 };
 
 // ---------------------------------------------------------------------------

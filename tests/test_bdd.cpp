@@ -6,10 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <random>
 
 #include "sched/bdd.hpp"
 #include "sched/condition.hpp"
+#include "support/fault_injector.hpp"
 
 namespace pmsched {
 namespace {
@@ -280,6 +282,183 @@ TEST(Bdd, ImportFromMergesPartitionsCanonically) {
   EXPECT_EQ(mergedA.back(), mergedB.back());
   // And importing something the merge manager already built is a no-op ref.
   EXPECT_EQ(merged.fromDnf(dnfsA.back()), mergedA.back());
+}
+
+TEST(BddSift, PreservesRefsCanonicityAndExactProbability) {
+  // In-place sifting must keep every handed-out ref denoting the same
+  // function: exact probabilities are bit-identical, supports unchanged,
+  // and re-converting a DNF reaches the SAME ref (canonicity survives the
+  // new order).
+  std::mt19937_64 rng(777);
+  BddManager mgr;
+  std::vector<GateDnf> dnfs;
+  std::vector<BddRef> refs;
+  std::vector<Rational> probs;
+  for (int round = 0; round < 120; ++round) {
+    dnfs.push_back(randomDnf(rng, 10, 1 + round % 12, 1 + round % 6));
+    refs.push_back(mgr.fromDnf(dnfs.back()));
+    probs.push_back(mgr.probability(refs.back()));
+  }
+  std::vector<std::vector<NodeId>> supports;
+  for (const BddRef r : refs) supports.push_back(mgr.support(r));
+
+  mgr.sift();
+  EXPECT_GE(mgr.reorderCount(), 1u);
+  for (std::size_t i = 0; i < dnfs.size(); ++i) {
+    EXPECT_EQ(mgr.probability(refs[i]), probs[i]) << "dnf " << i;
+    EXPECT_EQ(mgr.support(refs[i]), supports[i]) << "dnf " << i;
+    EXPECT_EQ(mgr.fromDnf(dnfs[i]), refs[i]) << "dnf " << i;
+  }
+
+  // A second pass (now from the sifted order) is equally harmless.
+  mgr.sift();
+  for (std::size_t i = 0; i < dnfs.size(); ++i)
+    EXPECT_EQ(mgr.probability(refs[i]), probs[i]) << "dnf " << i;
+}
+
+namespace {
+/// Restore the process-wide reorder knobs whatever a test does.
+struct ReorderKnobsGuard {
+  ~ReorderKnobsGuard() {
+    setBddReorderMode(BddReorderMode::Auto);
+    setBddReorderWatermark(0);
+  }
+};
+}  // namespace
+
+TEST(BddSift, WatermarkTriggersAutoReorderAndOffDisablesIt) {
+  ReorderKnobsGuard guard;
+  std::mt19937_64 rng(31337);
+
+  setBddReorderWatermark(64);
+  {
+    BddManager mgr;
+    for (int round = 0; round < 40; ++round) (void)mgr.fromDnf(randomDnf(rng, 10, 6, 4));
+    EXPECT_GE(mgr.reorderCount(), 1u) << "watermark of 64 nodes never tripped";
+  }
+
+  setBddReorderMode(BddReorderMode::Off);
+  {
+    BddManager mgr;
+    for (int round = 0; round < 40; ++round) (void)mgr.fromDnf(randomDnf(rng, 10, 6, 4));
+    EXPECT_EQ(mgr.reorderCount(), 0u) << "Off must suppress the auto trigger";
+  }
+}
+
+TEST(BddSift, MidSiftFaultDegradesCleanly) {
+  // An armed "bdd-sift" fault fires at a swap boundary BEFORE any
+  // mutation: the pass aborts, the manager stays canonical, and every
+  // outstanding ref still answers exactly.
+  std::mt19937_64 rng(555);
+  BddManager mgr;
+  std::vector<GateDnf> dnfs;
+  std::vector<BddRef> refs;
+  std::vector<Rational> probs;
+  for (int round = 0; round < 60; ++round) {
+    dnfs.push_back(randomDnf(rng, 10, 1 + round % 10, 1 + round % 5));
+    refs.push_back(mgr.fromDnf(dnfs.back()));
+    probs.push_back(mgr.probability(refs.back()));
+  }
+
+  fault::arm("bdd-sift:3");
+  EXPECT_NO_THROW(mgr.sift());
+  fault::arm("");
+  EXPECT_EQ(mgr.reorderAborts(), 1u);
+
+  for (std::size_t i = 0; i < dnfs.size(); ++i) {
+    EXPECT_EQ(mgr.probability(refs[i]), probs[i]) << "dnf " << i;
+    EXPECT_EQ(mgr.fromDnf(dnfs[i]), refs[i]) << "dnf " << i;
+  }
+}
+
+TEST(BddSift, NodeCapTripAbortsBeforeMutation) {
+  // With the arena capped at its current size, the first swap that would
+  // create nodes throws BEFORE mutating; sift() swallows it and leaves a
+  // consistent manager behind.
+  std::mt19937_64 rng(8888);
+  BddManager mgr;
+  std::vector<GateDnf> dnfs;
+  std::vector<BddRef> refs;
+  std::vector<Rational> probs;
+  for (int round = 0; round < 60; ++round) {
+    dnfs.push_back(randomDnf(rng, 10, 1 + round % 10, 1 + round % 5));
+    refs.push_back(mgr.fromDnf(dnfs.back()));
+    probs.push_back(mgr.probability(refs.back()));
+  }
+  mgr.setNodeLimit(mgr.nodeCount());
+  EXPECT_NO_THROW(mgr.sift());
+  EXPECT_EQ(mgr.reorderAborts(), 1u);
+  mgr.setNodeLimit(0);
+  for (std::size_t i = 0; i < dnfs.size(); ++i) {
+    EXPECT_EQ(mgr.probability(refs[i]), probs[i]) << "dnf " << i;
+    EXPECT_EQ(mgr.fromDnf(dnfs[i]), refs[i]) << "dnf " << i;
+  }
+}
+
+TEST(Bdd, SharedTraversalApproxMatchesExactAndIsQueryOrderInvariant) {
+  // probability, probabilityApprox and sift()'s live marking share one
+  // bottom-up traversal. The approx result must be independent of query
+  // order / cache warmth (same structure => same arithmetic), and its
+  // error bar must truly bound the distance to the exact value.
+  std::mt19937_64 rng(90210);
+  BddManager warm;
+  BddManager cold;
+  std::vector<GateDnf> dnfs;
+  for (int round = 0; round < 60; ++round) dnfs.push_back(randomDnf(rng, 10, 1 + round % 10, 1 + round % 5));
+
+  std::vector<BddManager::ApproxProbability> incremental;
+  for (const GateDnf& d : dnfs) incremental.push_back(warm.probabilityApprox(warm.fromDnf(d)));
+
+  std::vector<BddRef> coldRefs;
+  for (const GateDnf& d : dnfs) coldRefs.push_back(cold.fromDnf(d));
+  for (std::size_t i = dnfs.size(); i-- > 0;) {
+    const BddManager::ApproxProbability a = cold.probabilityApprox(coldRefs[i]);
+    EXPECT_EQ(a.value, incremental[i].value) << "dnf " << i;
+    EXPECT_EQ(a.error, incremental[i].error) << "dnf " << i;
+    const Rational exact = cold.probability(coldRefs[i]);
+    const double exactD = static_cast<double>(exact.num()) / static_cast<double>(exact.den());
+    EXPECT_LE(std::abs(a.value - exactD), a.error + 1e-15) << "dnf " << i;
+  }
+}
+
+TEST(Bdd, ImportFromComposesWithDifferentOrdersAndReordering) {
+  // The partitioned build pre-registers one shared order, but sifting may
+  // move either side afterwards. importFrom must stay correct (falling
+  // back to the ite-based transfer) and canonical in the destination.
+  std::mt19937_64 rng(64123);
+  const std::vector<NodeId> fwd{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<NodeId> rev{8, 7, 6, 5, 4, 3, 2, 1};
+
+  BddManager a;  // forward order
+  BddManager b;  // reversed order
+  BddManager dst;
+  a.registerVariables(fwd);
+  b.registerVariables(rev);
+  dst.registerVariables(fwd);
+
+  std::vector<GateDnf> dnfs;
+  for (int i = 0; i < 25; ++i) dnfs.push_back(randomDnf(rng, 8, 4, 3));
+
+  std::vector<BddRef> inA;
+  std::vector<BddRef> inB;
+  for (const GateDnf& d : dnfs) {
+    inA.push_back(a.fromDnf(d));
+    inB.push_back(b.fromDnf(d));
+  }
+  a.sift();  // scramble the source order on one side for good measure
+
+  std::vector<BddRef> memoA(a.nodeCount(), kBddInvalid);
+  std::vector<BddRef> memoB(b.nodeCount(), kBddInvalid);
+  for (std::size_t i = 0; i < dnfs.size(); ++i) {
+    const BddRef viaA = dst.importFrom(a, inA[i], memoA);
+    const BddRef viaB = dst.importFrom(b, inB[i], memoB);
+    // Same function arriving from two differently-ordered sources must
+    // land on ONE canonical destination ref, with the right semantics.
+    EXPECT_EQ(viaA, viaB) << "dnf " << i;
+    EXPECT_EQ(viaA, dst.fromDnf(dnfs[i])) << "dnf " << i;
+    EXPECT_EQ(dst.probability(viaA), a.probability(inA[i])) << "dnf " << i;
+    EXPECT_EQ(dst.support(viaA), b.support(inB[i])) << "dnf " << i;
+  }
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include <random>
 
+#include "sched/bdd.hpp"
 #include "sched/condition.hpp"
 
 namespace pmsched {
@@ -246,6 +247,46 @@ TEST(Condition, DnfEngineHandlesMatchFreeFunctions) {
     // Interning is idempotent and canonical: equal content, equal handle.
     ASSERT_EQ(eng.intern(sa), ia) << "round " << round;
   }
+}
+
+// Satellite regression (ISSUE 7): a pass holding BDD handles into the
+// thread-local probability manager must survive the manager's periodic
+// trim. Pins defer the clear; only an unpinned trim advances the epoch and
+// invalidates refs.
+TEST(Condition, PinnedManagerSurvivesForcedTrim) {
+  BddManager& mgr = dnfProbabilityManager();
+  mgr.clear();  // deterministic start regardless of earlier tests
+  const std::uint64_t epoch0 = mgr.epoch();
+
+  const GateDnf dnf{{lit(1, true), lit(2, false)}, {lit(3, true)}};
+  const Rational p = dnfProbability(dnf);
+
+  {
+    BddPin hold(mgr);
+    const BddRef ref = mgr.fromDnf(dnf);
+    // Forced trim (cap 0 = everything is over budget) must be deferred
+    // while the pin is live: same epoch, same ref, same probability.
+    EXPECT_FALSE(trimDnfProbabilityManager(0));
+    EXPECT_EQ(mgr.epoch(), epoch0);
+    EXPECT_EQ(mgr.fromDnf(dnf), ref);
+    EXPECT_EQ(mgr.probability(ref), p);
+
+    // A nested holder composes: still pinned after one of two releases.
+    {
+      BddPin second(mgr);
+      EXPECT_FALSE(trimDnfProbabilityManager(0));
+    }
+    EXPECT_FALSE(trimDnfProbabilityManager(0));
+    EXPECT_EQ(mgr.probability(ref), p);
+  }
+
+  // Last pin released: the deferred trim now lands and the epoch advances,
+  // telling holders their cached refs are stale.
+  EXPECT_TRUE(trimDnfProbabilityManager(0));
+  EXPECT_EQ(mgr.epoch(), epoch0 + 1);
+  EXPECT_EQ(mgr.nodeCount(), 2u);  // just the terminals
+  // And the rebuilt condition still answers identically.
+  EXPECT_EQ(dnfProbability(dnf), p);
 }
 
 TEST(Condition, ToStringReadable) {

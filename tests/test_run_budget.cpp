@@ -202,10 +202,15 @@ TEST(RunBudget, DeadlineBoundsTheOptimalSearch) {
 TEST(FaultInjector, SiteListIsStable) {
   KnobGuard guard;
   const auto sites = fault::sites();
-  ASSERT_EQ(sites.size(), 7u);
+  ASSERT_EQ(sites.size(), 8u);
   bool foundParse = false;
-  for (const auto site : sites) foundParse |= (site == "parse-stmt");
+  bool foundSift = false;
+  for (const auto site : sites) {
+    foundParse |= (site == "parse-stmt");
+    foundSift |= (site == "bdd-sift");
+  }
   EXPECT_TRUE(foundParse);
+  EXPECT_TRUE(foundSift);
 }
 
 TEST(FaultInjector, ArmedSiteFiresOnNthHitWithTypedError) {

@@ -42,6 +42,31 @@ run_site() {
   rm -f "$stderr_file"
 }
 
+# bdd-sift is the one site with a DIFFERENT contract: a fault between the
+# atomic level swaps of a reordering pass must degrade cleanly — the sift
+# aborts at a canonical intermediate order, the run keeps going, and the
+# CLI exits 0 with its normal output. (BddSift.MidSiftFaultDegradesCleanly
+# pins the abort semantics; this entry pins "no crash, no exit 5" at the
+# CLI level.) The tiny watermark makes the reorder trigger on this input.
+run_site_clean() {
+  local site=$1
+  shift
+  local stderr_file
+  stderr_file=$(mktemp)
+  PMSCHED_FAULT="$site:1" PMSCHED_THREADS=2 PMSCHED_SPECULATE=force \
+    PMSCHED_BDD_REORDER_WATERMARK=8 \
+    "$pmsched" "$@" >/dev/null 2>"$stderr_file"
+  local got=$?
+  if [ "$got" -ne 0 ]; then
+    echo "FAIL $site: exit $got, want 0 (clean degradation)" >&2
+    sed 's/^/  stderr: /' "$stderr_file" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok   $site (clean degradation)"
+  fi
+  rm -f "$stderr_file"
+}
+
 # Consumer-side sites: a file input that exercises parse, per-mux gating,
 # shared gating, oracle commits, and the BDD/DNF engines.
 run_site parse-stmt "$corpus/shared.ok.cdfg" --steps 6
@@ -54,9 +79,10 @@ run_site gating-commit "$corpus/shared.ok.cdfg" --steps 6
 # rethrown on the consumer in candidate order.
 run_site farm-stage --random-dfg 16x6:2
 run_site farm-run --random-dfg 16x6:2
+run_site_clean bdd-sift --random-dfg 16x6:2
 
 if [ "$failures" -ne 0 ]; then
   echo "$failures fault-matrix failure(s)" >&2
   exit 1
 fi
-echo "fault matrix clean: all 7 sites produced a structured internal diagnostic"
+echo "fault matrix clean: 7 sites produced a structured internal diagnostic, bdd-sift degraded cleanly"

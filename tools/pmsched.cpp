@@ -24,6 +24,8 @@
 //   --dot FILE          Graphviz rendering of the transformed CDFG
 //   --save FILE         serialized CDFG (with control edges)
 //   --power-sim N       gate-level power comparison over N random vectors
+//   --bdd-reorder MODE  off | auto — dynamic BDD variable reordering
+//                       (sifting); beats PMSCHED_BDD_REORDER when given
 //   --calibration       measure (or read) the speculation calibration and
 //                       print it as a PMSCHED_CALIBRATION=... line, then
 //                       exit — export that line to pin auto-mode decisions
@@ -55,6 +57,7 @@
 #include "cdfg/textio.hpp"
 #include "lang/elaborate.hpp"
 #include "rtl/power_harness.hpp"
+#include "sched/bdd.hpp"
 #include "sched/list_scheduler.hpp"
 #include "sched/probe_farm.hpp"
 #include "sched/shared_gating.hpp"
@@ -92,6 +95,8 @@ struct Options {
   int steps = 0;
   int threads = 0;  ///< 0 = automatic (PMSCHED_THREADS / hardware)
   MuxOrdering ordering = MuxOrdering::OutputFirst;
+  BddReorderMode bddReorder = BddReorderMode::Auto;
+  bool bddReorderSet = false;  ///< only override the env default when given
   bool shared = true;
   bool optimal = false;
   bool calibration = false;
@@ -124,7 +129,7 @@ void printUsage(std::ostream& os) {
         "               [--optimal] [--threads N] [--report FILE] [--vhdl PREFIX]\n"
         "               [--dot FILE] [--save FILE] [--power-sim N]\n"
         "               [--budget-ms N] [--budget-probes N] [--budget-bdd-nodes N]\n"
-        "               [--budget-dnf-terms N] [--fail-degraded]\n"
+        "               [--budget-dnf-terms N] [--fail-degraded] [--bdd-reorder off|auto]\n"
         "       pmsched --random-dfg LxP[:SEED] [--steps N] [options]\n"
         "       pmsched --calibration [--threads N]\n";
 }
@@ -186,6 +191,12 @@ Options parseArgs(int argc, char** argv) {
       else if (mode == "input") opts.ordering = MuxOrdering::InputFirst;
       else if (mode == "savings") opts.ordering = MuxOrdering::BySavings;
       else throw UsageError("unknown ordering '" + mode + "'");
+    } else if (arg == "--bdd-reorder") {
+      const std::string mode = next("--bdd-reorder");
+      if (mode == "off") opts.bddReorder = BddReorderMode::Off;
+      else if (mode == "auto") opts.bddReorder = BddReorderMode::Auto;
+      else throw UsageError("unknown --bdd-reorder mode '" + mode + "' (off|auto)");
+      opts.bddReorderSet = true;
     } else if (arg == "--strict") opts.shared = false;
     else if (arg == "--optimal") opts.optimal = true;
     else if (arg == "--random-dfg") parseRandomDfg(next("--random-dfg"), opts);
@@ -255,6 +266,8 @@ int run(const Options& opts) {
   // first pool use; every downstream pass (greedy transform, shared
   // gating, exact search, activation analysis) picks it up from here.
   if (opts.threads > 0) setThreadCount(static_cast<std::size_t>(opts.threads));
+  // --bdd-reorder beats PMSCHED_BDD_REORDER; unset keeps the env default.
+  if (opts.bddReorderSet) setBddReorderMode(opts.bddReorder);
 
   RunBudget budgetStorage;
   const RunBudget* budget = nullptr;
