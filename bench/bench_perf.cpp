@@ -9,10 +9,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <random>
+#include <string>
+#include <vector>
 
 #include "alloc/binding.hpp"
+#include "cdfg/analysis.hpp"
+#include "cdfg/textio.hpp"
 #include "circuits/circuits.hpp"
 #include "ctrl/controller.hpp"
 #include "power/activation.hpp"
@@ -23,6 +29,8 @@
 #include "sched/probe_farm.hpp"
 #include "sched/shared_gating.hpp"
 #include "sched/timeframe_oracle.hpp"
+#include "server/server.hpp"
+#include "support/json.hpp"
 #include "support/random_dfg.hpp"
 #include "support/run_budget.hpp"
 #include "support/thread_pool.hpp"
@@ -343,6 +351,74 @@ void BM_Cordic_FullFlow(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Cordic_FullFlow);
+
+// ---- scheduling-as-a-service (src/server) ---------------------------------
+
+/// JSONL design frames over a rotating pool of graphs, 3 smalls to 1 large —
+/// the loadgen's default mix, minus the socket.
+std::vector<std::string> serverBenchFrames(int count) {
+  std::vector<std::string> frames;
+  frames.reserve(static_cast<std::size_t>(count));
+  for (int j = 0; j < count; ++j) {
+    const bool large = (j % 4) == 3;
+    const Graph g = large ? randomLayeredDfg(8, 6, 900 + static_cast<std::uint64_t>(j % 4))
+                          : randomLayeredDfg(3, 4, 100 + static_cast<std::uint64_t>(j % 4));
+    const int steps = criticalPathLength(g) + 4;
+    JsonWriter quotedGraph;
+    quotedGraph.value(saveGraphText(g));
+    frames.push_back(R"({"id":0,"op":"design","graph":)" + quotedGraph.str() +
+                     ",\"steps\":" + std::to_string(steps) + "}");
+  }
+  return frames;
+}
+
+// Warm multi-tenant throughput: one ServerCore, 2 workers, a 64-frame mixed
+// batch submitted and drained per iteration. After the first iteration every
+// request is cache-warm, so this tracks the serving overhead — framing,
+// admission, memo/cache lookups, response building — not the design compute.
+void BM_ServerThroughput(benchmark::State& state) {
+  ServerOptions opts;
+  opts.workers = 2;
+  opts.queueCapacity = 1024;
+  ServerCore core(opts);
+  const std::vector<std::string> frames = serverBenchFrames(64);
+  const ServerCore::ResponseSink sink = [](const std::string&) {};
+  for (auto _ : state) {
+    for (const std::string& f : frames) core.submitFrame(f, sink);
+    core.waitIdle();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(frames.size()));
+}
+BENCHMARK(BM_ServerThroughput)->UseRealTime();
+
+// Per-request wall latency through the queue on a warm cache, one request in
+// flight at a time; p50/p99 land in the counters. This is the server-side
+// floor under the loadgen's socket-measured tail latency.
+void BM_ServerTailLatency(benchmark::State& state) {
+  ServerOptions opts;
+  opts.workers = 1;
+  ServerCore core(opts);
+  const std::vector<std::string> frames = serverBenchFrames(16);
+  const ServerCore::ResponseSink sink = [](const std::string&) {};
+  for (const std::string& f : frames) core.submitFrame(f, sink);  // warm the cache
+  core.waitIdle();
+  std::vector<double> latenciesMs;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    core.submitFrame(frames[i++ % frames.size()], sink);
+    core.waitIdle();
+    latenciesMs.push_back(
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+  std::sort(latenciesMs.begin(), latenciesMs.end());
+  if (!latenciesMs.empty()) {
+    state.counters["p50_ms"] = latenciesMs[latenciesMs.size() / 2];
+    state.counters["p99_ms"] = latenciesMs[latenciesMs.size() * 99 / 100];
+  }
+}
+BENCHMARK(BM_ServerTailLatency)->UseRealTime();
 
 }  // namespace
 

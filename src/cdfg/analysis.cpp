@@ -1,7 +1,10 @@
 #include "cdfg/analysis.hpp"
 
 #include <algorithm>
+#include <queue>
 #include <sstream>
+#include <string_view>
+#include <utility>
 
 namespace pmsched {
 
@@ -102,5 +105,162 @@ std::string toDot(const Graph& g) {
   os << "}\n";
   return os.str();
 }
+
+// ---- canonical form --------------------------------------------------------
+
+namespace {
+
+/// splitmix64 finalizer: the avalanche step every signature goes through.
+constexpr std::uint64_t avalanche(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-sensitive combine (mix(a, b) != mix(b, a)).
+constexpr std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  return avalanche(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+}
+
+/// Structural base signature: everything about a node except its wiring.
+/// Names deliberately excluded — that is the whole point.
+std::uint64_t baseSignature(const Node& n) {
+  std::uint64_t h = avalanche(static_cast<std::uint64_t>(n.kind) + 1);
+  h = mix(h, static_cast<std::uint64_t>(n.width));
+  if (n.kind == OpKind::Const) h = mix(h, static_cast<std::uint64_t>(n.constValue) ^ 0x5c5cULL);
+  if (n.kind == OpKind::Wire) h = mix(h, static_cast<std::uint64_t>(n.shift) ^ 0xa3a3ULL);
+  return h;
+}
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+CanonicalForm canonicalizeGraph(const Graph& g) {
+  const std::size_t n = g.size();
+  const std::span<const NodeId> topo = g.topoOrderView();
+
+  // Pass 1 (up): fanin-cone signatures, operand order preserved, control
+  // predecessors folded in as a sorted (unordered) set.
+  std::vector<std::uint64_t> up(n, 0);
+  std::vector<std::uint64_t> scratch;
+  for (const NodeId id : topo) {
+    std::uint64_t h = baseSignature(g.node(id));
+    std::size_t slot = 0;
+    for (const NodeId p : g.fanins(id)) h = mix(h, mix(up[p], 0x10 + slot++));
+    scratch.clear();
+    for (const NodeId p : g.controlPredecessors(id)) scratch.push_back(up[p]);
+    std::sort(scratch.begin(), scratch.end());
+    for (const std::uint64_t v : scratch) h = mix(h, v ^ 0xc0117Ead5ULL);
+    up[id] = h;
+  }
+
+  // Pass 2 (down): consumer-context signatures in reverse topological
+  // order. A node's contribution to its operand records WHICH slot of which
+  // consumer it feeds, so sub(a, b) and sub(b, a) refine differently.
+  std::vector<std::uint64_t> down(n, 0);
+  std::vector<std::vector<std::uint64_t>> incoming(n);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId id = *it;
+    std::vector<std::uint64_t>& contrib = incoming[id];
+    std::sort(contrib.begin(), contrib.end());
+    std::uint64_t h = mix(up[id], 0xd0d0ULL);
+    for (const std::uint64_t v : contrib) h = mix(h, v);
+    down[id] = h;
+    std::size_t slot = 0;
+    for (const NodeId p : g.fanins(id)) incoming[p].push_back(mix(down[id], 0x20 + slot++));
+    for (const NodeId p : g.controlPredecessors(id))
+      incoming[p].push_back(mix(down[id], 0xc791ULL));
+  }
+
+  // Kahn traversal: ready nodes picked in ascending priority order. The
+  // static (up, down) signature alone can tie for nodes whose cones and
+  // contexts are locally isomorphic without the nodes being automorphic
+  // (e.g. two sub(input, input) nodes sharing one operand) — and a heap
+  // tie resolves by push order, which tracks insertion order. So the pop
+  // priority additionally folds in the CANONICAL INDICES of the node's
+  // predecessors: a node only becomes ready once every predecessor is
+  // assigned, those indices are pure pop-history (insertion-independent),
+  // and any two candidates with different operand tuples now separate
+  // deterministically. The pending heap never holds two entries for one
+  // node, so the loop runs exactly n times on any DAG.
+  std::vector<std::uint64_t> sig(n);
+  for (std::size_t i = 0; i < n; ++i) sig[i] = mix(up[i], down[i]);
+
+  std::vector<std::uint32_t> missing(n, 0);
+  for (NodeId id = 0; id < n; ++id) {
+    missing[id] = static_cast<std::uint32_t>(g.fanins(id).size() +
+                                             g.controlPredecessors(id).size());
+  }
+
+  CanonicalForm form;
+  form.order.reserve(n);
+  form.indexOf.assign(n, 0);
+
+  std::vector<std::uint32_t> ctrlIdx;
+  auto readyPriority = [&](NodeId id) {
+    std::uint64_t h = sig[id];
+    std::size_t slot = 0;
+    for (const NodeId p : g.fanins(id))
+      h = mix(h, mix(form.indexOf[p] + 1, 0x40 + slot++));
+    ctrlIdx.clear();
+    for (const NodeId p : g.controlPredecessors(id)) ctrlIdx.push_back(form.indexOf[p]);
+    std::sort(ctrlIdx.begin(), ctrlIdx.end());
+    for (const std::uint32_t v : ctrlIdx) h = mix(h, v ^ 0x51edeULL);
+    return h;
+  };
+
+  using Entry = std::pair<std::uint64_t, NodeId>;  // (priority, id)
+  auto later = [&](const Entry& a, const Entry& b) {
+    if (a.first != b.first) return a.first > b.first;
+    if (sig[a.second] != sig[b.second]) return sig[a.second] > sig[b.second];
+    return up[a.second] > up[b.second];
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(later)> ready(later);
+  for (NodeId id = 0; id < n; ++id)
+    if (missing[id] == 0) ready.push({readyPriority(id), id});
+
+  while (!ready.empty()) {
+    const NodeId id = ready.top().second;
+    ready.pop();
+    form.indexOf[id] = static_cast<std::uint32_t>(form.order.size());
+    form.order.push_back(id);
+    for (const NodeId s : g.fanoutCsr().row(id))
+      if (--missing[s] == 0) ready.push({readyPriority(s), s});
+    for (const NodeId s : g.controlSuccessors(id))
+      if (--missing[s] == 0) ready.push({readyPriority(s), s});
+  }
+
+  // Serialize in canonical order, operands/edges by canonical index. The
+  // text is the collision guard the cache compares on every hit.
+  std::ostringstream os;
+  os << "cform1 " << n << "\n";
+  std::vector<std::uint32_t> ctrl;
+  for (const NodeId id : form.order) {
+    const Node& node = g.node(id);
+    os << opName(node.kind) << " w" << node.width;
+    if (node.kind == OpKind::Const) os << " c" << node.constValue;
+    if (node.kind == OpKind::Wire) os << " s" << node.shift;
+    for (const NodeId p : node.operands) os << " " << form.indexOf[p];
+    ctrl.clear();
+    for (const NodeId p : g.controlPredecessors(id)) ctrl.push_back(form.indexOf[p]);
+    std::sort(ctrl.begin(), ctrl.end());
+    for (const std::uint32_t p : ctrl) os << " ^" << p;
+    os << "\n";
+  }
+  form.text = os.str();
+  form.hash = fnv1a(form.text);
+  return form;
+}
+
+std::uint64_t canonicalHash(const Graph& g) { return canonicalizeGraph(g).hash; }
 
 }  // namespace pmsched

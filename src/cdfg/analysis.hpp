@@ -56,4 +56,46 @@ struct OpStats {
 /// Graphviz DOT rendering (control edges dashed), for debugging/docs.
 [[nodiscard]] std::string toDot(const Graph& g);
 
+// ---------------------------------------------------------------------------
+// Canonical form — identity of a CDFG modulo node naming and insertion order.
+//
+// The server's design cache (src/server/design_cache.hpp) keys finished
+// results on this: two requests whose graphs differ only in node names (or
+// in the order producers-first statements were emitted) canonicalize to the
+// same text and hash, so the second request is served from the cache.
+//
+// Construction: two refinement passes assign every node a structural
+// signature — an "up" hash over its fanin cone (kind, width, constant
+// value / wire shift, ordered operand signatures, control predecessors) and
+// a "down" hash over its consumer context (which operand slot of which
+// consumer it feeds) — then a Kahn traversal over data + control edges picks
+// ready nodes in ascending priority order and assigns canonical indices.
+// The pop priority folds the already-assigned canonical indices of the
+// node's predecessors into its static signature: static signatures alone
+// can tie for locally-isomorphic but non-automorphic nodes (two
+// sub(input, input) nodes sharing an operand, say), and the predecessor
+// indices — pure pop history — separate any such pair whose operand tuples
+// differ, independent of insertion order. Residual exact ties require equal
+// signatures AND equal operand index tuples, i.e. nodes the refinement
+// cannot tell apart from either direction; either pop order serializes
+// identically for those. The cache never trusts the hash alone: entries
+// store the full canonical text and compare it on every hit, so a
+// coincidence costs a cache miss, never a wrong result.
+// ---------------------------------------------------------------------------
+
+struct CanonicalForm {
+  std::string text;    ///< name-free canonical serialization
+  std::uint64_t hash;  ///< 64-bit FNV-1a of `text`
+  std::vector<NodeId> order;           ///< canonical index -> original NodeId
+  std::vector<std::uint32_t> indexOf;  ///< original NodeId -> canonical index
+};
+
+/// Canonicalize `g` (data + control edges both participate).
+[[nodiscard]] CanonicalForm canonicalizeGraph(const Graph& g);
+
+/// Just the hash — equal for graphs that are isomorphic under node
+/// renaming / reordering, different (up to hash collision) for any
+/// structural edit. Cache keys must pair it with the full canonical text.
+[[nodiscard]] std::uint64_t canonicalHash(const Graph& g);
+
 }  // namespace pmsched

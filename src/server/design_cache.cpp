@@ -1,0 +1,176 @@
+#include "server/design_cache.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/fault_injector.hpp"
+
+namespace pmsched {
+
+namespace {
+
+// splitmix64 finalizer — same avalanche the canonicalizer uses; good enough
+// to fold the small option fields into the graph hash.
+std::uint64_t avalanche(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+DesignCache::DesignCache(std::size_t maxEntries) : maxEntries_(maxEntries) {}
+
+std::uint64_t DesignCache::keyHash(const CanonicalForm& form,
+                                   const DesignCacheOptions& options) {
+  std::uint64_t h = form.hash;
+  h = avalanche(h ^ static_cast<std::uint64_t>(options.steps));
+  h = avalanche(h ^ (static_cast<std::uint64_t>(options.ordering) << 8));
+  h = avalanche(h ^ (options.optimal ? 0x11ULL : 0x22ULL));
+  h = avalanche(h ^ (options.shared ? 0x44ULL : 0x88ULL));
+  return h;
+}
+
+std::optional<CachedDesign> DesignCache::lookup(const CanonicalForm& form,
+                                                const DesignCacheOptions& options) {
+  if (maxEntries_ == 0) return std::nullopt;
+  const std::uint64_t key = keyHash(form, options);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, end] = entries_.equal_range(key);
+  for (; it != end; ++it) {
+    Entry& e = it->second;
+    // Full-text comparison: the hash only routes here, it never decides.
+    if (e.options == options && e.canonicalText == form.text) {
+      ++stats_.hits;
+      lru_.splice(lru_.end(), lru_, e.lruIt);  // mark most-recently-used
+      return e.value;
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+std::optional<std::string> DesignCache::lookupExact(const std::string& key) {
+  if (maxEntries_ == 0) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = exact_.find(key);
+  if (it == exact_.end()) return std::nullopt;
+  ++stats_.hits;
+  ++stats_.exactHits;
+  exactLru_.splice(exactLru_.end(), exactLru_, it->second.lruIt);
+  return it->second.resultJson;
+}
+
+void DesignCache::insertExact(const std::string& key, const std::string& resultJson) {
+  if (maxEntries_ == 0) return;
+  try {
+    fault::point("cache-insert");
+  } catch (const FaultInjectedError&) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.insertFailures;
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (exact_.find(key) != exact_.end()) return;  // insert race — keep the first
+  exactLru_.push_back(key);
+  exact_.emplace(key, ExactEntry{resultJson, std::prev(exactLru_.end())});
+  while (exact_.size() > maxEntries_ && !exactLru_.empty()) {
+    exact_.erase(exactLru_.front());
+    exactLru_.pop_front();
+    ++stats_.evictions;
+  }
+}
+
+void DesignCache::insert(const CanonicalForm& form, const DesignCacheOptions& options,
+                         const DesignOutcome& outcome) {
+  if (maxEntries_ == 0) return;
+  if (outcome.summary.degraded) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.rejectedDegraded;
+    return;
+  }
+  try {
+    fault::point("cache-insert");
+  } catch (const FaultInjectedError&) {
+    // Clean degradation: the result is still served to the requester, it
+    // just isn't warmed. Nothing in the cache was touched yet.
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.insertFailures;
+    return;
+  }
+
+  Entry entry;
+  entry.canonicalText = form.text;
+  entry.options = options;
+  entry.value.summary = outcome.summary;
+  entry.value.ctrlEdges = encodeCtrlEdges(form, outcome.design.graph);
+
+  const std::uint64_t key = keyHash(form, options);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, end] = entries_.equal_range(key);
+  for (; it != end; ++it) {
+    if (it->second.options == options && it->second.canonicalText == form.text)
+      return;  // lost an insert race for the same design — keep the first
+  }
+  lru_.push_back(key);
+  entry.lruIt = std::prev(lru_.end());
+  entries_.emplace(key, std::move(entry));
+  ++stats_.inserts;
+
+  while (entries_.size() > maxEntries_ && !lru_.empty()) {
+    const std::uint64_t coldest = lru_.front();
+    auto [eit, eend] = entries_.equal_range(coldest);
+    for (; eit != eend; ++eit) {
+      if (eit->second.lruIt == lru_.begin()) {
+        entries_.erase(eit);
+        break;
+      }
+    }
+    lru_.pop_front();
+    ++stats_.evictions;
+  }
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> DesignCache::encodeCtrlEdges(
+    const CanonicalForm& form, const Graph& designGraph) {
+  // Walk exactly as saveGraphText does — source id ascending, per-source
+  // insertion order — so replaying this sequence reproduces the design
+  // text byte-for-byte.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (NodeId n = 0; n < designGraph.size(); ++n) {
+    for (NodeId succ : designGraph.controlSuccessors(n))
+      edges.emplace_back(form.indexOf[n], form.indexOf[succ]);
+  }
+  return edges;
+}
+
+Graph DesignCache::replayDesignGraph(const CachedDesign& hit, const CanonicalForm& form,
+                                     const Graph& requestGraph) {
+  Graph out = requestGraph;
+  // Requests may arrive with control edges already present (re-submitted
+  // designs); the cached sequence includes them, so skip duplicates while
+  // keeping the stored relative order for the new ones — addControlEdge
+  // appends, which lands each per-source list in the original order.
+  std::set<std::pair<NodeId, NodeId>> present;
+  for (NodeId n = 0; n < out.size(); ++n)
+    for (NodeId succ : out.controlSuccessors(n)) present.emplace(n, succ);
+  for (const auto& [fromIdx, toIdx] : hit.ctrlEdges) {
+    const NodeId from = form.order[fromIdx];
+    const NodeId to = form.order[toIdx];
+    if (present.emplace(from, to).second) out.addControlEdge(from, to);
+  }
+  return out;
+}
+
+DesignCacheStats DesignCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t DesignCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace pmsched

@@ -1,0 +1,227 @@
+#include "server/protocol.hpp"
+
+#include <limits>
+
+#include "server/service.hpp"
+#include "support/fault_injector.hpp"
+#include "support/json.hpp"
+
+namespace pmsched {
+
+const char* serverErrorCategoryName(ServerErrorCategory category) {
+  switch (category) {
+    case ServerErrorCategory::Protocol: return "protocol";
+    case ServerErrorCategory::Parse: return "parse";
+    case ServerErrorCategory::Usage: return "usage";
+    case ServerErrorCategory::Admission: return "admission";
+    case ServerErrorCategory::Infeasible: return "infeasible";
+    case ServerErrorCategory::Budget: return "budget";
+    case ServerErrorCategory::Internal: return "internal";
+  }
+  return "internal";
+}
+
+namespace {
+
+[[noreturn]] void protocolError(const std::string& message) {
+  throw ServerError(ServerErrorCategory::Protocol, message);
+}
+
+/// Serialize an id value for verbatim echo. Only numbers and strings are
+/// admissible ids — anything else is a protocol error.
+std::string serializeId(const JsonValue& id) {
+  if (id.isInteger()) return std::to_string(id.asInt());
+  if (id.isString()) {
+    JsonWriter w;
+    w.value(id.asString());
+    return w.str();
+  }
+  protocolError("'id' must be an integer or a string");
+}
+
+long long requireBudgetField(const JsonValue& v, const char* name) {
+  if (!v.isInteger() || v.asInt() <= 0)
+    throw ServerError(ServerErrorCategory::Usage,
+                      std::string("budget field '") + name + "' must be a positive integer");
+  return v.asInt();
+}
+
+bool requireBool(const JsonValue& v, const char* name) {
+  if (!v.isBool()) protocolError(std::string("field '") + name + "' must be a boolean");
+  return v.asBool();
+}
+
+void parseDesignFields(const JsonValue& root, DesignRequest& out) {
+  bool haveGraph = false;
+  bool haveSteps = false;
+  for (const auto& [key, value] : root.members()) {
+    if (key == "id" || key == "op" || key == "session") continue;  // shared fields
+    if (key == "graph") {
+      if (!value.isString()) protocolError("field 'graph' must be a string");
+      out.graphText = value.asString();
+      haveGraph = true;
+    } else if (key == "steps") {
+      if (!value.isInteger()) protocolError("field 'steps' must be an integer");
+      const long long steps = value.asInt();
+      if (steps <= 0 || steps > std::numeric_limits<int>::max())
+        throw ServerError(ServerErrorCategory::Usage,
+                          "'steps' must be a positive 32-bit integer");
+      out.steps = static_cast<int>(steps);
+      haveSteps = true;
+    } else if (key == "ordering") {
+      if (!value.isString()) protocolError("field 'ordering' must be a string");
+      const std::string& mode = value.asString();
+      if (mode == "output") out.ordering = MuxOrdering::OutputFirst;
+      else if (mode == "input") out.ordering = MuxOrdering::InputFirst;
+      else if (mode == "savings") out.ordering = MuxOrdering::BySavings;
+      else
+        throw ServerError(ServerErrorCategory::Usage, "unknown ordering '" + mode + "'");
+    } else if (key == "optimal") {
+      out.optimal = requireBool(value, "optimal");
+    } else if (key == "shared") {
+      out.shared = requireBool(value, "shared");
+    } else if (key == "cache") {
+      out.cache = requireBool(value, "cache");
+    } else if (key == "emit_design") {
+      out.emitDesign = requireBool(value, "emit_design");
+    } else if (key == "budget") {
+      if (!value.isObject()) protocolError("field 'budget' must be an object");
+      for (const auto& [bkey, bvalue] : value.members()) {
+        if (bkey == "ms") out.budgetMs = requireBudgetField(bvalue, "ms");
+        else if (bkey == "probes") out.budgetProbes = requireBudgetField(bvalue, "probes");
+        else if (bkey == "bdd_nodes")
+          out.budgetBddNodes = requireBudgetField(bvalue, "bdd_nodes");
+        else if (bkey == "dnf_terms")
+          out.budgetDnfTerms = requireBudgetField(bvalue, "dnf_terms");
+        else protocolError("unknown budget field '" + bkey + "'");
+      }
+    } else {
+      protocolError("unknown field '" + key + "'");
+    }
+  }
+  if (!haveGraph) protocolError("design request is missing 'graph'");
+  if (!haveSteps) protocolError("design request is missing 'steps'");
+}
+
+}  // namespace
+
+RequestFrame parseRequestFrame(std::string_view line, std::size_t maxFrameBytes) {
+  fault::point("serve-frame");
+  if (maxFrameBytes != 0 && line.size() > maxFrameBytes)
+    protocolError("frame of " + std::to_string(line.size()) + " bytes exceeds the " +
+                  std::to_string(maxFrameBytes) + "-byte limit");
+
+  JsonValue root = JsonValue::makeNull();
+  try {
+    root = parseJson(line);
+  } catch (const JsonParseError& e) {
+    protocolError(std::string("invalid JSON: ") + e.what());
+  }
+  if (!root.isObject()) protocolError("request frame must be a JSON object");
+
+  RequestFrame frame;
+  const JsonValue* id = root.find("id");
+  if (id == nullptr) protocolError("request frame is missing 'id'");
+  frame.idJson = serializeId(*id);
+
+  const JsonValue* op = root.find("op");
+  if (op == nullptr || !op->isString()) protocolError("request frame is missing 'op'");
+  const std::string& opName = op->asString();
+
+  if (const JsonValue* session = root.find("session")) {
+    if (!session->isString()) protocolError("field 'session' must be a string");
+    frame.session = session->asString();
+    if (frame.session.empty()) protocolError("field 'session' must be non-empty");
+  }
+
+  if (opName == "design") {
+    frame.op = RequestOp::Design;
+    parseDesignFields(root, frame.design);
+    return frame;
+  }
+
+  // Non-design ops accept only the shared fields.
+  for (const auto& [key, value] : root.members()) {
+    (void)value;
+    if (key != "id" && key != "op" && key != "session")
+      protocolError("unknown field '" + key + "' for op '" + opName + "'");
+  }
+  if (opName == "open_session") {
+    if (frame.session.empty()) protocolError("open_session requires 'session'");
+    frame.op = RequestOp::OpenSession;
+  } else if (opName == "close_session") {
+    if (frame.session.empty()) protocolError("close_session requires 'session'");
+    frame.op = RequestOp::CloseSession;
+  } else if (opName == "ping") {
+    frame.op = RequestOp::Ping;
+  } else if (opName == "stats") {
+    frame.op = RequestOp::Stats;
+  } else if (opName == "shutdown") {
+    frame.op = RequestOp::Shutdown;
+  } else {
+    protocolError("unknown op '" + opName + "'");
+  }
+  return frame;
+}
+
+std::string extractFrameId(std::string_view line) {
+  try {
+    const JsonValue root = parseJson(line);
+    if (!root.isObject()) return "null";
+    const JsonValue* id = root.find("id");
+    if (id == nullptr) return "null";
+    return serializeId(*id);
+  } catch (...) {
+    return "null";
+  }
+}
+
+std::string makeErrorResponse(const std::string& idJson, ServerErrorCategory category,
+                              const std::string& message) {
+  JsonWriter w;
+  w.beginObject()
+      .key("category")
+      .value(serverErrorCategoryName(category))
+      .key("message")
+      .value(message)
+      .endObject();
+  return "{\"id\":" + idJson + ",\"ok\":false,\"error\":" + w.str() + "}";
+}
+
+std::string makeResultResponse(const std::string& idJson, const std::string& resultJson) {
+  return "{\"id\":" + idJson + ",\"ok\":true,\"result\":" + resultJson + "}";
+}
+
+std::string makeDesignResponse(const std::string& idJson, const DesignSummary& summary,
+                               const std::string& designText, bool cacheHit) {
+  return makeResultResponse(idJson, makeDesignResultJson(summary, designText, cacheHit));
+}
+
+std::string makeDesignResultJson(const DesignSummary& summary,
+                                 const std::string& designText, bool cacheHit) {
+  JsonWriter w;
+  w.beginObject()
+      .key("ops")
+      .value(summary.ops)
+      .key("critical_path")
+      .value(summary.criticalPath)
+      .key("steps")
+      .value(summary.steps)
+      .key("managed")
+      .value(summary.managed)
+      .key("shared_gated")
+      .value(summary.sharedGated)
+      .key("units")
+      .value(summary.units)
+      .key("reduction_percent")
+      .value(summary.reductionPercent)
+      .key("degraded")
+      .value(summary.degraded);
+  if (summary.degraded) w.key("degrade_reason").value(summary.degradeReason);
+  w.key("cache_hit").value(cacheHit);
+  if (!designText.empty()) w.key("design").value(designText);
+  w.endObject();
+  return w.str();
+}
+
+}  // namespace pmsched

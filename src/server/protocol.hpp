@@ -1,0 +1,123 @@
+#pragma once
+// JSONL request framing for `pmsched --serve` (see docs/SERVER.md).
+//
+// One request per line: a single JSON object, UTF-8, terminated by '\n'.
+// Every response is likewise one line:
+//   {"id":<echoed>,"ok":true,"result":{...}}
+//   {"id":<echoed>,"ok":false,"error":{"category":"...","message":"..."}}
+//
+// Framing errors are TYPED, never fatal: a malformed line produces one
+// error response (category "protocol") and the connection keeps serving.
+// The corpus suite (tests/corpus/server, tools/run_server_corpus.sh) pins
+// that contract — truncated JSONL, oversized frames, duplicate sessions and
+// garbage UTF-8 must all yield structured errors, never a crash or hang.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "sched/power_transform.hpp"
+
+namespace pmsched {
+
+struct DesignSummary;
+
+/// Response error taxonomy. Mirrors the CLI exit-code families
+/// (docs/ROBUSTNESS.md): protocol ~ the frame itself, parse ~ the embedded
+/// graph text, usage ~ option values, admission ~ backpressure rejection,
+/// infeasible/budget/internal ~ the pipeline outcomes.
+enum class ServerErrorCategory {
+  Protocol,
+  Parse,
+  Usage,
+  Admission,
+  Infeasible,
+  Budget,
+  Internal,
+};
+
+[[nodiscard]] const char* serverErrorCategoryName(ServerErrorCategory category);
+
+/// A typed request failure; the router converts it into one error response.
+class ServerError : public std::runtime_error {
+ public:
+  ServerError(ServerErrorCategory category, const std::string& message)
+      : std::runtime_error(message), category_(category) {}
+
+  [[nodiscard]] ServerErrorCategory category() const { return category_; }
+
+ private:
+  ServerErrorCategory category_;
+};
+
+/// The "design" op payload — the JSONL spelling of the CLI's argument set.
+struct DesignRequest {
+  std::string graphText;   ///< CDFG text, as a JSON string ("graph")
+  int steps = 0;           ///< control-step budget ("steps", required > 0)
+  MuxOrdering ordering = MuxOrdering::OutputFirst;  ///< "output"|"input"|"savings"
+  bool optimal = false;    ///< exact DFS ("optimal")
+  bool shared = true;      ///< shared-gating extension ("shared")
+  bool cache = true;       ///< allow canonical-cache lookup/insert ("cache")
+  bool emitDesign = true;  ///< include the design graph text in the result
+
+  // Per-request run budget ("budget": {"ms","probes","bdd_nodes","dnf_terms"}).
+  long long budgetMs = 0;
+  long long budgetProbes = 0;
+  long long budgetBddNodes = 0;
+  long long budgetDnfTerms = 0;
+
+  [[nodiscard]] bool hasBudget() const {
+    return budgetMs > 0 || budgetProbes > 0 || budgetBddNodes > 0 || budgetDnfTerms > 0;
+  }
+};
+
+enum class RequestOp { Design, OpenSession, CloseSession, Ping, Stats, Shutdown };
+
+/// One decoded request line.
+struct RequestFrame {
+  std::string idJson = "null";  ///< serialized "id" (number or string), echoed back
+  RequestOp op = RequestOp::Ping;
+  std::string session;  ///< "session" — open/close target or design affinity
+  DesignRequest design;  ///< populated when op == Design
+};
+
+/// Decode one line. Throws ServerError (category protocol/usage) on any
+/// malformed input: invalid JSON, non-object top level, unknown op or field,
+/// wrong field types, out-of-range values, frames over `maxFrameBytes`.
+/// Fires the "serve-frame" fault point before parsing.
+[[nodiscard]] RequestFrame parseRequestFrame(std::string_view line,
+                                             std::size_t maxFrameBytes);
+
+/// Best-effort id recovery from a line that failed parseRequestFrame(), so
+/// the error response still echoes the caller's id when one is readable.
+/// Returns "null" when the line is too broken to tell.
+[[nodiscard]] std::string extractFrameId(std::string_view line);
+
+// ---- response builders (single lines, no trailing '\n') -------------------
+
+[[nodiscard]] std::string makeErrorResponse(const std::string& idJson,
+                                            ServerErrorCategory category,
+                                            const std::string& message);
+
+/// `resultJson` must be a complete JSON value (typically an object built
+/// with JsonWriter); it is embedded verbatim.
+[[nodiscard]] std::string makeResultResponse(const std::string& idJson,
+                                             const std::string& resultJson);
+
+/// The "design" success payload: summary numbers plus (optionally) the
+/// finished design graph text — exactly what the one-shot CLI would print
+/// and save for the same request.
+[[nodiscard]] std::string makeDesignResponse(const std::string& idJson,
+                                             const DesignSummary& summary,
+                                             const std::string& designText,
+                                             bool cacheHit);
+
+/// Just the result object of a design response (no id envelope) — what the
+/// exact-request memo stores, so a memo hit is re-enveloped under the new
+/// request's id without rebuilding the payload.
+[[nodiscard]] std::string makeDesignResultJson(const DesignSummary& summary,
+                                               const std::string& designText,
+                                               bool cacheHit);
+
+}  // namespace pmsched

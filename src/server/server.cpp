@@ -1,0 +1,416 @@
+#include "server/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "cdfg/textio.hpp"
+#include "sched/condition.hpp"
+#include "support/fault_injector.hpp"
+#include "support/json.hpp"
+#include "support/run_budget.hpp"
+#include "support/thread_pool.hpp"
+
+namespace pmsched {
+
+namespace {
+
+/// How many consecutive small requests may jump the line while a large one
+/// waits; keeps small-request latency low without starving large tenants.
+constexpr std::size_t kSmallBurst = 4;
+
+}  // namespace
+
+ServerCore::ServerCore(ServerOptions options)
+    : options_(options), cache_(options.cacheEntries) {
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+ServerCore::~ServerCore() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  queueCv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool ServerCore::submitFrame(const std::string& line, ResponseSink sink) {
+  RequestFrame frame;
+  try {
+    frame = parseRequestFrame(line, options_.maxFrameBytes);
+  } catch (const ServerError& e) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.protocolErrors;
+    }
+    sink(makeErrorResponse(extractFrameId(line), e.category(), e.what()));
+    return !shutdownRequested();
+  } catch (const FaultInjectedError& e) {
+    // "serve-frame" clean degradation: this frame is lost, the connection
+    // keeps serving and the process still exits 0 at EOF.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.protocolErrors;
+    }
+    sink(makeErrorResponse(extractFrameId(line), ServerErrorCategory::Internal, e.what()));
+    return !shutdownRequested();
+  }
+
+  switch (frame.op) {
+    case RequestOp::Design:
+      handleDesign(std::move(frame), sink);
+      return !shutdownRequested();
+
+    case RequestOp::Ping: {
+      JsonWriter w;
+      w.beginObject().key("pong").value(true).endObject();
+      sink(makeResultResponse(frame.idJson, w.str()));
+      return !shutdownRequested();
+    }
+
+    case RequestOp::OpenSession: {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (sessions_.count(frame.session) != 0) {
+        lock.unlock();
+        sink(makeErrorResponse(frame.idJson, ServerErrorCategory::Protocol,
+                               "session '" + frame.session + "' is already open"));
+        return !shutdownRequested();
+      }
+      sessions_.emplace(frame.session, 0);
+      ++stats_.sessionsOpened;
+      stats_.sessionsPeak = std::max<std::uint64_t>(stats_.sessionsPeak, sessions_.size());
+      lock.unlock();
+      JsonWriter w;
+      w.beginObject().key("session").value(frame.session).key("open").value(true).endObject();
+      sink(makeResultResponse(frame.idJson, w.str()));
+      return !shutdownRequested();
+    }
+
+    case RequestOp::CloseSession: {
+      std::unique_lock<std::mutex> lock(mutex_);
+      auto it = sessions_.find(frame.session);
+      if (it == sessions_.end()) {
+        lock.unlock();
+        sink(makeErrorResponse(frame.idJson, ServerErrorCategory::Protocol,
+                               "session '" + frame.session + "' is not open"));
+        return !shutdownRequested();
+      }
+      const std::uint64_t served = it->second;
+      sessions_.erase(it);
+      ++stats_.sessionsClosed;
+      lock.unlock();
+      JsonWriter w;
+      w.beginObject()
+          .key("session")
+          .value(frame.session)
+          .key("closed")
+          .value(true)
+          .key("requests")
+          .value(static_cast<std::int64_t>(served))
+          .endObject();
+      sink(makeResultResponse(frame.idJson, w.str()));
+      return !shutdownRequested();
+    }
+
+    case RequestOp::Stats: {
+      const ServerStats s = statsSnapshot();
+      JsonWriter w;
+      w.beginObject()
+          .key("accepted").value(static_cast<std::int64_t>(s.accepted))
+          .key("completed").value(static_cast<std::int64_t>(s.completed))
+          .key("rejected_admission").value(static_cast<std::int64_t>(s.rejectedAdmission))
+          .key("protocol_errors").value(static_cast<std::int64_t>(s.protocolErrors))
+          .key("sessions").beginObject()
+              .key("opened").value(static_cast<std::int64_t>(s.sessionsOpened))
+              .key("closed").value(static_cast<std::int64_t>(s.sessionsClosed))
+              .key("open").value(static_cast<std::int64_t>(s.sessionsOpen))
+              .key("peak").value(static_cast<std::int64_t>(s.sessionsPeak))
+          .endObject()
+          .key("queue").beginObject()
+              .key("small").value(static_cast<std::int64_t>(s.queuedSmall))
+              .key("large").value(static_cast<std::int64_t>(s.queuedLarge))
+          .endObject()
+          .key("cache").beginObject()
+              .key("hits").value(static_cast<std::int64_t>(s.cache.hits))
+              .key("exact_hits").value(static_cast<std::int64_t>(s.cache.exactHits))
+              .key("misses").value(static_cast<std::int64_t>(s.cache.misses))
+              .key("inserts").value(static_cast<std::int64_t>(s.cache.inserts))
+              .key("evictions").value(static_cast<std::int64_t>(s.cache.evictions))
+              .key("rejected_degraded").value(static_cast<std::int64_t>(s.cache.rejectedDegraded))
+              .key("insert_failures").value(static_cast<std::int64_t>(s.cache.insertFailures))
+          .endObject()
+          .endObject();
+      sink(makeResultResponse(frame.idJson, w.str()));
+      return !shutdownRequested();
+    }
+
+    case RequestOp::Shutdown: {
+      std::size_t leaked = 0;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+        leaked = sessions_.size();
+      }
+      queueCv_.notify_all();
+      JsonWriter w;
+      w.beginObject()
+          .key("stopped")
+          .value(true)
+          .key("leaked_sessions")
+          .value(static_cast<std::int64_t>(leaked))
+          .endObject();
+      sink(makeResultResponse(frame.idJson, w.str()));
+      return false;
+    }
+  }
+  return !shutdownRequested();
+}
+
+void ServerCore::handleDesign(RequestFrame&& frame, ResponseSink& sink) {
+  try {
+    fault::point("serve-accept");
+  } catch (const FaultInjectedError& e) {
+    // Clean degradation: this request is rejected as if the queue were
+    // full; the server keeps serving.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.rejectedAdmission;
+    }
+    sink(makeErrorResponse(frame.idJson, ServerErrorCategory::Admission, e.what()));
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (shutdown_) {
+    lock.unlock();
+    sink(makeErrorResponse(frame.idJson, ServerErrorCategory::Admission,
+                           "server is shutting down"));
+    return;
+  }
+  if (!frame.session.empty()) {
+    auto it = sessions_.find(frame.session);
+    if (it == sessions_.end()) {
+      lock.unlock();
+      sink(makeErrorResponse(frame.idJson, ServerErrorCategory::Protocol,
+                             "session '" + frame.session + "' is not open"));
+      return;
+    }
+    ++it->second;
+  }
+  const std::size_t pending = smallQueue_.size() + largeQueue_.size();
+  if (pending >= options_.queueCapacity) {
+    ++stats_.rejectedAdmission;
+    lock.unlock();
+    sink(makeErrorResponse(frame.idJson, ServerErrorCategory::Admission,
+                           "design queue is full (" + std::to_string(pending) +
+                               " pending)"));
+    return;
+  }
+  Job job;
+  job.idJson = std::move(frame.idJson);
+  job.session = std::move(frame.session);
+  job.design = std::move(frame.design);
+  job.sink = std::move(sink);
+  const bool small = job.design.graphText.size() <= options_.smallRequestBytes;
+  (small ? smallQueue_ : largeQueue_).push_back(std::move(job));
+  ++stats_.accepted;
+  ++inFlight_;
+  lock.unlock();
+  queueCv_.notify_one();
+}
+
+bool ServerCore::popJob(Job& out, bool wait) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const bool haveSmall = !smallQueue_.empty();
+    const bool haveLarge = !largeQueue_.empty();
+    if (haveSmall || haveLarge) {
+      // Small-first, but once kSmallBurst smalls have jumped a waiting
+      // large request, the large one goes next.
+      const bool takeLarge = haveLarge && (!haveSmall || smallStreak_ >= kSmallBurst);
+      if (takeLarge) {
+        out = std::move(largeQueue_.front());
+        largeQueue_.pop_front();
+        smallStreak_ = 0;
+      } else {
+        out = std::move(smallQueue_.front());
+        smallQueue_.pop_front();
+        smallStreak_ = haveLarge ? smallStreak_ + 1 : 0;
+      }
+      return true;
+    }
+    if (!wait || shutdown_) return false;
+    queueCv_.wait(lock);
+  }
+}
+
+void ServerCore::workerLoop() {
+  // Private lanes for this worker: the whole pipeline below resolves
+  // globalThreadPool() to this pool, so concurrent requests never contend
+  // for the single-coordinator process pool.
+  ScopedComputePool scope(options_.threadsPerWorker);
+  Job job;
+  while (popJob(job, /*wait=*/true)) {
+    processJob(job);
+    // Bound warm state between tenants: pinned nodes survive, the epoch
+    // advances, and the next request re-warms only what it touches.
+    trimDnfProbabilityManager(options_.warmDnfCap);
+    finishJob();
+  }
+}
+
+bool ServerCore::drainOne() {
+  Job job;
+  if (!popJob(job, /*wait=*/false)) return false;
+  processJob(job);
+  trimDnfProbabilityManager(options_.warmDnfCap);
+  finishJob();
+  return true;
+}
+
+namespace {
+
+/// Raw-bytes key for the exact-request memo: every field that steers the
+/// response payload, then the graph text verbatim. Computed BEFORE any
+/// parsing, so a memo hit costs one hash + one compare of the request.
+std::string exactRequestKey(const DesignRequest& d) {
+  std::string key;
+  key.reserve(d.graphText.size() + 32);
+  key += std::to_string(d.steps);
+  key += '|';
+  key += std::to_string(static_cast<int>(d.ordering));
+  key += '|';
+  key += d.optimal ? '1' : '0';
+  key += d.shared ? '1' : '0';
+  key += d.emitDesign ? '1' : '0';
+  key += '|';
+  key += d.graphText;
+  return key;
+}
+
+}  // namespace
+
+void ServerCore::processJob(Job& job) {
+  try {
+    // Budgeted runs are wall-clock-dependent, so they neither consult nor
+    // feed the cache — a replay could disagree with a live run.
+    const bool cacheable =
+        job.design.cache && !job.design.hasBudget() && options_.cacheEntries != 0;
+
+    // Level 1: byte-identical repeat of an earlier request — answer from
+    // the memo without touching the graph at all.
+    std::string exactKey;
+    if (cacheable) {
+      exactKey = exactRequestKey(job.design);
+      if (auto memo = cache_.lookupExact(exactKey)) {
+        job.sink(makeResultResponse(job.idJson, *memo));
+        return;
+      }
+    }
+
+    DesignJob dj;
+    dj.graph = loadGraphText(job.design.graphText);
+    dj.steps = job.design.steps;
+    dj.ordering = job.design.ordering;
+    dj.optimal = job.design.optimal;
+    dj.shared = job.design.shared;
+
+    const DesignCacheOptions copts{dj.steps, dj.ordering, dj.optimal, dj.shared};
+
+    // Level 2: canonical-form cache — renamed / reordered isomorphs of a
+    // warm design land here.
+    CanonicalForm form;
+    if (cacheable) {
+      form = canonicalizeGraph(dj.graph);
+      if (auto hit = cache_.lookup(form, copts)) {
+        // Summary-only requests skip the replay entirely: the stored
+        // summary answers them, no clone or serialization needed.
+        std::string text;
+        if (job.design.emitDesign) {
+          const Graph designGraph =
+              DesignCache::replayDesignGraph(*hit, form, dj.graph);
+          text = saveGraphText(designGraph);
+        }
+        const std::string resultJson =
+            makeDesignResultJson(hit->summary, text, /*cacheHit=*/true);
+        job.sink(makeResultResponse(job.idJson, resultJson));
+        cache_.insertExact(exactKey, resultJson);
+        return;
+      }
+    }
+
+    RunBudget budgetStorage;
+    const RunBudget* budget = nullptr;
+    if (job.design.hasBudget()) {
+      if (job.design.budgetMs > 0)
+        budgetStorage.setDeadline(std::chrono::milliseconds(job.design.budgetMs));
+      if (job.design.budgetProbes > 0)
+        budgetStorage.setProbeCap(static_cast<std::uint64_t>(job.design.budgetProbes));
+      if (job.design.budgetBddNodes > 0)
+        budgetStorage.setBddNodeCap(static_cast<std::size_t>(job.design.budgetBddNodes));
+      if (job.design.budgetDnfTerms > 0)
+        budgetStorage.setDnfTermCap(static_cast<std::size_t>(job.design.budgetDnfTerms));
+      budget = &budgetStorage;
+    }
+
+    const DesignOutcome outcome = runDesignJob(dj, budget);
+    if (cacheable) cache_.insert(form, copts, outcome);
+    const std::string text =
+        job.design.emitDesign ? saveGraphText(outcome.design.graph) : std::string();
+    job.sink(makeDesignResponse(job.idJson, outcome.summary, text, /*cacheHit=*/false));
+    // Memoize under the raw request too (the stored variant reads
+    // cache_hit:true, which is what a future memo hit is). Degraded
+    // results are wall-clock-dependent and never memoized.
+    if (cacheable && !outcome.summary.degraded)
+      cache_.insertExact(exactKey,
+                         makeDesignResultJson(outcome.summary, text, /*cacheHit=*/true));
+  } catch (const ServerError& e) {
+    job.sink(makeErrorResponse(job.idJson, e.category(), e.what()));
+  } catch (const ParseError& e) {
+    job.sink(makeErrorResponse(job.idJson, ServerErrorCategory::Parse, e.what()));
+  } catch (const InfeasibleError& e) {
+    job.sink(makeErrorResponse(job.idJson, ServerErrorCategory::Infeasible, e.what()));
+  } catch (const BudgetExceededError& e) {
+    job.sink(makeErrorResponse(job.idJson, ServerErrorCategory::Budget, e.what()));
+  } catch (const std::exception& e) {
+    job.sink(makeErrorResponse(job.idJson, ServerErrorCategory::Internal, e.what()));
+  }
+}
+
+void ServerCore::finishJob() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.completed;
+    --inFlight_;
+  }
+  idleCv_.notify_all();
+}
+
+void ServerCore::waitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idleCv_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+bool ServerCore::shutdownRequested() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shutdown_;
+}
+
+ServerStats ServerCore::statsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServerStats s = stats_;
+  s.sessionsOpen = sessions_.size();
+  s.queuedSmall = smallQueue_.size();
+  s.queuedLarge = largeQueue_.size();
+  s.cache = cache_.stats();
+  return s;
+}
+
+std::size_t ServerCore::openSessions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+}  // namespace pmsched

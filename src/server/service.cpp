@@ -1,0 +1,54 @@
+#include "server/service.hpp"
+
+#include "cdfg/analysis.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/shared_gating.hpp"
+#include "support/run_budget.hpp"
+#include "support/strings.hpp"
+
+namespace pmsched {
+
+DesignOutcome runDesignJob(const DesignJob& job, const RunBudget* budget) {
+  DesignOutcome out;
+  out.design = job.optimal
+                   ? applyPowerManagementOptimal(job.graph, job.steps, 24, budget)
+                   : applyPowerManagement(job.graph, job.steps, job.ordering,
+                                          LatencyModel::unit(), budget);
+  if (job.shared) out.sharedGated = applySharedGating(out.design, budget);
+
+  out.units = minimizeResources(out.design.graph, job.steps);
+  const ListScheduleResult scheduled = listSchedule(out.design.graph, job.steps, out.units);
+  if (!scheduled.schedule) throw InfeasibleError(scheduled.message);
+  out.schedule = *scheduled.schedule;
+  out.binding = bindDesign(out.design.graph, out.schedule);
+  out.activation = analyzeActivation(out.design, budget);
+  out.controller = synthesizeController(out.design, out.schedule, out.binding, out.activation);
+
+  DesignSummary& s = out.summary;
+  s.ops = countOps(job.graph).totalUnits();
+  s.criticalPath = criticalPathLength(job.graph);
+  s.steps = job.steps;
+  s.managed = out.design.managedCount();
+  s.sharedGated = out.sharedGated;
+  s.units = out.units.toString();
+  s.reductionPercent = fixed(out.activation.reductionPercent(OpPowerModel::paperWeights()), 2);
+
+  // One stable degradation verdict, mirroring the CLI's summary line: the
+  // budget's first-trip kind wins, then the first logged event, then the
+  // transform's own reason.
+  s.degraded = out.design.degraded || out.activation.degraded ||
+               (budget != nullptr && budget->degraded());
+  if (s.degraded) {
+    if (budget != nullptr && budget->exhaustedWhy())
+      s.degradeReason = budgetKindName(*budget->exhaustedWhy());
+    else if (budget != nullptr && !budget->events().empty())
+      s.degradeReason = budgetKindName(budget->events().front().kind);
+    else if (!out.design.degradeReason.empty())
+      s.degradeReason = out.design.degradeReason;
+    else
+      s.degradeReason = "stage-local limit";
+  }
+  return out;
+}
+
+}  // namespace pmsched

@@ -1,0 +1,71 @@
+#pragma once
+// The design service: one synthesis request -> one finished design.
+//
+// This is the compute core both front ends share. The CLI (tools/pmsched.cpp)
+// resolves its arguments into a DesignJob and prints the outcome; the server
+// (src/server/server.hpp) decodes a JSONL frame into the same DesignJob and
+// serializes the outcome back. Because both run EXACTLY this function, a
+// server response is bit-identical to the equivalent one-shot CLI run — the
+// differential suite (tests/test_server.cpp, the CI serve-smoke job) pins
+// that equivalence at 1/2/8 threads.
+
+#include <string>
+
+#include "alloc/binding.hpp"
+#include "ctrl/controller.hpp"
+#include "power/activation.hpp"
+#include "sched/power_transform.hpp"
+#include "sched/resources.hpp"
+#include "sched/schedule.hpp"
+
+namespace pmsched {
+
+class RunBudget;
+
+/// One fully-resolved synthesis request.
+struct DesignJob {
+  Graph graph;
+  int steps = 0;
+  MuxOrdering ordering = MuxOrdering::OutputFirst;
+  bool optimal = false;  ///< exact DFS instead of the paper's greedy order
+  bool shared = true;    ///< run the shared (OR-composed) gating extension
+};
+
+/// Name-free result numbers — what the CLI summary prints and the design
+/// cache may replay for an isomorphic request (no node names inside, so the
+/// values transfer across renamings unchanged).
+struct DesignSummary {
+  int ops = 0;
+  int criticalPath = 0;
+  int steps = 0;
+  int managed = 0;
+  int sharedGated = 0;
+  std::string units;              ///< ResourceVector::toString()
+  std::string reductionPercent;   ///< fixed(x, 2) — exactly the CLI's digits
+  bool degraded = false;
+  std::string degradeReason;      ///< the CLI's "degraded: yes (<kind>)" kind
+};
+
+/// Everything the pipeline produced. The heavyweight members feed the CLI's
+/// artifact emitters (report, VHDL, power sim); the server serializes only
+/// the summary plus the design graph.
+struct DesignOutcome {
+  PowerManagedDesign design;
+  int sharedGated = 0;
+  ResourceVector units;
+  Schedule schedule;
+  Binding binding;
+  ActivationResult activation;
+  ControllerSpec controller;
+  DesignSummary summary;
+};
+
+/// Run the full pipeline: power-management transform (greedy or optimal),
+/// shared gating, resource minimization, list scheduling, binding,
+/// activation analysis, controller synthesis. Throws InfeasibleError when
+/// the step budget admits no schedule; budget exhaustion degrades per the
+/// docs/ROBUSTNESS.md contracts instead of throwing.
+[[nodiscard]] DesignOutcome runDesignJob(const DesignJob& job,
+                                         const RunBudget* budget = nullptr);
+
+}  // namespace pmsched

@@ -1,0 +1,153 @@
+#include "server/transport.hpp"
+
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/server.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace pmsched {
+
+int serveStdio(ServerCore& core, std::istream& in, std::ostream& out) {
+  std::mutex writeMutex;  // design responses arrive from worker threads
+  auto sink = [&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(writeMutex);
+    out << line << '\n';
+    out.flush();
+  };
+  std::string line;
+  bool serving = true;
+  while (serving && std::getline(in, line)) {
+    if (line.empty()) continue;  // blank lines between frames are allowed
+    serving = core.submitFrame(line, sink);
+  }
+  // EOF (or shutdown): let every admitted request finish and respond
+  // before the process exits — no request is ever silently dropped.
+  core.waitIdle();
+  return 0;
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+namespace {
+
+/// One connection: assemble '\n'-delimited frames from the byte stream and
+/// submit them; responses are written back under a per-connection mutex.
+void serveConnection(ServerCore& core, int fd, std::size_t maxBuffered) {
+  std::mutex writeMutex;
+  auto sink = [&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(writeMutex);
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t n = ::send(fd, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return;  // peer gone; the request result is simply lost
+      off += static_cast<std::size_t>(n);
+    }
+  };
+
+  std::string buffer;
+  char chunk[4096];
+  bool serving = true;
+  while (serving) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;  // EOF or error ends the connection
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      const std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty()) serving = core.submitFrame(line, sink);
+      if (!serving) break;
+    }
+    buffer.erase(0, start);
+    // A frame that never terminates would buffer forever — reject it as a
+    // protocol error and drop the connection (the stream is unframeable
+    // from here on).
+    if (serving && maxBuffered != 0 && buffer.size() > maxBuffered) {
+      sink(makeErrorResponse("null", ServerErrorCategory::Protocol,
+                             "unterminated frame exceeds " + std::to_string(maxBuffered) +
+                                 " buffered bytes"));
+      break;
+    }
+  }
+  // Workers may still hold this connection's sink (it captures fd and the
+  // write mutex by reference) — drain them before tearing either down.
+  core.waitIdle();
+  ::close(fd);
+}
+
+}  // namespace
+
+int serveUnixSocket(ServerCore& core, const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof addr.sun_path)
+    throw std::runtime_error("socket path too long: '" + path + "'");
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) throw std::runtime_error("cannot create socket: " + std::string(std::strerror(errno)));
+  ::unlink(path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(listener);
+    throw std::runtime_error("cannot bind '" + path + "': " + std::strerror(err));
+  }
+  if (::listen(listener, 16) != 0) {
+    const int err = errno;
+    ::close(listener);
+    throw std::runtime_error("cannot listen on '" + path + "': " + std::strerror(err));
+  }
+
+  // Frames are capped by the core's limit; allow double for the transport
+  // buffer so the cap itself produces the typed response, not a disconnect.
+  const std::size_t maxBuffered = 2 * (1u << 20);
+  std::vector<std::thread> connections;
+  while (!core.shutdownRequested()) {
+    pollfd pfd{listener, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);  // wake to re-check shutdown
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    connections.emplace_back([&core, fd, maxBuffered] { serveConnection(core, fd, maxBuffered); });
+  }
+  for (std::thread& t : connections) t.join();
+  core.waitIdle();
+  ::close(listener);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+#else
+
+int serveUnixSocket(ServerCore&, const std::string& path) {
+  throw std::runtime_error("unix sockets are not supported on this platform ('" + path +
+                           "'); use --serve with stdio");
+}
+
+#endif
+
+}  // namespace pmsched

@@ -1,0 +1,34 @@
+#pragma once
+// Transports for `pmsched --serve`: both feed JSONL lines into one
+// ServerCore and write one response line per request.
+//
+//  * serveStdio — the default: requests on stdin, responses on stdout,
+//    EOF ends the server (exit 0). This is what the corpus replays, the
+//    loadgen pipes into, and what tests drive with stringstreams.
+//  * serveUnixSocket — a SOCK_STREAM listener at a filesystem path; each
+//    connection speaks the same JSONL protocol. A "shutdown" request from
+//    any connection stops the listener.
+//
+// Response ordering: control ops respond in submission order on the
+// submitting connection; design responses arrive as workers finish, so
+// concurrent clients must match responses by "id", not by position.
+
+#include <iosfwd>
+#include <string>
+
+namespace pmsched {
+
+class ServerCore;
+
+/// Pump `in` line-by-line into `core`, writing responses to `out` (one
+/// line each, flushed). Returns the process exit code (0 — framing and
+/// request errors are typed responses, not process failures).
+int serveStdio(ServerCore& core, std::istream& in, std::ostream& out);
+
+/// Listen on a Unix-domain socket at `path` (an existing socket file is
+/// replaced). Serves until a shutdown request arrives. Returns the process
+/// exit code; a socket that cannot be created/bound is an input error
+/// reported by the caller (throws std::runtime_error).
+int serveUnixSocket(ServerCore& core, const std::string& path);
+
+}  // namespace pmsched

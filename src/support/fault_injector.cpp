@@ -14,7 +14,7 @@ namespace {
 // The registry of every point() call compiled into the library. Kept here
 // (not distributed) so the CI fault matrix and docs/ROBUSTNESS.md have one
 // authoritative list to iterate.
-constexpr std::array<std::string_view, 8> kSites = {
+constexpr std::array<std::string_view, 11> kSites = {
     "parse-stmt",      // textio: per accepted statement (input path)
     "bdd-node",        // BddManager::makeNode (allocation)
     "bdd-sift",        // BddManager::swapLevels (pre-mutation, reordering)
@@ -23,6 +23,9 @@ constexpr std::array<std::string_view, 8> kSites = {
     "farm-run",        // ProbeFarm lane job execution (lane-side handoff)
     "oracle-commit",   // TimeFrameOracle::commit (commit)
     "gating-commit",   // shared-gating acceptance (commit)
+    "serve-accept",    // server admission (clean: typed rejection, keeps serving)
+    "serve-frame",     // server frame decode (clean: typed error, keeps serving)
+    "cache-insert",    // design-cache insert (clean: result served, not cached)
 };
 
 std::atomic<bool> armed{false};

@@ -209,7 +209,24 @@ std::mutex& poolMutex() {
 
 }  // namespace
 
+namespace {
+
+/// Per-thread pool override installed by ScopedComputePool. Plain
+/// thread_local pointer: reads are uncontended and never touch poolMutex(),
+/// so a worker inside a scope cannot deadlock against global pool rebuilds.
+thread_local ThreadPool* tlsComputePool = nullptr;
+
+}  // namespace
+
+ScopedComputePool::ScopedComputePool(std::size_t threads)
+    : pool_(threads != 0 ? threads : threadCount()), previous_(tlsComputePool) {
+  tlsComputePool = &pool_;
+}
+
+ScopedComputePool::~ScopedComputePool() { tlsComputePool = previous_; }
+
 std::size_t threadCount() {
+  if (tlsComputePool != nullptr) return tlsComputePool->threadCount();
   std::lock_guard<std::mutex> lock(poolMutex());
   const std::size_t o = overrideSlot();
   return o != 0 ? o : resolveAutoThreads();
@@ -233,6 +250,7 @@ void setSpeculationMode(SpeculationMode mode) {
 }
 
 ThreadPool& globalThreadPool() {
+  if (tlsComputePool != nullptr) return *tlsComputePool;
   std::lock_guard<std::mutex> lock(poolMutex());
   std::unique_ptr<ThreadPool>& pool = poolSlot();
   const std::size_t o = overrideSlot();

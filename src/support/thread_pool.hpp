@@ -105,8 +105,40 @@ class ThreadPool {
 /// next globalThreadPool() access; must not be called with work in flight.
 void setThreadCount(std::size_t n);
 
-/// The lazily-created process-wide pool at the configured thread count.
+/// The lazily-created process-wide pool at the configured thread count —
+/// or, when the calling thread is inside a ScopedComputePool, that thread's
+/// private pool (see below).
 [[nodiscard]] ThreadPool& globalThreadPool();
+
+/// Route THIS thread's globalThreadPool()/threadCount() to a private pool.
+///
+/// The process-wide pool is single-coordinator by design: exactly one
+/// thread may drive submit()/parallelFor at a time. The server multiplexes
+/// many concurrent design requests, each of which runs the full parallel
+/// pipeline (speculative probing, partitioned activation) — so every server
+/// worker wraps its request loop in a ScopedComputePool and gets its own
+/// lanes. Everything downstream (ProbeFarm construction, parallelFor
+/// helpers, speculation gates) resolves the pool through globalThreadPool()
+/// and transparently lands on the worker's private pool. Results are
+/// unaffected: the engine is bit-identical at every thread count.
+///
+/// Scopes nest (the previous override is restored on destruction); the
+/// override never leaks to other threads.
+class ScopedComputePool {
+ public:
+  /// `threads` = total lanes for this thread's private pool (0 = the
+  /// configured threadCount()).
+  explicit ScopedComputePool(std::size_t threads = 0);
+  ~ScopedComputePool();
+  ScopedComputePool(const ScopedComputePool&) = delete;
+  ScopedComputePool& operator=(const ScopedComputePool&) = delete;
+
+  [[nodiscard]] ThreadPool& pool() { return pool_; }
+
+ private:
+  ThreadPool pool_;
+  ThreadPool* previous_;
+};
 
 /// When the transform consumers hand probes to the ProbeFarm.
 ///

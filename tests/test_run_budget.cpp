@@ -202,15 +202,21 @@ TEST(RunBudget, DeadlineBoundsTheOptimalSearch) {
 TEST(FaultInjector, SiteListIsStable) {
   KnobGuard guard;
   const auto sites = fault::sites();
-  ASSERT_EQ(sites.size(), 8u);
+  ASSERT_EQ(sites.size(), 11u);
   bool foundParse = false;
   bool foundSift = false;
+  bool foundServeFrame = false;
+  bool foundCacheInsert = false;
   for (const auto site : sites) {
     foundParse |= (site == "parse-stmt");
     foundSift |= (site == "bdd-sift");
+    foundServeFrame |= (site == "serve-frame");
+    foundCacheInsert |= (site == "cache-insert");
   }
   EXPECT_TRUE(foundParse);
   EXPECT_TRUE(foundSift);
+  EXPECT_TRUE(foundServeFrame);
+  EXPECT_TRUE(foundCacheInsert);
 }
 
 TEST(FaultInjector, ArmedSiteFiresOnNthHitWithTypedError) {

@@ -3,6 +3,7 @@
 # at the repo root, so every PR leaves a perf-trajectory data point.
 #
 # Usage: tools/bench_report.sh <bench_perf-binary> [repo-root] [filter]
+#                              [pmsched-binary] [loadgen-binary]
 #
 # Since PR 4 the transform hot paths are parallel (speculative probing on a
 # ProbeFarm), so the snapshot records TWO runs of the suite: one pinned to
@@ -17,15 +18,25 @@
 # assembled in a temp file and moved into place only after both runs
 # validate, so a failed run can never leave a partial snapshot behind.
 #
+# Server capture (PR 8): when the pmsched CLI and pmsched_loadgen binaries
+# are passed as args 4 and 5, the snapshot additionally records three
+# socket-level loadgen runs against a freshly spawned `pmsched --serve` —
+# the default small/large mix, and a repeated-request pair with the design
+# cache on and off (whose requests_per_sec ratio is the cache speedup) —
+# under a top-level "server" key. Each run carries requests/sec and p50/p99
+# latency; a failed loadgen run fails the whole script, snapshot unwritten.
+#
 # The output index is one past the highest existing BENCH_PR<n>.json, so
 # re-running inside one PR overwrites nothing; delete stale files if you
 # want a clean slate. Invoked by the `bench_report` CMake target.
 
 set -eu
 
-BENCH_BIN=${1:?usage: bench_report.sh <bench_perf-binary> [repo-root] [filter]}
+BENCH_BIN=${1:?usage: bench_report.sh <bench_perf-binary> [repo-root] [filter] [pmsched-binary] [loadgen-binary]}
 ROOT=${2:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
 FILTER=${3:-}
+PMSCHED_BIN=${4:-}
+LOADGEN_BIN=${5:-}
 
 if [ -n "${BENCH_THREADS:-}" ]; then
   THREADS=$BENCH_THREADS
@@ -54,7 +65,9 @@ ONE="$TMPDIR/bench_report_t1.$$.json"
 MANY="$TMPDIR/bench_report_tN.$$.json"
 # Assembled next to OUT so the final mv is an atomic same-filesystem rename.
 ASSEMBLED="$OUT.tmp.$$"
-trap 'rm -f "$ONE" "$MANY" "$ASSEMBLED"' EXIT
+trap 'rm -f "$ONE" "$MANY" "$ASSEMBLED" \
+  "$TMPDIR/bench_report_srv_mixed.$$.json" "$TMPDIR/bench_report_srv_on.$$.json" \
+  "$TMPDIR/bench_report_srv_off.$$.json"' EXIT
 
 fail() {
   echo "bench_report: ERROR: $1" >&2
@@ -95,12 +108,47 @@ run_at 1 "$ONE"
 echo "bench_report: run 2/2 at PMSCHED_THREADS=$THREADS"
 run_at "$THREADS" "$MANY"
 
+# Optional socket-level server capture (see header comment).
+SRV_MIXED="$TMPDIR/bench_report_srv_mixed.$$.json"
+SRV_ON="$TMPDIR/bench_report_srv_on.$$.json"
+SRV_OFF="$TMPDIR/bench_report_srv_off.$$.json"
+HAVE_SERVER=0
+if [ -n "$PMSCHED_BIN" ] && [ -n "$LOADGEN_BIN" ]; then
+  [ -x "$PMSCHED_BIN" ] || fail "pmsched binary '$PMSCHED_BIN' is not executable"
+  [ -x "$LOADGEN_BIN" ] || fail "loadgen binary '$LOADGEN_BIN' is not executable"
+  echo "bench_report: loadgen 1/3 (mixed small/large)"
+  "$LOADGEN_BIN" --server "$PMSCHED_BIN" --requests 400 --clients 4 \
+    >"$SRV_MIXED" || fail "loadgen mixed run exited with status $?"
+  echo "bench_report: loadgen 2/3 (repeated requests, cache on)"
+  "$LOADGEN_BIN" --server "$PMSCHED_BIN" --requests 200 --clients 4 \
+    --unique 1 --large-every 1 --large 16x8 --steps 48 --no-design \
+    >"$SRV_ON" || fail "loadgen cache-on run exited with status $?"
+  echo "bench_report: loadgen 3/3 (repeated requests, cache off)"
+  "$LOADGEN_BIN" --server "$PMSCHED_BIN" --requests 200 --clients 4 \
+    --unique 1 --large-every 1 --large 16x8 --steps 48 --no-design --no-cache \
+    >"$SRV_OFF" || fail "loadgen cache-off run exited with status $?"
+  for f in "$SRV_MIXED" "$SRV_ON" "$SRV_OFF"; do
+    validate_json "$f" || fail "loadgen wrote invalid JSON ($f)"
+  done
+  HAVE_SERVER=1
+fi
+
 {
   printf '{\n"threads": {\n"1":\n'
   cat "$ONE"
   printf ',\n"%s":\n' "$THREADS"
   cat "$MANY"
-  printf '}\n}\n'
+  printf '}\n'
+  if [ "$HAVE_SERVER" -eq 1 ]; then
+    printf ',\n"server": {\n"mixed":\n'
+    cat "$SRV_MIXED"
+    printf ',\n"cache_on":\n'
+    cat "$SRV_ON"
+    printf ',\n"cache_off":\n'
+    cat "$SRV_OFF"
+    printf '}\n'
+  fi
+  printf '}\n'
 } > "$ASSEMBLED"
 validate_json "$ASSEMBLED" || fail "assembled snapshot is not valid JSON"
 

@@ -81,8 +81,65 @@ run_site farm-stage --random-dfg 16x6:2
 run_site farm-run --random-dfg 16x6:2
 run_site_clean bdd-sift --random-dfg 16x6:2
 
+# Server-side sites (PR 8): all three degrade CLEANLY at the server level —
+# the faulted request gets a typed error response (or, for cache-insert, a
+# normal response that simply is not cached), the server keeps serving the
+# rest of the stream, and `pmsched --serve` exits 0 at EOF. A JSONL script
+# is piped through stdio and the response stream is grepped for the
+# expected shape.
+run_serve_site() {
+  local site=$1 want=$2 script=$3
+  local out_file stderr_file
+  out_file=$(mktemp)
+  stderr_file=$(mktemp)
+  printf '%s\n' "$script" |
+    PMSCHED_FAULT="$site:1" timeout 60 "$pmsched" --serve \
+      >"$out_file" 2>"$stderr_file"
+  local got=$?
+  if [ "$got" -ne 0 ]; then
+    echo "FAIL $site: exit $got, want 0 (server keeps serving)" >&2
+    sed 's/^/  stderr: /' "$stderr_file" >&2
+    failures=$((failures + 1))
+  elif ! grep -q "$want" "$out_file"; then
+    echo "FAIL $site: response stream missing expected '$want'" >&2
+    sed 's/^/  out: /' "$out_file" >&2
+    failures=$((failures + 1))
+  elif ! grep -q '"pong":true' "$out_file"; then
+    echo "FAIL $site: server did not serve the follow-up ping" >&2
+    sed 's/^/  out: /' "$out_file" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok   $site (clean degradation, server kept serving)"
+  fi
+  rm -f "$out_file" "$stderr_file"
+}
+
+graph_json='graph g\ninput a 8\ninput b 8\nnode add s 8 a b\noutput out s\n'
+design_frame='{"id":1,"op":"design","graph":"'$graph_json'","steps":4}'
+ping_frame='{"id":9,"op":"ping"}'
+stats_frame='{"id":10,"op":"stats"}'
+
+# serve-frame: the first frame parse faults -> typed internal error
+# response, stream continues.
+run_serve_site serve-frame '"category":"internal"' \
+  "$ping_frame
+$ping_frame"
+# serve-accept: the first design admission faults -> typed admission
+# rejection, the identical retry is accepted and completes.
+run_serve_site serve-accept '"category":"admission"' \
+  "$design_frame
+$design_frame
+$ping_frame"
+# cache-insert: the insert after the first design faults -> the result is
+# still served (ok:true), just not cached; stats pin insert_failures=1.
+run_serve_site cache-insert '"insert_failures":1' \
+  "$design_frame
+$design_frame
+$ping_frame
+$stats_frame"
+
 if [ "$failures" -ne 0 ]; then
   echo "$failures fault-matrix failure(s)" >&2
   exit 1
 fi
-echo "fault matrix clean: 7 sites produced a structured internal diagnostic, bdd-sift degraded cleanly"
+echo "fault matrix clean: 7 sites produced a structured internal diagnostic, bdd-sift and the 3 server sites degraded cleanly"

@@ -31,6 +31,17 @@
 //                       exit — export that line to pin auto-mode decisions
 //                       across runs and machines
 //
+// Server mode (docs/SERVER.md):
+//
+//   --serve               JSONL request/response over stdin/stdout
+//   --serve-socket PATH   listen on a Unix-domain socket instead of stdio
+//   --serve-workers N     concurrent design workers (default 2)
+//   --serve-queue N       admission queue capacity (default 64)
+//   --serve-max-frame N   per-request frame limit in bytes (default 1 MiB)
+//   --serve-cache N       canonical-form cache entries (default 256, 0 = off)
+//   --serve-threads N     pool lanes per worker (default: --threads /
+//                         PMSCHED_THREADS / hardware)
+//
 // Run budget (see docs/ROBUSTNESS.md for the per-stage contract):
 //
 //   --budget-ms N         wall-clock deadline for the optimizing stages
@@ -61,6 +72,9 @@
 #include "sched/list_scheduler.hpp"
 #include "sched/probe_farm.hpp"
 #include "sched/shared_gating.hpp"
+#include "server/server.hpp"
+#include "server/service.hpp"
+#include "server/transport.hpp"
 #include "support/diagnostics.hpp"
 #include "support/fault_injector.hpp"
 #include "support/random_dfg.hpp"
@@ -113,6 +127,15 @@ struct Options {
   int dfgPerLayer = 0;
   std::uint64_t dfgSeed = 1;
 
+  // --serve mode.
+  bool serve = false;
+  std::string serveSocket;
+  std::size_t serveWorkers = 2;
+  std::size_t serveQueue = 64;
+  std::size_t serveMaxFrame = 1 << 20;
+  std::size_t serveCache = 256;
+  std::size_t serveThreads = 0;  ///< lanes per worker (0 = configured)
+
   // Run budget (0 = unlimited / not set).
   long long budgetMs = 0;
   long long budgetProbes = 0;
@@ -131,7 +154,10 @@ void printUsage(std::ostream& os) {
         "               [--budget-ms N] [--budget-probes N] [--budget-bdd-nodes N]\n"
         "               [--budget-dnf-terms N] [--fail-degraded] [--bdd-reorder off|auto]\n"
         "       pmsched --random-dfg LxP[:SEED] [--steps N] [options]\n"
-        "       pmsched --calibration [--threads N]\n";
+        "       pmsched --calibration [--threads N]\n"
+        "       pmsched --serve [--serve-socket PATH] [--serve-workers N]\n"
+        "               [--serve-queue N] [--serve-max-frame N] [--serve-cache N]\n"
+        "               [--serve-threads N]\n";
 }
 
 /// Strict integer parsing: the whole token must be a number in [lo, hi].
@@ -207,6 +233,18 @@ Options parseArgs(int argc, char** argv) {
     else if (arg == "--power-sim")
       opts.powerSim = static_cast<int>(nextInt("--power-sim", 1, 1 << 24));
     else if (arg == "--calibration") opts.calibration = true;
+    else if (arg == "--serve") opts.serve = true;
+    else if (arg == "--serve-socket") opts.serveSocket = next("--serve-socket");
+    else if (arg == "--serve-workers")
+      opts.serveWorkers = static_cast<std::size_t>(nextInt("--serve-workers", 0, 4096));
+    else if (arg == "--serve-queue")
+      opts.serveQueue = static_cast<std::size_t>(nextInt("--serve-queue", 1, 1 << 20));
+    else if (arg == "--serve-max-frame")
+      opts.serveMaxFrame = static_cast<std::size_t>(nextInt("--serve-max-frame", 64, 1 << 28));
+    else if (arg == "--serve-cache")
+      opts.serveCache = static_cast<std::size_t>(nextInt("--serve-cache", 0, 1 << 20));
+    else if (arg == "--serve-threads")
+      opts.serveThreads = static_cast<std::size_t>(nextInt("--serve-threads", 1, 4096));
     else if (arg == "--budget-ms") opts.budgetMs = nextInt("--budget-ms", 1, 1LL << 32);
     else if (arg == "--budget-probes") opts.budgetProbes = nextInt("--budget-probes", 1, INT64_MAX);
     else if (arg == "--budget-bdd-nodes")
@@ -221,6 +259,15 @@ Options parseArgs(int argc, char** argv) {
   if (opts.calibration) {
     if (!opts.inputPath.empty() || opts.steps != 0 || opts.randomDfg)
       throw UsageError("--calibration takes no input");
+    return opts;
+  }
+  if (!opts.serve) {
+    if (!opts.serveSocket.empty() || opts.serveWorkers != 2 || opts.serveQueue != 64 ||
+        opts.serveMaxFrame != (1u << 20) || opts.serveCache != 256 || opts.serveThreads != 0)
+      throw UsageError("--serve-* options require --serve");
+  } else {
+    if (!opts.inputPath.empty() || opts.steps != 0 || opts.randomDfg)
+      throw UsageError("--serve takes no INPUT (requests arrive as frames)");
     return opts;
   }
   if (opts.randomDfg) {
@@ -244,6 +291,29 @@ int printCalibration(const Options& opts) {
             << "# median repair: " << fixed(cal.repairNsPerNode, 2) << " ns/node\n"
             << "# auto-mode speculation crossover: " << cal.crossoverNodes() << " nodes\n";
   return kExitOk;
+}
+
+/// --serve: hand the process over to the multi-tenant server core.
+int runServe(const Options& opts) {
+  if (opts.threads > 0) setThreadCount(static_cast<std::size_t>(opts.threads));
+  if (opts.bddReorderSet) setBddReorderMode(opts.bddReorder);
+
+  ServerOptions serverOpts;
+  serverOpts.workers = opts.serveWorkers;
+  serverOpts.queueCapacity = opts.serveQueue;
+  serverOpts.maxFrameBytes = opts.serveMaxFrame;
+  serverOpts.cacheEntries = opts.serveCache;
+  serverOpts.threadsPerWorker = opts.serveThreads;
+  ServerCore core(serverOpts);
+  if (!opts.serveSocket.empty()) {
+    try {
+      return serveUnixSocket(core, opts.serveSocket);
+    } catch (const std::runtime_error& e) {
+      // Socket setup failures are environment errors, like unreadable input.
+      throw InputError(e.what());
+    }
+  }
+  return serveStdio(core, std::cin, std::cout);
 }
 
 std::string readFile(const std::string& path) {
@@ -299,42 +369,33 @@ int run(const Options& opts) {
             << " operations, critical path " << criticalPathLength(g) << ", budget "
             << steps << " steps\n";
 
-  PowerManagedDesign design =
-      opts.optimal ? applyPowerManagementOptimal(g, steps, 24, budget)
-                   : applyPowerManagement(g, steps, opts.ordering, LatencyModel::unit(), budget);
-  int sharedGated = 0;
-  if (opts.shared) sharedGated = applySharedGating(design, budget);
+  // The same service call the server multiplexes (src/server/service.hpp):
+  // keeping both front ends on one function is what makes a server response
+  // bit-identical to this one-shot run.
+  DesignJob job;
+  job.graph = g;
+  job.steps = steps;
+  job.ordering = opts.ordering;
+  job.optimal = opts.optimal;
+  job.shared = opts.shared;
+  const DesignOutcome outcome = runDesignJob(job, budget);
+  const PowerManagedDesign& design = outcome.design;
+  const Schedule& sched = outcome.schedule;
+  const Binding& binding = outcome.binding;
+  const ActivationResult& activation = outcome.activation;
+  const ControllerSpec& ctrl = outcome.controller;
+  const DesignSummary& summary = outcome.summary;
 
-  const ResourceVector units = minimizeResources(design.graph, steps);
-  const ListScheduleResult scheduled = listSchedule(design.graph, steps, units);
-  if (!scheduled.schedule) throw InfeasibleError(scheduled.message);
-  const Schedule& sched = *scheduled.schedule;
-  const Binding binding = bindDesign(design.graph, sched);
-  const ActivationResult activation = analyzeActivation(design, budget);
-  const ControllerSpec ctrl = synthesizeController(design, sched, binding, activation);
-
-  const OpPowerModel model = OpPowerModel::paperWeights();
-  std::cout << "power-managed muxes: " << design.managedCount()
-            << ", shared-gated ops: " << sharedGated
-            << ", units: " << units.toString() << "\n"
-            << "expected datapath power reduction: "
-            << fixed(activation.reductionPercent(model), 2) << "%\n";
+  std::cout << "power-managed muxes: " << summary.managed
+            << ", shared-gated ops: " << summary.sharedGated
+            << ", units: " << summary.units << "\n"
+            << "expected datapath power reduction: " << summary.reductionPercent << "%\n";
 
   // One stable, machine-grepped degradation summary; the per-stage log
   // follows so humans can see exactly what was cut short.
-  const bool degraded =
-      design.degraded || activation.degraded || (budget != nullptr && budget->degraded());
+  const bool degraded = summary.degraded;
   if (degraded) {
-    std::string why;
-    if (budget != nullptr && budget->exhaustedWhy())
-      why = budgetKindName(*budget->exhaustedWhy());
-    else if (budget != nullptr && !budget->events().empty())
-      why = budgetKindName(budget->events().front().kind);
-    else if (!design.degradeReason.empty())
-      why = design.degradeReason;
-    else
-      why = "stage-local limit";
-    std::cout << "degraded: yes (" << why << ")\n";
+    std::cout << "degraded: yes (" << summary.degradeReason << ")\n";
     if (budget != nullptr)
       for (const DegradeEvent& ev : budget->events())
         std::cout << "  degraded[" << ev.stage << "] " << budgetKindName(ev.kind) << ": "
@@ -409,7 +470,9 @@ int main(int argc, char** argv) {
   // stderr and a category-specific exit code — never an uncaught throw.
   try {
     const Options opts = parseArgs(argc, argv);
-    return opts.calibration ? printCalibration(opts) : run(opts);
+    if (opts.calibration) return printCalibration(opts);
+    if (opts.serve) return runServe(opts);
+    return run(opts);
   } catch (const UsageError& e) {
     printDiag("usage", SourceLoc{}, e.what());
     printUsage(std::cerr);

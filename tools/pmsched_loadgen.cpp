@@ -1,0 +1,436 @@
+// pmsched_loadgen — throughput / tail-latency driver for `pmsched --serve`.
+//
+// Connects C client threads to a running server's Unix socket (--socket), or
+// spawns a fresh server itself (--server BIN), and fires N design requests
+// over a rotating pool of pregenerated random CDFGs, mixing small and large
+// graphs. Each request is synchronous per connection, so per-request wall
+// latency is exact; the tool reports requests/sec, p50 and p99 latency, and
+// the server's cache-hit count as one JSON object on stdout.
+//
+//   pmsched_loadgen --server build/pmsched --requests 400 --clients 4
+//   pmsched_loadgen --socket /tmp/pm.sock --unique 1            # all repeats
+//   pmsched_loadgen --server build/pmsched --check              # differential
+//
+// --check pins the determinism contract: every request is sent with id 0 and
+// no session, so identical requests are byte-identical frames — and every
+// response to the same frame must be byte-identical too (cache hits
+// included), across clients and across the whole run. Any mismatch is a
+// non-zero exit.
+//
+// When the tool spawned the server it also shuts it down at the end and
+// fails if the server leaked sessions or exited non-zero, so a CI smoke run
+// is a single command.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cdfg/analysis.hpp"
+#include "cdfg/textio.hpp"
+#include "support/json.hpp"
+#include "support/random_dfg.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define PMSCHED_LOADGEN_POSIX 1
+#endif
+
+namespace {
+
+using namespace pmsched;
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::string serverBin;    // spawn `BIN --serve --socket ...` ourselves
+  std::string socketPath;   // or connect to an already-running server
+  int requests = 200;
+  int clients = 4;
+  int steps = 8;
+  int unique = 8;           // distinct graphs rotated through
+  int largeEvery = 4;       // every Nth request uses a large graph
+  int largeLayers = 8;      // --large LxP: shape of the large graphs
+  int largePerLayer = 6;
+  int serveWorkers = 2;     // --serve-workers for a spawned server
+  bool noCache = false;     // send "cache":false on every request
+  bool noDesign = false;    // send "emit_design":false (summary-only)
+  bool optimal = false;     // send "optimal":true (exhaustive timeframe search)
+  bool check = false;       // differential mode (see file comment)
+};
+
+[[noreturn]] void usageError(const std::string& msg) {
+  std::cerr << "pmsched_loadgen: " << msg << "\n"
+            << "usage: pmsched_loadgen (--server BIN | --socket PATH)\n"
+            << "         [--requests N] [--clients C] [--steps K] [--unique U]\n"
+            << "         [--large-every M] [--serve-workers W] [--no-cache] [--check]\n";
+  std::exit(2);
+}
+
+int parseInt(const std::string& flag, const char* value, int lo, int hi) {
+  int v = 0;
+  try {
+    v = std::stoi(value);
+  } catch (...) {
+    usageError(flag + " expects an integer");
+  }
+  if (v < lo || v > hi) usageError(flag + " out of range");
+  return v;
+}
+
+Options parseArgs(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usageError(a + " expects a value");
+      return argv[++i];
+    };
+    if (a == "--server") o.serverBin = next();
+    else if (a == "--socket") o.socketPath = next();
+    else if (a == "--requests") o.requests = parseInt(a, next(), 1, 1 << 20);
+    else if (a == "--clients") o.clients = parseInt(a, next(), 1, 256);
+    else if (a == "--steps") o.steps = parseInt(a, next(), 1, 4096);
+    else if (a == "--unique") o.unique = parseInt(a, next(), 1, 1 << 16);
+    else if (a == "--large-every") o.largeEvery = parseInt(a, next(), 1, 1 << 20);
+    else if (a == "--large") {
+      const std::string spec = next();
+      const std::size_t x = spec.find('x');
+      if (x == std::string::npos) usageError("--large expects LxP (e.g. 16x8)");
+      o.largeLayers = parseInt(a, spec.substr(0, x).c_str(), 1, 256);
+      o.largePerLayer = parseInt(a, spec.substr(x + 1).c_str(), 1, 64);
+    }
+    else if (a == "--serve-workers") o.serveWorkers = parseInt(a, next(), 1, 4096);
+    else if (a == "--no-cache") o.noCache = true;
+    else if (a == "--no-design") o.noDesign = true;
+    else if (a == "--optimal") o.optimal = true;
+    else if (a == "--check") o.check = true;
+    else usageError("unknown option '" + a + "'");
+  }
+  if (o.serverBin.empty() == o.socketPath.empty())
+    usageError("exactly one of --server or --socket is required");
+  return o;
+}
+
+/// JSON-escape via the writer (one string value, strip the quotes later is
+/// not needed — we embed the quoted form directly).
+std::string quoted(const std::string& s) {
+  JsonWriter w;
+  w.value(s);
+  return w.str();
+}
+
+#ifdef PMSCHED_LOADGEN_POSIX
+
+/// Line-framed client connection to the server's Unix socket.
+class LineConn {
+ public:
+  explicit LineConn(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~LineConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  LineConn(const LineConn&) = delete;
+  LineConn& operator=(const LineConn&) = delete;
+
+  [[nodiscard]] bool ok() const { return fd_ >= 0; }
+
+  bool sendLine(const std::string& line) {
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent, 0);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool recvLine(std::string& line) {
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+struct RunResult {
+  std::vector<double> latenciesMs;  // per completed request
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t cacheHits = 0;
+  double wallMs = 0;
+};
+
+struct CheckState {
+  std::mutex mutex;
+  std::map<std::string, std::string> firstResponse;  // frame -> response
+  std::uint64_t mismatches = 0;
+};
+
+bool responseOk(const std::string& line) {
+  return line.find("\"ok\":true") != std::string::npos;
+}
+
+/// For --check comparisons: the cache_hit flag legitimately differs between
+/// the first (miss) and later (hit) responses to the same frame — the
+/// determinism contract is over everything else, the design text included.
+std::string stripCacheHit(std::string line) {
+  for (const char* marker : {",\"cache_hit\":true", ",\"cache_hit\":false"}) {
+    const std::size_t at = line.find(marker);
+    if (at != std::string::npos) line.erase(at, std::strlen(marker));
+  }
+  return line;
+}
+
+RunResult runClients(const Options& o, const std::vector<std::string>& frames,
+                     CheckState& check) {
+  RunResult total;
+  std::mutex mergeMutex;
+  std::atomic<bool> connectFailed{false};
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(o.clients));
+  for (int c = 0; c < o.clients; ++c) {
+    threads.emplace_back([&, c] {
+      LineConn conn(o.socketPath);
+      if (!conn.ok()) {
+        connectFailed = true;
+        return;
+      }
+      RunResult local;
+      std::string response;
+      if (!o.check) {
+        // Each benchmark client works inside its own session; --check mode
+        // skips sessions so identical requests are identical frames.
+        const std::string session = "client-" + std::to_string(c);
+        if (!conn.sendLine(R"({"id":0,"op":"open_session","session":)" +
+                           quoted(session) + "}") ||
+            !conn.recvLine(response))
+          return;
+      }
+      for (std::size_t j = static_cast<std::size_t>(c); j < frames.size();
+           j += static_cast<std::size_t>(o.clients)) {
+        std::string frame = frames[j];
+        if (!o.check) {
+          // Route through this client's session (insert before the brace).
+          frame.insert(frame.size() - 1,
+                       ",\"session\":" + quoted("client-" + std::to_string(c)));
+        }
+        const auto t0 = Clock::now();
+        if (!conn.sendLine(frame) || !conn.recvLine(response)) {
+          ++local.errors;
+          break;
+        }
+        const auto t1 = Clock::now();
+        local.latenciesMs.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+        if (responseOk(response)) {
+          ++local.completed;
+          if (response.find("\"cache_hit\":true") != std::string::npos)
+            ++local.cacheHits;
+        } else {
+          ++local.errors;
+        }
+        if (o.check) {
+          const std::string normalized = stripCacheHit(response);
+          const std::lock_guard<std::mutex> lock(check.mutex);
+          const auto [it, inserted] = check.firstResponse.emplace(frames[j], normalized);
+          if (!inserted && it->second != normalized) {
+            ++check.mismatches;
+            std::cerr << "loadgen: MISMATCH for frame " << frames[j] << "\n  first: "
+                      << it->second << "\n  later: " << normalized << "\n";
+          }
+        }
+      }
+      if (!o.check) {
+        conn.sendLine(R"({"id":0,"op":"close_session","session":)" +
+                      quoted("client-" + std::to_string(c)) + "}");
+        conn.recvLine(response);
+      }
+      const std::lock_guard<std::mutex> lock(mergeMutex);
+      total.completed += local.completed;
+      total.errors += local.errors;
+      total.cacheHits += local.cacheHits;
+      total.latenciesMs.insert(total.latenciesMs.end(), local.latenciesMs.begin(),
+                               local.latenciesMs.end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  total.wallMs =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  if (connectFailed) {
+    std::cerr << "loadgen: could not connect to " << o.socketPath << "\n";
+    std::exit(3);
+  }
+  return total;
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+int runLoadgen(const Options& optsIn) {
+  Options o = optsIn;
+  pid_t serverPid = -1;
+  if (!o.serverBin.empty()) {
+    o.socketPath = "/tmp/pmsched_loadgen_" + std::to_string(::getpid()) + ".sock";
+    const std::string workers = std::to_string(o.serveWorkers);
+    serverPid = ::fork();
+    if (serverPid == 0) {
+      ::execlp(o.serverBin.c_str(), o.serverBin.c_str(), "--serve",
+               "--serve-socket", o.socketPath.c_str(), "--serve-workers",
+               workers.c_str(), static_cast<char*>(nullptr));
+      std::perror("pmsched_loadgen: exec");
+      std::_Exit(127);
+    }
+    if (serverPid < 0) {
+      std::cerr << "loadgen: fork failed\n";
+      return 3;
+    }
+    // Wait for the socket to accept connections (up to ~10s).
+    bool up = false;
+    for (int i = 0; i < 1000 && !up; ++i) {
+      LineConn probe(o.socketPath);
+      up = probe.ok();
+      if (!up) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (!up) {
+      std::cerr << "loadgen: spawned server never came up at " << o.socketPath << "\n";
+      ::kill(serverPid, SIGKILL);
+      return 3;
+    }
+  }
+
+  // Pregenerate the request pool: small graphs by default, a large one
+  // every --large-every requests, --unique distinct seeds rotated through.
+  // Steps are clamped to each graph's critical path so every request is
+  // feasible regardless of the --large shape.
+  std::vector<std::pair<std::string, int>> smallGraphs, largeGraphs;  // text, steps
+  for (int u = 0; u < o.unique; ++u) {
+    const Graph small = randomLayeredDfg(3, 4, 100 + static_cast<std::uint64_t>(u));
+    smallGraphs.emplace_back(saveGraphText(small),
+                             std::max(o.steps, criticalPathLength(small) + 2));
+    const Graph large = randomLayeredDfg(o.largeLayers, o.largePerLayer,
+                                         900 + static_cast<std::uint64_t>(u));
+    largeGraphs.emplace_back(saveGraphText(large),
+                             std::max(o.steps, criticalPathLength(large) + 2));
+  }
+  std::vector<std::string> frames;
+  frames.reserve(static_cast<std::size_t>(o.requests));
+  for (int j = 0; j < o.requests; ++j) {
+    const bool large = (j % o.largeEvery) == (o.largeEvery - 1);
+    const auto& [graph, steps] =
+        (large ? largeGraphs : smallGraphs)[static_cast<std::size_t>(j % o.unique)];
+    std::ostringstream f;
+    f << R"({"id":0,"op":"design","graph":)" << quoted(graph)
+      << ",\"steps\":" << steps;
+    if (o.noCache) f << ",\"cache\":false";
+    if (o.noDesign) f << ",\"emit_design\":false";
+    if (o.optimal) f << ",\"optimal\":true";
+    f << "}";
+    frames.push_back(f.str());
+  }
+
+  CheckState check;
+  RunResult r = runClients(o, frames, check);
+
+  // If we own the server, shut it down and pin the leak + exit contracts.
+  std::int64_t leaked = -1;
+  int serverExit = 0;
+  if (serverPid > 0) {
+    {
+      LineConn ctl(o.socketPath);
+      std::string response;
+      if (ctl.ok() && ctl.sendLine(R"({"id":0,"op":"shutdown"})") &&
+          ctl.recvLine(response)) {
+        const JsonValue v = parseJson(response);
+        if (const JsonValue* result = v.find("result"))
+          if (const JsonValue* l = result->find("leaked_sessions")) leaked = l->asInt();
+      }
+    }
+    int status = 0;
+    ::waitpid(serverPid, &status, 0);
+    serverExit = WIFEXITED(status) ? WEXITSTATUS(status) : 128 + WTERMSIG(status);
+  }
+
+  std::sort(r.latenciesMs.begin(), r.latenciesMs.end());
+  JsonWriter w;
+  w.beginObject()
+      .key("requests").value(static_cast<std::int64_t>(o.requests))
+      .key("clients").value(static_cast<std::int64_t>(o.clients))
+      .key("completed").value(static_cast<std::int64_t>(r.completed))
+      .key("errors").value(static_cast<std::int64_t>(r.errors))
+      .key("cache_hits").value(static_cast<std::int64_t>(r.cacheHits))
+      .key("wall_ms").value(r.wallMs)
+      .key("requests_per_sec")
+      .value(r.wallMs > 0 ? 1000.0 * static_cast<double>(r.completed) / r.wallMs : 0.0)
+      .key("p50_ms").value(percentile(r.latenciesMs, 0.50))
+      .key("p99_ms").value(percentile(r.latenciesMs, 0.99))
+      .key("check").value(o.check)
+      .key("mismatches").value(static_cast<std::int64_t>(check.mismatches));
+  if (serverPid > 0) {
+    w.key("leaked_sessions").value(leaked)
+        .key("server_exit").value(static_cast<std::int64_t>(serverExit));
+  }
+  w.endObject();
+  std::cout << w.str() << "\n";
+
+  if (r.errors != 0 || check.mismatches != 0) return 1;
+  if (r.completed != static_cast<std::uint64_t>(o.requests)) return 1;
+  if (serverPid > 0 && (leaked != 0 || serverExit != 0)) return 1;
+  return 0;
+}
+
+#endif  // PMSCHED_LOADGEN_POSIX
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parseArgs(argc, argv);
+#ifdef PMSCHED_LOADGEN_POSIX
+  return runLoadgen(o);
+#else
+  (void)o;
+  std::cerr << "pmsched_loadgen: Unix sockets unavailable on this platform\n";
+  return 2;
+#endif
+}

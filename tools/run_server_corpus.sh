@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Replay the malformed-frame corpus through `pmsched --serve` over stdio and
+# pin the server robustness contract: every frame — truncated JSON, garbage
+# UTF-8, oversized lines, duplicate sessions, bad requests — gets exactly one
+# JSONL response, bad frames carry the expected typed error category,
+# *.ok.jsonl streams produce no errors at all, and the server always drains
+# to EOF and exits 0. Never a crash, a signal death, or a hang (each replay
+# runs under `timeout`). Registered as the `server_corpus` ctest; the CI
+# robustness job runs it against an ASan build.
+#
+# Usage: run_server_corpus.sh PMSCHED_BINARY CORPUS_DIR
+
+set -u
+
+if [ $# -ne 2 ]; then
+  echo "usage: $0 PMSCHED_BINARY CORPUS_DIR" >&2
+  exit 2
+fi
+
+pmsched=$1
+corpus=$2
+failures=0
+
+# Frames above this limit must be rejected as oversized; every legitimate
+# corpus frame is far below it. oversized-frame.bad.jsonl carries a ~4KB line.
+max_frame=2048
+
+# Expected error category per bad file (basename without .bad.jsonl).
+category_for() {
+  case $1 in
+    truncated-frame | garbage-utf8 | oversized-frame | duplicate-session | \
+      unknown-op | non-object) echo protocol ;;
+    bad-graph) echo parse ;;
+    bad-steps) echo usage ;;
+    *) echo protocol ;;
+  esac
+}
+
+replay() {
+  # $1 = corpus file; stdout/stderr land in the caller-provided temp files.
+  timeout 60 "$pmsched" --serve --serve-max-frame "$max_frame" \
+    <"$1" >"$out_file" 2>"$err_file"
+}
+
+check_common() {
+  local file=$1 got=$2
+  if [ "$got" -eq 124 ]; then
+    echo "FAIL $file: server hung (timeout)" >&2
+    return 1
+  elif [ "$got" -ge 128 ]; then
+    echo "FAIL $file: died on a signal (exit $got)" >&2
+    return 1
+  elif [ "$got" -ne 0 ]; then
+    echo "FAIL $file: exit $got, want 0" >&2
+    sed 's/^/  stderr: /' "$err_file" >&2
+    return 1
+  fi
+  # One response per non-blank frame: the server never drops or duplicates.
+  local frames responses
+  frames=$(grep -c . "$file")
+  responses=$(grep -c . "$out_file")
+  if [ "$frames" -ne "$responses" ]; then
+    echo "FAIL $file: $frames frames but $responses responses" >&2
+    sed 's/^/  out: /' "$out_file" >&2
+    return 1
+  fi
+  return 0
+}
+
+out_file=$(mktemp)
+err_file=$(mktemp)
+trap 'rm -f "$out_file" "$err_file"' EXIT
+
+bad=0
+for f in "$corpus"/*.bad.jsonl; do
+  [ -e "$f" ] || continue
+  bad=$((bad + 1))
+  name=$(basename "$f" .bad.jsonl)
+  want=$(category_for "$name")
+  replay "$f"
+  got=$?
+  if ! check_common "$f" "$got"; then
+    failures=$((failures + 1))
+  elif ! grep -q "\"ok\":false,\"error\":{\"category\":\"$want\"" "$out_file"; then
+    echo "FAIL $f: no typed '$want' error response" >&2
+    sed 's/^/  out: /' "$out_file" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok   $f (typed $want error, exit 0)"
+  fi
+done
+
+ok=0
+for f in "$corpus"/*.ok.jsonl; do
+  [ -e "$f" ] || continue
+  ok=$((ok + 1))
+  replay "$f"
+  got=$?
+  if ! check_common "$f" "$got"; then
+    failures=$((failures + 1))
+  elif grep -q '"ok":false' "$out_file"; then
+    echo "FAIL $f: error response in an all-good stream" >&2
+    sed 's/^/  out: /' "$out_file" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok   $f (all responses ok, exit 0)"
+  fi
+done
+
+if [ "$bad" -lt 8 ] || [ "$ok" -lt 2 ]; then
+  echo "FAIL: server corpus incomplete ($bad bad, $ok ok files in $corpus)" >&2
+  failures=$((failures + 1))
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures server-corpus failure(s)" >&2
+  exit 1
+fi
+echo "server corpus clean: $bad malformed streams rejected with typed errors, $ok valid streams served"
