@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "server/cache_persist.hpp"
 #include "support/fault_injector.hpp"
 
 namespace pmsched {
@@ -22,9 +23,9 @@ std::uint64_t avalanche(std::uint64_t x) {
 
 DesignCache::DesignCache(std::size_t maxEntries) : maxEntries_(maxEntries) {}
 
-std::uint64_t DesignCache::keyHash(const CanonicalForm& form,
+std::uint64_t DesignCache::keyHash(std::uint64_t formHash,
                                    const DesignCacheOptions& options) {
-  std::uint64_t h = form.hash;
+  std::uint64_t h = formHash;
   h = avalanche(h ^ static_cast<std::uint64_t>(options.steps));
   h = avalanche(h ^ (static_cast<std::uint64_t>(options.ordering) << 8));
   h = avalanche(h ^ (options.optimal ? 0x11ULL : 0x22ULL));
@@ -35,7 +36,7 @@ std::uint64_t DesignCache::keyHash(const CanonicalForm& form,
 std::optional<CachedDesign> DesignCache::lookup(const CanonicalForm& form,
                                                 const DesignCacheOptions& options) {
   if (maxEntries_ == 0) return std::nullopt;
-  const std::uint64_t key = keyHash(form, options);
+  const std::uint64_t key = keyHash(form.hash, options);
   std::lock_guard<std::mutex> lock(mutex_);
   auto [it, end] = entries_.equal_range(key);
   for (; it != end; ++it) {
@@ -101,12 +102,13 @@ void DesignCache::insert(const CanonicalForm& form, const DesignCacheOptions& op
   }
 
   Entry entry;
+  entry.formHash = form.hash;
   entry.canonicalText = form.text;
   entry.options = options;
   entry.value.summary = outcome.summary;
   entry.value.ctrlEdges = encodeCtrlEdges(form, outcome.design.graph);
 
-  const std::uint64_t key = keyHash(form, options);
+  const std::uint64_t key = keyHash(form.hash, options);
   std::lock_guard<std::mutex> lock(mutex_);
   auto [it, end] = entries_.equal_range(key);
   for (; it != end; ++it) {
@@ -115,9 +117,33 @@ void DesignCache::insert(const CanonicalForm& form, const DesignCacheOptions& op
   }
   lru_.push_back(key);
   entry.lruIt = std::prev(lru_.end());
+
+  if (persist_) {
+    // Journal under the cache lock: an insert is already a miss (the slow
+    // path), and serializing with the emplace keeps journal order == cache
+    // order. A failed append only costs durability, never the live entry.
+    PersistRecord record;
+    record.hash = entry.formHash;
+    record.canonicalText = entry.canonicalText;
+    record.options = entry.options;
+    record.value = entry.value;
+    if (!persist_->append(record)) {
+      ++stats_.journalAppendFailures;
+    } else if (persist_->appendsSinceSnapshot() >= persist_->compactEvery()) {
+      entries_.emplace(key, std::move(entry));
+      ++stats_.inserts;
+      if (!persist_->writeSnapshot(exportRecordsLocked())) ++stats_.journalAppendFailures;
+      evictToCapacityLocked();
+      return;
+    }
+  }
+
   entries_.emplace(key, std::move(entry));
   ++stats_.inserts;
+  evictToCapacityLocked();
+}
 
+void DesignCache::evictToCapacityLocked() {
   while (entries_.size() > maxEntries_ && !lru_.empty()) {
     const std::uint64_t coldest = lru_.front();
     auto [eit, eend] = entries_.equal_range(coldest);
@@ -130,6 +156,67 @@ void DesignCache::insert(const CanonicalForm& form, const DesignCacheOptions& op
     lru_.pop_front();
     ++stats_.evictions;
   }
+}
+
+void DesignCache::insertRestoredLocked(PersistRecord&& record) {
+  // Restores skip the "cache-insert" fault site and the journal: they came
+  // FROM the journal, and re-appending them would double the file per boot.
+  const std::uint64_t key = keyHash(record.hash, record.options);
+  auto [it, end] = entries_.equal_range(key);
+  for (; it != end; ++it) {
+    if (it->second.options == record.options &&
+        it->second.canonicalText == record.canonicalText)
+      return;  // snapshot + journal overlap after a mid-compaction crash
+  }
+  Entry entry;
+  entry.formHash = record.hash;
+  entry.canonicalText = std::move(record.canonicalText);
+  entry.options = record.options;
+  entry.value = std::move(record.value);
+  lru_.push_back(key);
+  entry.lruIt = std::prev(lru_.end());
+  entries_.emplace(key, std::move(entry));
+  evictToCapacityLocked();
+}
+
+std::vector<PersistRecord> DesignCache::exportRecordsLocked() const {
+  // Coldest-first (lru_ front) so replaying the snapshot in file order
+  // rebuilds the same recency ranking the cache had when it was written.
+  // Same-bucket coincidences make the key ambiguous, so match entries to
+  // LRU positions by iterator identity; n is bounded by maxEntries_, and
+  // compaction/drain are off the request path, so O(n^2) is fine here.
+  std::vector<PersistRecord> records;
+  records.reserve(entries_.size());
+  for (auto lruIt = lru_.begin(); lruIt != lru_.end(); ++lruIt) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.lruIt == lruIt) {
+        PersistRecord record;
+        record.hash = it->second.formHash;
+        record.canonicalText = it->second.canonicalText;
+        record.options = it->second.options;
+        record.value = it->second.value;
+        records.push_back(std::move(record));
+        break;
+      }
+    }
+  }
+  return records;
+}
+
+void DesignCache::enablePersistence(std::unique_ptr<CachePersistence> persist) {
+  if (maxEntries_ == 0 || !persist) return;
+  CachePersistence::LoadResult loaded = persist->load();
+  std::lock_guard<std::mutex> lock(mutex_);
+  persist_ = std::move(persist);
+  for (PersistRecord& record : loaded.records) insertRestoredLocked(std::move(record));
+  stats_.journalReplayed += loaded.replayed;
+  stats_.journalSkipped += loaded.skipped;
+}
+
+bool DesignCache::flushSnapshot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!persist_) return true;
+  return persist_->writeSnapshot(exportRecordsLocked());
 }
 
 std::vector<std::pair<std::uint32_t, std::uint32_t>> DesignCache::encodeCtrlEdges(

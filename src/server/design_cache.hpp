@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -36,6 +37,9 @@
 #include "server/service.hpp"
 
 namespace pmsched {
+
+class CachePersistence;  // server/cache_persist.hpp
+struct PersistRecord;
 
 /// Pipeline-steering options folded into the cache key.
 struct DesignCacheOptions {
@@ -63,6 +67,10 @@ struct DesignCacheStats {
   std::uint64_t evictions = 0;
   std::uint64_t rejectedDegraded = 0;  ///< insert() refused a degraded result
   std::uint64_t insertFailures = 0;    ///< cache-insert fault site fired
+  // Persistence (zero unless enablePersistence() was called):
+  std::uint64_t journalReplayed = 0;        ///< records restored at startup
+  std::uint64_t journalSkipped = 0;         ///< corrupt/truncated tails dropped
+  std::uint64_t journalAppendFailures = 0;  ///< appends lost to fault/IO error
 };
 
 class DesignCache {
@@ -108,19 +116,34 @@ class DesignCache {
                                                const CanonicalForm& form,
                                                const Graph& requestGraph);
 
+  /// Attach a persistence backend: replay its snapshot + journal into the
+  /// cache (coldest-first, so LRU recency survives a restart), then journal
+  /// every subsequent insert() and compact periodically. A no-op when the
+  /// cache is disabled (maxEntries == 0). Call once, before serving starts.
+  void enablePersistence(std::unique_ptr<CachePersistence> persist);
+
+  /// Rewrite the snapshot from the current canonical entries and truncate
+  /// the journal (the drain path calls this). True when not persistent or
+  /// the write succeeded.
+  bool flushSnapshot();
+
   [[nodiscard]] DesignCacheStats stats() const;
   [[nodiscard]] std::size_t size() const;
 
  private:
   struct Entry {
+    std::uint64_t formHash = 0;  ///< CanonicalForm::hash (persisted verbatim)
     std::string canonicalText;
     DesignCacheOptions options;
     CachedDesign value;
     std::list<std::uint64_t>::iterator lruIt;  ///< position in lru_
   };
 
-  [[nodiscard]] static std::uint64_t keyHash(const CanonicalForm& form,
+  [[nodiscard]] static std::uint64_t keyHash(std::uint64_t formHash,
                                              const DesignCacheOptions& options);
+  void insertRestoredLocked(PersistRecord&& record);
+  void evictToCapacityLocked();
+  [[nodiscard]] std::vector<PersistRecord> exportRecordsLocked() const;
 
   struct ExactEntry {
     std::string resultJson;
@@ -135,6 +158,9 @@ class DesignCache {
   /// Exact-request memo (front level), bounded by the same maxEntries_.
   std::unordered_map<std::string, ExactEntry> exact_;
   std::list<std::string> exactLru_;
+  /// Snapshot + journal backend; null when the cache is memory-only. Guarded
+  /// by mutex_ (journal appends serialize with the insert that caused them).
+  std::unique_ptr<CachePersistence> persist_;
   DesignCacheStats stats_;
 };
 

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 
 #include "cdfg/textio.hpp"
 #include "sched/condition.hpp"
+#include "server/cache_persist.hpp"
 #include "support/fault_injector.hpp"
 #include "support/json.hpp"
 #include "support/run_budget.hpp"
@@ -21,19 +23,28 @@ constexpr std::size_t kSmallBurst = 4;
 }  // namespace
 
 ServerCore::ServerCore(ServerOptions options)
-    : options_(options), cache_(options.cacheEntries) {
+    : options_(std::move(options)), cache_(options_.cacheEntries) {
+  // Restore the warm cache BEFORE any worker can serve: a restarted server
+  // answers its first isomorphic repeat from the replayed journal.
+  if (!options_.cachePersistPath.empty() && options_.cacheEntries != 0)
+    cache_.enablePersistence(std::make_unique<CachePersistence>(options_.cachePersistPath,
+                                                                options_.compactEvery));
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i)
     workers_.emplace_back([this] { workerLoop(); });
 }
 
 ServerCore::~ServerCore() {
+  requestShutdown();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ServerCore::requestShutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     shutdown_ = true;
   }
   queueCv_.notify_all();
-  for (std::thread& t : workers_) t.join();
 }
 
 bool ServerCore::submitFrame(const std::string& line, ResponseSink sink) {
@@ -132,6 +143,12 @@ bool ServerCore::submitFrame(const std::string& line, ResponseSink sink) {
               .key("small").value(static_cast<std::int64_t>(s.queuedSmall))
               .key("large").value(static_cast<std::int64_t>(s.queuedLarge))
           .endObject()
+          .key("supervision").beginObject()
+              .key("worker_restarts").value(static_cast<std::int64_t>(s.workerRestarts))
+              .key("retries").value(static_cast<std::int64_t>(s.retries))
+              .key("deadline_trips").value(static_cast<std::int64_t>(s.deadlineTrips))
+              .key("drain_abandoned").value(static_cast<std::int64_t>(s.drainAbandoned))
+          .endObject()
           .key("cache").beginObject()
               .key("hits").value(static_cast<std::int64_t>(s.cache.hits))
               .key("exact_hits").value(static_cast<std::int64_t>(s.cache.exactHits))
@@ -140,6 +157,9 @@ bool ServerCore::submitFrame(const std::string& line, ResponseSink sink) {
               .key("evictions").value(static_cast<std::int64_t>(s.cache.evictions))
               .key("rejected_degraded").value(static_cast<std::int64_t>(s.cache.rejectedDegraded))
               .key("insert_failures").value(static_cast<std::int64_t>(s.cache.insertFailures))
+              .key("journal_replayed").value(static_cast<std::int64_t>(s.cache.journalReplayed))
+              .key("journal_skipped").value(static_cast<std::int64_t>(s.cache.journalSkipped))
+              .key("journal_append_failures").value(static_cast<std::int64_t>(s.cache.journalAppendFailures))
           .endObject()
           .endObject();
       sink(makeResultResponse(frame.idJson, w.str()));
@@ -154,6 +174,8 @@ bool ServerCore::submitFrame(const std::string& line, ResponseSink sink) {
         leaked = sessions_.size();
       }
       queueCv_.notify_all();
+      // The transport observes the false return and runs the same drain()
+      // path a signal does — this op only flips the flag and reports leaks.
       JsonWriter w;
       w.beginObject()
           .key("stopped")
@@ -247,27 +269,94 @@ bool ServerCore::popJob(Job& out, bool wait) {
 }
 
 void ServerCore::workerLoop() {
-  // Private lanes for this worker: the whole pipeline below resolves
-  // globalThreadPool() to this pool, so concurrent requests never contend
-  // for the single-coordinator process pool.
-  ScopedComputePool scope(options_.threadsPerWorker);
-  Job job;
-  while (popJob(job, /*wait=*/true)) {
-    processJob(job);
-    // Bound warm state between tenants: pinned nodes survive, the epoch
-    // advances, and the next request re-warms only what it touches.
-    trimDnfProbabilityManager(options_.warmDnfCap);
-    finishJob();
+  // Supervision loop: each iteration is one incarnation of this worker. A
+  // job whose exception escapes processJob() ends the incarnation — the
+  // warm thread-local arenas are quarantined (they may be mid-mutation) and
+  // the compute pool is rebuilt — then the next iteration starts a fresh
+  // incarnation on the same OS thread, so the worker pool never shrinks.
+  for (;;) {
+    // Private lanes for this worker: the whole pipeline below resolves
+    // globalThreadPool() to this pool, so concurrent requests never contend
+    // for the single-coordinator process pool.
+    ScopedComputePool scope(options_.threadsPerWorker);
+    bool crashed = false;
+    Job job;
+    while (!crashed && popJob(job, /*wait=*/true)) {
+      crashed = runJobSupervised(job);
+      // Bound warm state between tenants: pinned nodes survive, the epoch
+      // advances, and the next request re-warms only what it touches. A
+      // crash instead quarantines EVERYTHING (cap 0 = full clear below).
+      if (!crashed) trimDnfProbabilityManager(options_.warmDnfCap);
+    }
+    if (!crashed) return;  // clean shutdown: queues drained, flag set
+    trimDnfProbabilityManager(0);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.workerRestarts;
+    }
   }
 }
 
 bool ServerCore::drainOne() {
   Job job;
   if (!popJob(job, /*wait=*/false)) return false;
-  processJob(job);
-  trimDnfProbabilityManager(options_.warmDnfCap);
-  finishJob();
+  // Same supervised path the workers run, so workers == 0 tests exercise
+  // crash handling deterministically on the calling thread.
+  const bool crashed = runJobSupervised(job);
+  trimDnfProbabilityManager(crashed ? 0 : options_.warmDnfCap);
+  if (crashed) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.workerRestarts;
+  }
   return true;
+}
+
+bool ServerCore::runJobSupervised(Job& job) {
+  try {
+    // The "worker-crash" site models a fault INSIDE the worker but outside
+    // the per-job typed catches — exactly what supervision exists for.
+    fault::point("worker-crash");
+    processJob(job);
+    finishJob();
+    return false;
+  } catch (const std::exception& e) {
+    superviseCrash(std::move(job), e.what());
+    return true;
+  } catch (...) {
+    superviseCrash(std::move(job), "unknown worker failure");
+    return true;
+  }
+}
+
+void ServerCore::superviseCrash(Job&& job, const std::string& what) {
+  if (!job.responded && job.attempts == 0) {
+    // One bounded retry: fresh incarnation, cache bypassed (the warm path
+    // may be what crashed), short backoff so a transient fault can clear.
+    // The job stays in-flight, so waitIdle()/drain() still cover it, and it
+    // re-enters through its size class without an admission check — it was
+    // already admitted once.
+    if (options_.retryBackoffMs > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(options_.retryBackoffMs));
+    job.attempts = 1;
+    job.bypassCache = true;
+    const bool small = job.design.graphText.size() <= options_.smallRequestBytes;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.retries;
+      (small ? smallQueue_ : largeQueue_).push_back(std::move(job));
+    }
+    queueCv_.notify_one();
+    return;
+  }
+  if (!job.responded) {
+    // Retry also crashed (or the first crash was not retryable): the
+    // requester gets a typed internal error, never silence.
+    job.responded = true;
+    job.sink(makeErrorResponse(job.idJson, ServerErrorCategory::Internal, what));
+  }
+  // Crash after the response was sent (e.g. during memoization): nothing to
+  // resend — the requester already has the correct answer.
+  finishJob();
 }
 
 namespace {
@@ -295,9 +384,10 @@ std::string exactRequestKey(const DesignRequest& d) {
 void ServerCore::processJob(Job& job) {
   try {
     // Budgeted runs are wall-clock-dependent, so they neither consult nor
-    // feed the cache — a replay could disagree with a live run.
-    const bool cacheable =
-        job.design.cache && !job.design.hasBudget() && options_.cacheEntries != 0;
+    // feed the cache — a replay could disagree with a live run. A retried
+    // job also bypasses it: the warm path may be what crashed attempt 0.
+    const bool cacheable = job.design.cache && !job.design.hasBudget() &&
+                           !job.bypassCache && options_.cacheEntries != 0;
 
     // Level 1: byte-identical repeat of an earlier request — answer from
     // the memo without touching the graph at all.
@@ -305,6 +395,7 @@ void ServerCore::processJob(Job& job) {
     if (cacheable) {
       exactKey = exactRequestKey(job.design);
       if (auto memo = cache_.lookupExact(exactKey)) {
+        job.responded = true;
         job.sink(makeResultResponse(job.idJson, *memo));
         return;
       }
@@ -335,6 +426,7 @@ void ServerCore::processJob(Job& job) {
         }
         const std::string resultJson =
             makeDesignResultJson(hit->summary, text, /*cacheHit=*/true);
+        job.responded = true;
         job.sink(makeResultResponse(job.idJson, resultJson));
         cache_.insertExact(exactKey, resultJson);
         return;
@@ -354,11 +446,28 @@ void ServerCore::processJob(Job& job) {
         budgetStorage.setDnfTermCap(static_cast<std::size_t>(job.design.budgetDnfTerms));
       budget = &budgetStorage;
     }
+    // Server-side default deadline: applied only when the request sent no
+    // deadline of its own (a client `budget.ms` always wins; the other caps
+    // compose). Keeps a pathological graph from pinning this worker slot.
+    const bool defaultDeadline =
+        options_.defaultDeadlineMs > 0 && job.design.budgetMs == 0;
+    if (defaultDeadline) {
+      budgetStorage.setDeadline(std::chrono::milliseconds(options_.defaultDeadlineMs));
+      budget = &budgetStorage;
+    }
 
     const DesignOutcome outcome = runDesignJob(dj, budget);
+    if (defaultDeadline && budgetStorage.exhaustedWhy() == BudgetKind::Deadline) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.deadlineTrips;
+    }
+    // A default-deadline run that did NOT degrade is identical to an
+    // unbudgeted one (the budget never tripped), so caching it is sound;
+    // insert() rejects the degraded case on its own.
     if (cacheable) cache_.insert(form, copts, outcome);
     const std::string text =
         job.design.emitDesign ? saveGraphText(outcome.design.graph) : std::string();
+    job.responded = true;
     job.sink(makeDesignResponse(job.idJson, outcome.summary, text, /*cacheHit=*/false));
     // Memoize under the raw request too (the stored variant reads
     // cache_hit:true, which is what a future memo hit is). Degraded
@@ -367,16 +476,20 @@ void ServerCore::processJob(Job& job) {
       cache_.insertExact(exactKey,
                          makeDesignResultJson(outcome.summary, text, /*cacheHit=*/true));
   } catch (const ServerError& e) {
+    job.responded = true;
     job.sink(makeErrorResponse(job.idJson, e.category(), e.what()));
   } catch (const ParseError& e) {
+    job.responded = true;
     job.sink(makeErrorResponse(job.idJson, ServerErrorCategory::Parse, e.what()));
   } catch (const InfeasibleError& e) {
+    job.responded = true;
     job.sink(makeErrorResponse(job.idJson, ServerErrorCategory::Infeasible, e.what()));
   } catch (const BudgetExceededError& e) {
+    job.responded = true;
     job.sink(makeErrorResponse(job.idJson, ServerErrorCategory::Budget, e.what()));
-  } catch (const std::exception& e) {
-    job.sink(makeErrorResponse(job.idJson, ServerErrorCategory::Internal, e.what()));
   }
+  // No catch-all: anything else escaping here IS a worker crash. The
+  // supervision layer (runJobSupervised) owns retry-or-typed-internal.
 }
 
 void ServerCore::finishJob() {
@@ -391,6 +504,47 @@ void ServerCore::finishJob() {
 void ServerCore::waitIdle() {
   std::unique_lock<std::mutex> lock(mutex_);
   idleCv_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void ServerCore::drain() {
+  requestShutdown();
+  bool expired = false;
+  try {
+    fault::point("drain-deadline");
+  } catch (const FaultInjectedError&) {
+    // Clean degradation: pretend the deadline already passed — queued work
+    // fails out typed immediately, running work is still waited out.
+    expired = true;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!expired)
+    idleCv_.wait_for(lock, std::chrono::milliseconds(options_.drainDeadlineMs),
+                     [this] { return inFlight_ == 0; });
+  if (inFlight_ != 0) {
+    // Deadline hit with work still pending. Jobs still QUEUED get a typed
+    // error now (their sinks run below, outside the lock); jobs already
+    // RUNNING on a worker are un-abandonable mid-pipeline, so those are
+    // waited out unbounded — they always terminate (budgets bound them).
+    std::deque<Job> abandoned;
+    abandoned.swap(smallQueue_);
+    while (!largeQueue_.empty()) {
+      abandoned.push_back(std::move(largeQueue_.front()));
+      largeQueue_.pop_front();
+    }
+    stats_.drainAbandoned += abandoned.size();
+    stats_.completed += abandoned.size();
+    inFlight_ -= abandoned.size();
+    lock.unlock();
+    for (Job& job : abandoned)
+      job.sink(makeErrorResponse(job.idJson, ServerErrorCategory::Admission,
+                                 "server drained before this request ran"));
+    lock.lock();
+    idleCv_.wait(lock, [this] { return inFlight_ == 0; });
+  }
+  lock.unlock();
+  // The snapshot is a pure optimization (the journal already has every
+  // insert), but flushing compacts the pair for the next boot.
+  cache_.flushSnapshot();
 }
 
 bool ServerCore::shutdownRequested() const {

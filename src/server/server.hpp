@@ -22,6 +22,7 @@
 // thread for control ops and on a worker thread for design ops — transports
 // serialize their writes.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -47,6 +48,21 @@ struct ServerOptions {
   /// DnfEngine probability-arena cap kept warm between requests on each
   /// worker (live pinned nodes always survive the trim).
   std::size_t warmDnfCap = 1 << 16;
+  /// Server-side default RunBudget deadline applied to every design request
+  /// that did not send its own `budget.ms` (0 = no default). A request's
+  /// own deadline always wins; the other budget caps compose unchanged.
+  std::uint64_t defaultDeadlineMs = 0;
+  /// How long drain() waits for in-flight work before failing still-QUEUED
+  /// requests with a typed error (running jobs are always waited out).
+  std::uint64_t drainDeadlineMs = 5000;
+  /// Pause before the single automatic retry of an internal-failed request
+  /// (tests set 0 to keep supervision deterministic and fast).
+  std::uint64_t retryBackoffMs = 10;
+  /// Snapshot + journal file for the canonical design cache (empty = the
+  /// cache is memory-only). The journal lives at "<path>.journal".
+  std::string cachePersistPath;
+  /// Journal appends between snapshot compactions.
+  std::size_t compactEvery = 1024;
 };
 
 /// Counters reported by the "stats" op and asserted by the tests.
@@ -61,6 +77,11 @@ struct ServerStats {
   std::uint64_t sessionsPeak = 0;
   std::uint64_t queuedSmall = 0;  ///< current depths
   std::uint64_t queuedLarge = 0;
+  // Supervision counters (the chaos harness asserts recovery through these):
+  std::uint64_t workerRestarts = 0;  ///< crashed workers rebuilt (arenas quarantined)
+  std::uint64_t retries = 0;         ///< internal-failed requests retried once
+  std::uint64_t deadlineTrips = 0;   ///< server default deadline degraded a run
+  std::uint64_t drainAbandoned = 0;  ///< queued jobs failed out at drain deadline
   DesignCacheStats cache;
 };
 
@@ -90,6 +111,19 @@ class ServerCore {
   /// Block until every admitted design request has completed.
   void waitIdle();
 
+  /// Stop accepting design requests (they now get a typed "server is
+  /// shutting down" rejection) and wake every waiting worker. Idempotent;
+  /// the `shutdown` op, SIGTERM/SIGINT, and the destructor all route here.
+  void requestShutdown();
+
+  /// The one drain path: requestShutdown(), wait up to
+  /// options.drainDeadlineMs for in-flight work, fail any job still QUEUED
+  /// at the deadline with a typed error, wait out the jobs actually running
+  /// on workers, then flush the cache snapshot. Fires the "drain-deadline"
+  /// fault site on entry (a fault means the deadline is treated as already
+  /// expired — queued work fails out typed, nothing hangs or leaks).
+  void drain();
+
   [[nodiscard]] bool shutdownRequested() const;
   [[nodiscard]] ServerStats statsSnapshot() const;
   /// Sessions still open (the shutdown response reports this as
@@ -102,6 +136,9 @@ class ServerCore {
     std::string session;
     DesignRequest design;
     ResponseSink sink;
+    std::uint32_t attempts = 0;  ///< supervised retries already consumed
+    bool bypassCache = false;    ///< retry runs fresh, in case warm state crashed it
+    bool responded = false;      ///< sink already called — supervision must not resend
   };
 
   void handleDesign(RequestFrame&& frame, ResponseSink& sink);
@@ -110,6 +147,12 @@ class ServerCore {
   /// anti-starvation cap). Test mode: non-blocking. Worker mode: waits.
   bool popJob(Job& out, bool wait);
   void workerLoop();
+  /// Run one job under supervision: any exception escaping processJob()
+  /// (injected faults included) is caught here and either retried once
+  /// (backoff + cache bypass) or answered with a typed `internal` error.
+  /// Returns true when the worker crashed and must quarantine its arenas.
+  bool runJobSupervised(Job& job);
+  void superviseCrash(Job&& job, const std::string& what);
   void finishJob();
 
   ServerOptions options_;

@@ -1,8 +1,10 @@
 #include "server/transport.hpp"
 
+#include <atomic>
 #include <istream>
 #include <mutex>
 #include <ostream>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -21,6 +23,16 @@
 
 namespace pmsched {
 
+namespace {
+
+std::atomic<bool> globalDrain{false};
+
+}  // namespace
+
+void requestGlobalDrain() { globalDrain.store(true, std::memory_order_relaxed); }
+bool globalDrainRequested() { return globalDrain.load(std::memory_order_relaxed); }
+void clearGlobalDrain() { globalDrain.store(false, std::memory_order_relaxed); }
+
 int serveStdio(ServerCore& core, std::istream& in, std::ostream& out) {
   std::mutex writeMutex;  // design responses arrive from worker threads
   auto sink = [&](const std::string& line) {
@@ -30,13 +42,17 @@ int serveStdio(ServerCore& core, std::istream& in, std::ostream& out) {
   };
   std::string line;
   bool serving = true;
-  while (serving && std::getline(in, line)) {
+  // A signal mid-getline fails the stream with EINTR (no SA_RESTART), so
+  // every exit from this loop — EOF, shutdown op, SIGTERM/SIGINT — lands in
+  // the same drain below.
+  while (serving && !globalDrainRequested() && std::getline(in, line)) {
     if (line.empty()) continue;  // blank lines between frames are allowed
     serving = core.submitFrame(line, sink);
   }
-  // EOF (or shutdown): let every admitted request finish and respond
-  // before the process exits — no request is ever silently dropped.
-  core.waitIdle();
+  // One drain path: every admitted request is answered (typed, if the drain
+  // deadline fails it out of the queue) and the cache snapshot is flushed —
+  // no request is ever silently dropped, and the exit code stays 0.
+  core.drain();
   return 0;
 }
 
@@ -44,9 +60,35 @@ int serveStdio(ServerCore& core, std::istream& in, std::ostream& out) {
 
 namespace {
 
+/// Open-connection registry: drain must unblock connection threads parked
+/// in recv() (an idle client would otherwise stall the listener's join
+/// forever). shutdownAll() half-closes the read side; recv returns 0 and
+/// the connection falls into its normal teardown. remove() happens BEFORE
+/// close() so the registry never touches a recycled descriptor.
+class ConnectionRegistry {
+ public:
+  void add(int fd) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fds_.insert(fd);
+  }
+  void remove(int fd) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fds_.erase(fd);
+  }
+  void shutdownAll() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const int fd : fds_) ::shutdown(fd, SHUT_RD);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::set<int> fds_;
+};
+
 /// One connection: assemble '\n'-delimited frames from the byte stream and
 /// submit them; responses are written back under a per-connection mutex.
-void serveConnection(ServerCore& core, int fd, std::size_t maxBuffered) {
+void serveConnection(ServerCore& core, ConnectionRegistry& registry, int fd,
+                     std::size_t maxBuffered) {
   std::mutex writeMutex;
   auto sink = [&](const std::string& line) {
     std::lock_guard<std::mutex> lock(writeMutex);
@@ -90,6 +132,7 @@ void serveConnection(ServerCore& core, int fd, std::size_t maxBuffered) {
   // Workers may still hold this connection's sink (it captures fd and the
   // write mutex by reference) — drain them before tearing either down.
   core.waitIdle();
+  registry.remove(fd);
   ::close(fd);
 }
 
@@ -118,12 +161,13 @@ int serveUnixSocket(ServerCore& core, const std::string& path) {
   // Frames are capped by the core's limit; allow double for the transport
   // buffer so the cap itself produces the typed response, not a disconnect.
   const std::size_t maxBuffered = 2 * (1u << 20);
+  ConnectionRegistry registry;
   std::vector<std::thread> connections;
-  while (!core.shutdownRequested()) {
+  while (!core.shutdownRequested() && !globalDrainRequested()) {
     pollfd pfd{listener, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, 200);  // wake to re-check shutdown
+    const int ready = ::poll(&pfd, 1, 200);  // wake to re-check shutdown/drain
     if (ready < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) continue;  // signal: condition re-checked above
       break;
     }
     if (ready == 0) continue;
@@ -132,10 +176,16 @@ int serveUnixSocket(ServerCore& core, const std::string& path) {
       if (errno == EINTR) continue;
       break;
     }
-    connections.emplace_back([&core, fd, maxBuffered] { serveConnection(core, fd, maxBuffered); });
+    registry.add(fd);
+    connections.emplace_back([&core, &registry, fd, maxBuffered] {
+      serveConnection(core, registry, fd, maxBuffered);
+    });
   }
+  // Unblock every connection parked in recv() (idle clients would stall the
+  // joins forever), then join and run the single drain path.
+  registry.shutdownAll();
   for (std::thread& t : connections) t.join();
-  core.waitIdle();
+  core.drain();
   ::close(listener);
   ::unlink(path.c_str());
   return 0;

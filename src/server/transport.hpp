@@ -9,6 +9,12 @@
 //    connection speaks the same JSONL protocol. A "shutdown" request from
 //    any connection stops the listener.
 //
+// Both transports end through ServerCore::drain(): stop accepting, fail
+// queued work typed if the drain deadline passes, wait out running work,
+// flush the cache snapshot, exit 0. SIGTERM/SIGINT reach the same path via
+// requestGlobalDrain() — the CLI installs handlers WITHOUT SA_RESTART so a
+// blocked stdin read fails with EINTR and falls into the drain.
+//
 // Response ordering: control ops respond in submission order on the
 // submitting connection; design responses arrive as workers finish, so
 // concurrent clients must match responses by "id", not by position.
@@ -19,6 +25,14 @@
 namespace pmsched {
 
 class ServerCore;
+
+/// Ask every running transport loop to drain (async-signal-safe: one atomic
+/// store — this is exactly what the CLI's SIGTERM/SIGINT handlers call).
+void requestGlobalDrain();
+/// Observed by the transport loops between frames / accept timeouts.
+[[nodiscard]] bool globalDrainRequested();
+/// Reset the flag (tests drive several servers in one process).
+void clearGlobalDrain();
 
 /// Pump `in` line-by-line into `core`, writing responses to `out` (one
 /// line each, flushed). Returns the process exit code (0 — framing and

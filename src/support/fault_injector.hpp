@@ -41,10 +41,13 @@ namespace fault {
 /// Every compiled-in injection site (docs + the CI fault matrix iterate it).
 [[nodiscard]] std::span<const std::string_view> sites();
 
-/// Arm "site:nth" (nth is 1-based; ":nth" optional, default 1), or disarm
-/// with an empty spec. Overrides PMSCHED_FAULT. Not thread-safe against
-/// concurrent point() calls — arm before the run starts (tests do; the env
-/// variable is parsed before any thread can hit a point).
+/// Arm a comma-separated schedule of "site[:nth]" entries (nth is 1-based,
+/// default 1; entries naming the same site share its hit counter, so
+/// "worker-crash:1,worker-crash:3" fires on the 1st AND 3rd hit — this is
+/// what the chaos harness arms). Disarm with an empty spec. Overrides
+/// PMSCHED_FAULT (same grammar). Not thread-safe against concurrent point()
+/// calls — arm before the run starts (tests do; the env variable is parsed
+/// before any thread can hit a point).
 void arm(std::string_view spec);
 
 /// Fire-check for one site. Cheap when disarmed.

@@ -202,21 +202,52 @@ TEST(RunBudget, DeadlineBoundsTheOptimalSearch) {
 TEST(FaultInjector, SiteListIsStable) {
   KnobGuard guard;
   const auto sites = fault::sites();
-  ASSERT_EQ(sites.size(), 11u);
+  ASSERT_EQ(sites.size(), 15u);
   bool foundParse = false;
   bool foundSift = false;
   bool foundServeFrame = false;
   bool foundCacheInsert = false;
+  bool foundWorkerCrash = false;
+  bool foundJournalWrite = false;
+  bool foundSnapshotLoad = false;
+  bool foundDrainDeadline = false;
   for (const auto site : sites) {
     foundParse |= (site == "parse-stmt");
     foundSift |= (site == "bdd-sift");
     foundServeFrame |= (site == "serve-frame");
     foundCacheInsert |= (site == "cache-insert");
+    foundWorkerCrash |= (site == "worker-crash");
+    foundJournalWrite |= (site == "cache-journal-write");
+    foundSnapshotLoad |= (site == "cache-snapshot-load");
+    foundDrainDeadline |= (site == "drain-deadline");
   }
   EXPECT_TRUE(foundParse);
   EXPECT_TRUE(foundSift);
   EXPECT_TRUE(foundServeFrame);
   EXPECT_TRUE(foundCacheInsert);
+  EXPECT_TRUE(foundWorkerCrash);
+  EXPECT_TRUE(foundJournalWrite);
+  EXPECT_TRUE(foundSnapshotLoad);
+  EXPECT_TRUE(foundDrainDeadline);
+}
+
+TEST(FaultInjector, CommaSeparatedScheduleSharesPerSiteCounters) {
+  KnobGuard guard;
+  // Two entries on one site: the 1st AND 3rd hit fire, the 2nd passes.
+  fault::arm("parse-stmt:1,parse-stmt:3");
+  EXPECT_THROW(fault::point("parse-stmt"), FaultInjectedError);
+  EXPECT_NO_THROW(fault::point("parse-stmt"));
+  EXPECT_THROW(fault::point("parse-stmt"), FaultInjectedError);
+  EXPECT_NO_THROW(fault::point("parse-stmt"));
+  // Entries on different sites count independently.
+  fault::arm("parse-stmt:2,cache-insert:1");
+  EXPECT_THROW(fault::point("cache-insert"), FaultInjectedError);
+  EXPECT_NO_THROW(fault::point("parse-stmt"));
+  EXPECT_THROW(fault::point("parse-stmt"), FaultInjectedError);
+  // Unknown sites in a schedule never fire and do not disturb known ones.
+  fault::arm("no-such-site:1,parse-stmt:1");
+  EXPECT_THROW(fault::point("parse-stmt"), FaultInjectedError);
+  fault::arm("");
 }
 
 TEST(FaultInjector, ArmedSiteFiresOnNthHitWithTypedError) {

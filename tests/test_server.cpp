@@ -5,17 +5,23 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "cdfg/analysis.hpp"
 #include "cdfg/textio.hpp"
 #include "server/server.hpp"
 #include "server/service.hpp"
 #include "server/transport.hpp"
+#include "support/fault_injector.hpp"
 #include "support/json.hpp"
 #include "support/random_dfg.hpp"
 
@@ -362,6 +368,187 @@ TEST(Server, ConcurrentSessionsComplete) {
   const ServerStats stats = core.statsSnapshot();
   EXPECT_EQ(stats.accepted, static_cast<std::uint64_t>(kClients * kRequests));
   EXPECT_EQ(stats.completed, stats.accepted);
+}
+
+// ---- supervision, deadlines, drain, restart (PR 9) -------------------------
+
+/// Disarm the fault injector even when an assertion fails mid-test.
+struct FaultGuard {
+  ~FaultGuard() { fault::arm(""); }
+};
+
+TEST(Server, WorkerCrashIsRetriedInvisibly) {
+  FaultGuard guard;
+  const std::string text = saveGraphText(randomLayeredDfg(3, 3, 7));
+
+  ServerOptions opts;
+  opts.workers = 0;  // deterministic: we drain on this thread
+  opts.retryBackoffMs = 0;
+  std::string clean;
+  {
+    ServerCore core(opts);
+    std::vector<std::string> out;
+    core.submitFrame(designFrame(1, text, 8), [&](const std::string& l) { out.push_back(l); });
+    while (core.drainOne()) {
+    }
+    ASSERT_EQ(out.size(), 1u);
+    clean = out[0];
+  }
+
+  fault::arm("worker-crash:1");
+  ServerCore core(opts);
+  std::vector<std::string> out;
+  core.submitFrame(designFrame(1, text, 8), [&](const std::string& l) { out.push_back(l); });
+  while (core.drainOne()) {
+  }
+  fault::arm("");
+
+  // The crash is invisible to the requester: exactly one response, and it is
+  // byte-identical to the crash-free run (the retry bypasses the cache, so
+  // cache_hit stays false on both sides).
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], clean);
+  const ServerStats stats = core.statsSnapshot();
+  EXPECT_EQ(stats.workerRestarts, 1u);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(Server, CrashOnTheRetryYieldsOneTypedInternalError) {
+  FaultGuard guard;
+  ServerOptions opts;
+  opts.workers = 0;
+  opts.retryBackoffMs = 0;
+  ServerCore core(opts);
+  const std::string text = saveGraphText(randomLayeredDfg(3, 3, 7));
+
+  fault::arm("worker-crash:1,worker-crash:2");  // first attempt AND the retry
+  std::vector<std::string> out;
+  core.submitFrame(designFrame(1, text, 8), [&](const std::string& l) { out.push_back(l); });
+  while (core.drainOne()) {
+  }
+  fault::arm("");
+
+  ASSERT_EQ(out.size(), 1u) << "never silence, never a duplicate";
+  const JsonValue response = parseJson(out[0]);
+  EXPECT_EQ(errorCategory(response), "internal");
+  EXPECT_EQ(field(response, "id").asInt(), 1);
+  const ServerStats stats = core.statsSnapshot();
+  EXPECT_EQ(stats.workerRestarts, 2u);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(Server, DefaultDeadlineBoundsUnbudgetedRequests) {
+  ServerOptions opts;
+  opts.workers = 0;
+  opts.defaultDeadlineMs = 1;
+  ServerCore core(opts);
+
+  // An exact-DFS request big enough that a 1 ms deadline must trip; the
+  // response is still a valid design, just degraded — same contract as a
+  // client-sent budget.
+  const Graph g = randomLayeredDfg(64, 6, 1);
+  const int steps = criticalPathLength(g) + 2;
+  std::vector<std::string> out;
+  core.submitFrame(designFrame(1, saveGraphText(g), steps, ",\"optimal\":true"),
+                   [&](const std::string& l) { out.push_back(l); });
+  while (core.drainOne()) {
+  }
+  ASSERT_EQ(out.size(), 1u);
+  const JsonValue degraded = parseJson(out[0]);
+  EXPECT_TRUE(field(degraded, "ok").asBool());
+  EXPECT_TRUE(field(field(degraded, "result"), "degraded").asBool());
+  EXPECT_GE(core.statsSnapshot().deadlineTrips, 1u);
+
+  // A client budget always wins over the server default: with a generous
+  // budget.ms the same request is NOT cut off at 1 ms.
+  out.clear();
+  const std::string small = saveGraphText(randomLayeredDfg(3, 3, 7));
+  core.submitFrame(designFrame(2, small, 8, ",\"budget\":{\"ms\":60000}"),
+                   [&](const std::string& l) { out.push_back(l); });
+  while (core.drainOne()) {
+  }
+  ASSERT_EQ(out.size(), 1u);
+  const JsonValue budgeted = parseJson(out[0]);
+  EXPECT_TRUE(field(budgeted, "ok").asBool());
+  EXPECT_FALSE(field(field(budgeted, "result"), "degraded").asBool());
+}
+
+TEST(Server, DrainFailsQueuedWorkTypedAndCountsIt) {
+  ServerOptions opts;
+  opts.workers = 0;  // nothing ever picks the jobs up
+  opts.drainDeadlineMs = 10;
+  ServerCore core(opts);
+  const std::string text = saveGraphText(randomLayeredDfg(3, 3, 7));
+
+  std::vector<std::string> out;
+  auto sink = [&](const std::string& l) { out.push_back(l); };
+  core.submitFrame(designFrame(1, text, 8), sink);
+  core.submitFrame(designFrame(2, text, 8), sink);
+  EXPECT_TRUE(out.empty());
+  core.drain();
+
+  ASSERT_EQ(out.size(), 2u) << "every admitted request is answered";
+  for (const std::string& line : out) {
+    EXPECT_EQ(errorCategory(parseJson(line)), "admission");
+    EXPECT_NE(line.find("drained"), std::string::npos) << line;
+  }
+  const ServerStats stats = core.statsSnapshot();
+  EXPECT_EQ(stats.drainAbandoned, 2u);
+  EXPECT_EQ(stats.completed, 2u);  // the books balance: nothing stays in flight
+}
+
+TEST(Server, RestartWithPersistedCacheServesIdenticalWarmResponses) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / ("pmsched_server_restart_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  const std::string persist = (dir / "design.cache").string();
+
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.cachePersistPath = persist;
+  const std::string text = saveGraphText(randomLayeredDfg(4, 4, 21));
+  const std::string frame = designFrame(1, text, 9);
+
+  std::string first;
+  {
+    ServerCore core(opts);
+    const JsonValue r = roundTrip(core, frame);
+    ASSERT_TRUE(field(r, "ok").asBool());
+    EXPECT_FALSE(field(field(r, "result"), "cache_hit").asBool());
+    std::vector<std::string> out;
+    core.submitFrame(frame, [&](const std::string& l) { out.push_back(l); });
+    core.waitIdle();
+    first = out.at(0);
+  }  // destroyed WITHOUT drain: the journal alone carries the entry
+
+  // kill -9 model: the journal ends mid-record; the valid prefix must load.
+  {
+    std::ofstream tail(persist + ".journal", std::ios::binary | std::ios::app);
+    tail << "GARBAGE-TAIL";
+  }
+
+  ServerCore restarted(opts);
+  std::vector<std::string> out;
+  restarted.submitFrame(frame, [&](const std::string& l) { out.push_back(l); });
+  restarted.waitIdle();
+  ASSERT_EQ(out.size(), 1u);
+  // Warm hit, and byte-identical to the pre-restart response (which was
+  // itself a cache hit, so even the cache_hit flag matches).
+  EXPECT_EQ(out[0], first);
+  EXPECT_NE(out[0].find("\"cache_hit\":true"), std::string::npos);
+  const ServerStats stats = restarted.statsSnapshot();
+  EXPECT_GE(stats.cache.hits, 1u);
+  // The first run journaled exactly one canonical insert (its second
+  // response was a memo hit, which adds nothing); the garbage tail is
+  // counted, not fatal.
+  EXPECT_EQ(stats.cache.journalReplayed, 1u);
+  EXPECT_EQ(stats.cache.journalSkipped, 1u);
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
 }
 
 }  // namespace

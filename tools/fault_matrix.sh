@@ -89,11 +89,17 @@ run_site_clean bdd-sift --random-dfg 16x6:2
 # expected shape.
 run_serve_site() {
   local site=$1 want=$2 script=$3
+  shift 3  # remaining args are extra server flags (e.g. --cache-persist)
   local out_file stderr_file
   out_file=$(mktemp)
   stderr_file=$(mktemp)
-  printf '%s\n' "$script" |
-    PMSCHED_FAULT="$site:1" timeout 60 "$pmsched" --serve \
+  # Frames go in one at a time with a short gap so async design work (and
+  # its cache insert) lands before a later stats frame reads the counters.
+  while IFS= read -r frame_line; do
+    printf '%s\n' "$frame_line"
+    sleep 0.3
+  done <<<"$script" |
+    PMSCHED_FAULT="$site:1" timeout 60 "$pmsched" --serve "$@" \
       >"$out_file" 2>"$stderr_file"
   local got=$?
   if [ "$got" -ne 0 ]; then
@@ -138,8 +144,39 @@ $design_frame
 $ping_frame
 $stats_frame"
 
+# Supervision + persistence sites (PR 9). worker-crash: the crash fires
+# INSIDE the worker before any typed catch; supervision quarantines the
+# arenas, restarts the incarnation, and the single automatic retry answers
+# the request ok -- the client never sees the crash.
+run_serve_site worker-crash '"id":1,"ok":true' \
+  "$design_frame
+$ping_frame"
+
+persist_dir=$(mktemp -d)
+# cache-journal-write: the journal append after the first insert faults ->
+# the response is already correct and still served; the failure is counted,
+# the cache itself stays warm, the server keeps serving.
+run_serve_site cache-journal-write '"journal_append_failures":1' \
+  "$design_frame
+$ping_frame
+$stats_frame" \
+  --cache-persist "$persist_dir/jw.cache"
+# cache-snapshot-load: the startup load faults -> cold start (counted as one
+# skipped record), the server comes up and serves normally.
+run_serve_site cache-snapshot-load '"journal_skipped":1' \
+  "$ping_frame
+$stats_frame" \
+  --cache-persist "$persist_dir/sl.cache"
+# drain-deadline: the fault expires the drain deadline at EOF -> in-flight
+# work already answered, the snapshot still flushes, exit stays 0.
+run_serve_site drain-deadline '"id":1,"ok":true' \
+  "$design_frame
+$ping_frame" \
+  --cache-persist "$persist_dir/dd.cache"
+rm -rf "$persist_dir"
+
 if [ "$failures" -ne 0 ]; then
   echo "$failures fault-matrix failure(s)" >&2
   exit 1
 fi
-echo "fault matrix clean: 7 sites produced a structured internal diagnostic, bdd-sift and the 3 server sites degraded cleanly"
+echo "fault matrix clean: 7 sites produced a structured internal diagnostic, bdd-sift and the 7 server-side sites degraded cleanly"

@@ -41,6 +41,16 @@
 //   --serve-cache N       canonical-form cache entries (default 256, 0 = off)
 //   --serve-threads N     pool lanes per worker (default: --threads /
 //                         PMSCHED_THREADS / hardware)
+//   --default-deadline-ms N  server-side RunBudget deadline wrapped around
+//                         every design request that sent no budget.ms of
+//                         its own (0 = off); a degraded-by-deadline result
+//                         is typed, never a hung worker slot
+//   --cache-persist PATH  snapshot + append-only journal for the canonical
+//                         design cache; a restarted server replays the
+//                         valid prefix and starts warm
+//   --drain-deadline-ms N how long a drain (EOF, shutdown op, SIGTERM/
+//                         SIGINT) waits for in-flight work before failing
+//                         still-queued requests typed (default 5000)
 //
 // Run budget (see docs/ROBUSTNESS.md for the per-stage contract):
 //
@@ -62,6 +72,10 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#endif
 
 #include "alloc/binding.hpp"
 #include "analysis/report.hpp"
@@ -135,6 +149,9 @@ struct Options {
   std::size_t serveMaxFrame = 1 << 20;
   std::size_t serveCache = 256;
   std::size_t serveThreads = 0;  ///< lanes per worker (0 = configured)
+  std::uint64_t defaultDeadlineMs = 0;  ///< 0 = no server-side deadline
+  std::uint64_t drainDeadlineMs = 5000;
+  std::string cachePersistPath;
 
   // Run budget (0 = unlimited / not set).
   long long budgetMs = 0;
@@ -157,7 +174,8 @@ void printUsage(std::ostream& os) {
         "       pmsched --calibration [--threads N]\n"
         "       pmsched --serve [--serve-socket PATH] [--serve-workers N]\n"
         "               [--serve-queue N] [--serve-max-frame N] [--serve-cache N]\n"
-        "               [--serve-threads N]\n";
+        "               [--serve-threads N] [--default-deadline-ms N]\n"
+        "               [--cache-persist PATH] [--drain-deadline-ms N]\n";
 }
 
 /// Strict integer parsing: the whole token must be a number in [lo, hi].
@@ -245,6 +263,11 @@ Options parseArgs(int argc, char** argv) {
       opts.serveCache = static_cast<std::size_t>(nextInt("--serve-cache", 0, 1 << 20));
     else if (arg == "--serve-threads")
       opts.serveThreads = static_cast<std::size_t>(nextInt("--serve-threads", 1, 4096));
+    else if (arg == "--default-deadline-ms")
+      opts.defaultDeadlineMs = static_cast<std::uint64_t>(nextInt("--default-deadline-ms", 0, 1LL << 32));
+    else if (arg == "--drain-deadline-ms")
+      opts.drainDeadlineMs = static_cast<std::uint64_t>(nextInt("--drain-deadline-ms", 0, 1LL << 32));
+    else if (arg == "--cache-persist") opts.cachePersistPath = next("--cache-persist");
     else if (arg == "--budget-ms") opts.budgetMs = nextInt("--budget-ms", 1, 1LL << 32);
     else if (arg == "--budget-probes") opts.budgetProbes = nextInt("--budget-probes", 1, INT64_MAX);
     else if (arg == "--budget-bdd-nodes")
@@ -263,7 +286,9 @@ Options parseArgs(int argc, char** argv) {
   }
   if (!opts.serve) {
     if (!opts.serveSocket.empty() || opts.serveWorkers != 2 || opts.serveQueue != 64 ||
-        opts.serveMaxFrame != (1u << 20) || opts.serveCache != 256 || opts.serveThreads != 0)
+        opts.serveMaxFrame != (1u << 20) || opts.serveCache != 256 || opts.serveThreads != 0 ||
+        opts.defaultDeadlineMs != 0 || opts.drainDeadlineMs != 5000 ||
+        !opts.cachePersistPath.empty())
       throw UsageError("--serve-* options require --serve");
   } else {
     if (!opts.inputPath.empty() || opts.steps != 0 || opts.randomDfg)
@@ -293,6 +318,23 @@ int printCalibration(const Options& opts) {
   return kExitOk;
 }
 
+/// SIGTERM/SIGINT land here: one async-signal-safe atomic store; the
+/// transport loops notice and run the graceful drain (exit 0).
+extern "C" void serveSignalHandler(int) { requestGlobalDrain(); }
+
+/// Install the drain handlers WITHOUT SA_RESTART: a blocked stdin read must
+/// fail with EINTR so serveStdio falls out of getline into the drain.
+void installDrainSignalHandlers() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct sigaction action {};
+  action.sa_handler = serveSignalHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+#endif
+}
+
 /// --serve: hand the process over to the multi-tenant server core.
 int runServe(const Options& opts) {
   if (opts.threads > 0) setThreadCount(static_cast<std::size_t>(opts.threads));
@@ -304,6 +346,10 @@ int runServe(const Options& opts) {
   serverOpts.maxFrameBytes = opts.serveMaxFrame;
   serverOpts.cacheEntries = opts.serveCache;
   serverOpts.threadsPerWorker = opts.serveThreads;
+  serverOpts.defaultDeadlineMs = opts.defaultDeadlineMs;
+  serverOpts.drainDeadlineMs = opts.drainDeadlineMs;
+  serverOpts.cachePersistPath = opts.cachePersistPath;
+  installDrainSignalHandlers();
   ServerCore core(serverOpts);
   if (!opts.serveSocket.empty()) {
     try {

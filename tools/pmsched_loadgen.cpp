@@ -20,6 +20,17 @@
 // When the tool spawned the server it also shuts it down at the end and
 // fails if the server leaked sessions or exited non-zero, so a CI smoke run
 // is a single command.
+//
+// --chaos is the soak harness (requires --server BIN): each round spawns a
+// fresh server with a RANDOM fault schedule over the full fault-site
+// registry (PMSCHED_FAULT="site:nth,site:nth,..."), drives session traffic,
+// and asserts the crash-resilience contract: the server keeps serving (ping
+// after the burst), every response is either byte-identical to the
+// in-process one-shot run of the same request or a TYPED error, zero
+// sessions leak, and the process exits 0. A final round SIGKILLs the server
+// mid-load and restarts it with the same --cache-persist path, asserting the
+// journal's valid prefix replays and responses stay byte-identical with the
+// cache warm.
 
 #include <algorithm>
 #include <atomic>
@@ -30,8 +41,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <cerrno>
 #include <map>
 #include <mutex>
+#include <random>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -39,6 +52,9 @@
 
 #include "cdfg/analysis.hpp"
 #include "cdfg/textio.hpp"
+#include "server/protocol.hpp"
+#include "server/service.hpp"
+#include "support/fault_injector.hpp"
 #include "support/json.hpp"
 #include "support/random_dfg.hpp"
 
@@ -70,13 +86,20 @@ struct Options {
   bool noDesign = false;    // send "emit_design":false (summary-only)
   bool optimal = false;     // send "optimal":true (exhaustive timeframe search)
   bool check = false;       // differential mode (see file comment)
+  bool chaos = false;       // randomized fault-schedule soak (see file comment)
+  int chaosRounds = 5;      // fault rounds before the kill-restart round
+  std::uint64_t chaosSeed = 1;
+  std::string cachePersistPath;  // --cache-persist for the spawned server
+  long long defaultDeadlineMs = 0;  // --default-deadline-ms for the server
 };
 
 [[noreturn]] void usageError(const std::string& msg) {
   std::cerr << "pmsched_loadgen: " << msg << "\n"
             << "usage: pmsched_loadgen (--server BIN | --socket PATH)\n"
             << "         [--requests N] [--clients C] [--steps K] [--unique U]\n"
-            << "         [--large-every M] [--serve-workers W] [--no-cache] [--check]\n";
+            << "         [--large-every M] [--serve-workers W] [--no-cache] [--check]\n"
+            << "         [--chaos] [--chaos-rounds R] [--chaos-seed S]\n"
+            << "         [--cache-persist PATH] [--default-deadline-ms N]\n";
   std::exit(2);
 }
 
@@ -118,10 +141,19 @@ Options parseArgs(int argc, char** argv) {
     else if (a == "--no-design") o.noDesign = true;
     else if (a == "--optimal") o.optimal = true;
     else if (a == "--check") o.check = true;
+    else if (a == "--chaos") o.chaos = true;
+    else if (a == "--chaos-rounds") o.chaosRounds = parseInt(a, next(), 1, 1 << 12);
+    else if (a == "--chaos-seed")
+      o.chaosSeed = static_cast<std::uint64_t>(parseInt(a, next(), 0, INT32_MAX));
+    else if (a == "--cache-persist") o.cachePersistPath = next();
+    else if (a == "--default-deadline-ms")
+      o.defaultDeadlineMs = parseInt(a, next(), 0, INT32_MAX);
     else usageError("unknown option '" + a + "'");
   }
   if (o.serverBin.empty() == o.socketPath.empty())
     usageError("exactly one of --server or --socket is required");
+  if (o.chaos && o.serverBin.empty())
+    usageError("--chaos spawns and kills servers itself; it requires --server BIN");
   return o;
 }
 
@@ -136,17 +168,38 @@ std::string quoted(const std::string& s) {
 #ifdef PMSCHED_LOADGEN_POSIX
 
 /// Line-framed client connection to the server's Unix socket.
+///
+/// `retryBudgetMs` > 0 retries TRANSIENT connect failures (ECONNREFUSED
+/// while the listener's backlog is momentarily full, ENOENT while the
+/// socket file is still being bound) with exponential backoff — 1 ms
+/// doubling to a 200 ms cap — plus up to 25% random jitter so simultaneous
+/// clients do not retry in lockstep. Non-transient errors fail immediately.
 class LineConn {
  public:
-  explicit LineConn(const std::string& path) {
-    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd_ < 0) return;
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
-    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  explicit LineConn(const std::string& path, int retryBudgetMs = 0) {
+    std::mt19937 jitterRng(
+        static_cast<std::uint32_t>(::getpid()) ^
+        static_cast<std::uint32_t>(std::chrono::steady_clock::now().time_since_epoch().count()));
+    double delayMs = 1.0;
+    const auto giveUp =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(retryBudgetMs);
+    for (;;) {
+      fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd_ < 0) return;
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+      if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) return;
+      const int err = errno;
       ::close(fd_);
       fd_ = -1;
+      const bool transient = err == ECONNREFUSED || err == ENOENT || err == EAGAIN;
+      if (!transient || retryBudgetMs <= 0 || std::chrono::steady_clock::now() >= giveUp)
+        return;
+      const double jitter =
+          1.0 + 0.25 * std::uniform_real_distribution<double>(0.0, 1.0)(jitterRng);
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delayMs * jitter));
+      delayMs = std::min(delayMs * 2.0, 200.0);
     }
   }
   ~LineConn() {
@@ -228,7 +281,9 @@ RunResult runClients(const Options& o, const std::vector<std::string>& frames,
   threads.reserve(static_cast<std::size_t>(o.clients));
   for (int c = 0; c < o.clients; ++c) {
     threads.emplace_back([&, c] {
-      LineConn conn(o.socketPath);
+      // A 2s retry budget rides out transient ECONNREFUSED while many
+      // clients pile onto a freshly-bound listener.
+      LineConn conn(o.socketPath, /*retryBudgetMs=*/2000);
       if (!conn.ok()) {
         connectFailed = true;
         return;
@@ -308,42 +363,52 @@ double percentile(std::vector<double>& sorted, double p) {
   return sorted[std::min(idx, sorted.size() - 1)];
 }
 
-int runLoadgen(const Options& optsIn) {
-  Options o = optsIn;
-  pid_t serverPid = -1;
-  if (!o.serverBin.empty()) {
-    o.socketPath = "/tmp/pmsched_loadgen_" + std::to_string(::getpid()) + ".sock";
-    const std::string workers = std::to_string(o.serveWorkers);
-    serverPid = ::fork();
-    if (serverPid == 0) {
-      ::execlp(o.serverBin.c_str(), o.serverBin.c_str(), "--serve",
-               "--serve-socket", o.socketPath.c_str(), "--serve-workers",
-               workers.c_str(), static_cast<char*>(nullptr));
-      std::perror("pmsched_loadgen: exec");
-      std::_Exit(127);
-    }
-    if (serverPid < 0) {
-      std::cerr << "loadgen: fork failed\n";
-      return 3;
-    }
-    // Wait for the socket to accept connections (up to ~10s).
-    bool up = false;
-    for (int i = 0; i < 1000 && !up; ++i) {
-      LineConn probe(o.socketPath);
-      up = probe.ok();
-      if (!up) std::this_thread::sleep_for(std::chrono::milliseconds(10));
-    }
-    if (!up) {
-      std::cerr << "loadgen: spawned server never came up at " << o.socketPath << "\n";
-      ::kill(serverPid, SIGKILL);
-      return 3;
-    }
+/// Fork + exec `BIN --serve --serve-socket PATH ...`, arming PMSCHED_FAULT
+/// in the child when `faultSpec` is non-empty. Returns the child pid (< 0 on
+/// fork failure).
+pid_t spawnServer(const Options& o, const std::string& socketPath,
+                  const std::string& faultSpec) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  if (!faultSpec.empty())
+    ::setenv("PMSCHED_FAULT", faultSpec.c_str(), 1);
+  else
+    ::unsetenv("PMSCHED_FAULT");
+  std::vector<std::string> args = {o.serverBin,       "--serve",
+                                   "--serve-socket",  socketPath,
+                                   "--serve-workers", std::to_string(o.serveWorkers)};
+  if (!o.cachePersistPath.empty()) {
+    args.emplace_back("--cache-persist");
+    args.push_back(o.cachePersistPath);
   }
+  if (o.defaultDeadlineMs > 0) {
+    args.emplace_back("--default-deadline-ms");
+    args.push_back(std::to_string(o.defaultDeadlineMs));
+  }
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& s : args) argv.push_back(s.data());
+  argv.push_back(nullptr);
+  ::execvp(argv[0], argv.data());
+  std::perror("pmsched_loadgen: exec");
+  std::_Exit(127);
+}
 
-  // Pregenerate the request pool: small graphs by default, a large one
-  // every --large-every requests, --unique distinct seeds rotated through.
-  // Steps are clamped to each graph's critical path so every request is
-  // feasible regardless of the --large shape.
+/// Poll until the socket accepts a connection (the spawned server is up).
+bool waitSocketUp(const std::string& path, int budgetMs) {
+  for (int waited = 0; waited < budgetMs; waited += 10) {
+    LineConn probe(path);
+    if (probe.ok()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+/// Pregenerate the request pool: small graphs by default, a large one every
+/// --large-every requests, --unique distinct seeds rotated through. Steps
+/// are clamped to each graph's critical path so every request is feasible
+/// regardless of the --large shape.
+std::vector<std::string> buildFrames(const Options& o) {
   std::vector<std::pair<std::string, int>> smallGraphs, largeGraphs;  // text, steps
   for (int u = 0; u < o.unique; ++u) {
     const Graph small = randomLayeredDfg(3, 4, 100 + static_cast<std::uint64_t>(u));
@@ -369,6 +434,27 @@ int runLoadgen(const Options& optsIn) {
     f << "}";
     frames.push_back(f.str());
   }
+  return frames;
+}
+
+int runLoadgen(const Options& optsIn) {
+  Options o = optsIn;
+  pid_t serverPid = -1;
+  if (!o.serverBin.empty()) {
+    o.socketPath = "/tmp/pmsched_loadgen_" + std::to_string(::getpid()) + ".sock";
+    serverPid = spawnServer(o, o.socketPath, /*faultSpec=*/"");
+    if (serverPid < 0) {
+      std::cerr << "loadgen: fork failed\n";
+      return 3;
+    }
+    if (!waitSocketUp(o.socketPath, 10000)) {
+      std::cerr << "loadgen: spawned server never came up at " << o.socketPath << "\n";
+      ::kill(serverPid, SIGKILL);
+      return 3;
+    }
+  }
+
+  const std::vector<std::string> frames = buildFrames(o);
 
   CheckState check;
   RunResult r = runClients(o, frames, check);
@@ -420,6 +506,323 @@ int runLoadgen(const Options& optsIn) {
   return 0;
 }
 
+// ---- chaos soak harness ----------------------------------------------------
+
+struct ChaosStats {
+  std::uint64_t okMatched = 0;       ///< ok responses byte-identical to one-shot
+  std::uint64_t okMismatched = 0;    ///< ok responses that differ — a failure
+  std::uint64_t typedErrors = 0;     ///< faulted requests that degraded cleanly
+  std::uint64_t untypedFailures = 0; ///< error responses without a category — a failure
+  std::uint64_t transportErrors = 0;
+  std::uint64_t cacheHits = 0;
+  std::uint64_t workerRestarts = 0;  ///< accumulated from the stats op
+  std::uint64_t retries = 0;
+  std::uint64_t deadlineTrips = 0;
+  std::uint64_t journalReplayed = 0;
+  std::uint64_t journalSkipped = 0;
+};
+
+bool isTypedError(const std::string& response) {
+  for (const char* category :
+       {"protocol", "parse", "usage", "admission", "infeasible", "budget", "internal"}) {
+    if (response.find("\"category\":\"" + std::string(category) + "\"") != std::string::npos)
+      return true;
+  }
+  return false;
+}
+
+/// One-shot expected response per distinct frame, computed IN-PROCESS with
+/// the same runDesignJob() the CLI executes — this is the byte-identity
+/// oracle the chaos assertions compare against (modulo the cache_hit flag).
+std::map<std::string, std::string> computeExpected(const std::vector<std::string>& frames) {
+  std::map<std::string, std::string> expected;
+  for (const std::string& frame : frames) {
+    if (expected.count(frame) != 0) continue;
+    const RequestFrame rf = parseRequestFrame(frame, /*maxFrameBytes=*/0);
+    DesignJob dj;
+    dj.graph = loadGraphText(rf.design.graphText);
+    dj.steps = rf.design.steps;
+    dj.ordering = rf.design.ordering;
+    dj.optimal = rf.design.optimal;
+    dj.shared = rf.design.shared;
+    const DesignOutcome outcome = runDesignJob(dj);
+    const std::string text =
+        rf.design.emitDesign ? saveGraphText(outcome.design.graph) : std::string();
+    expected.emplace(
+        frame, stripCacheHit(makeDesignResponse(rf.idJson, outcome.summary, text, false)));
+  }
+  return expected;
+}
+
+/// Drive one round of session traffic and score every response against the
+/// chaos contract. Transport errors are counted, not fatal (the kill round
+/// expects them); the caller decides what is acceptable.
+void chaosTraffic(const Options& o, const std::vector<std::string>& frames,
+                  const std::map<std::string, std::string>& expected, int clients,
+                  ChaosStats& stats) {
+  std::mutex mergeMutex;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      ChaosStats local;
+      LineConn conn(o.socketPath, /*retryBudgetMs=*/2000);
+      std::string response;
+      const std::string session = "chaos-" + std::to_string(c);
+      bool sessionOpen = false;
+      if (conn.ok() &&
+          conn.sendLine(R"({"id":0,"op":"open_session","session":)" + quoted(session) +
+                        "}") &&
+          conn.recvLine(response)) {
+        sessionOpen = responseOk(response);
+      } else {
+        ++local.transportErrors;
+      }
+      if (conn.ok()) {
+        for (std::size_t j = static_cast<std::size_t>(c); j < frames.size();
+             j += static_cast<std::size_t>(clients)) {
+          std::string frame = frames[j];
+          if (sessionOpen)
+            frame.insert(frame.size() - 1, ",\"session\":" + quoted(session));
+          if (!conn.sendLine(frame) || !conn.recvLine(response)) {
+            ++local.transportErrors;
+            break;
+          }
+          if (responseOk(response)) {
+            if (response.find("\"cache_hit\":true") != std::string::npos) ++local.cacheHits;
+            if (stripCacheHit(response) == expected.at(frames[j])) {
+              ++local.okMatched;
+            } else {
+              ++local.okMismatched;
+              std::cerr << "chaos: MISMATCH\n  frame:    " << frames[j]
+                        << "\n  expected: " << expected.at(frames[j])
+                        << "\n  got:      " << stripCacheHit(response) << "\n";
+            }
+          } else if (isTypedError(response)) {
+            ++local.typedErrors;
+          } else {
+            ++local.untypedFailures;
+            std::cerr << "chaos: UNTYPED failure response: " << response << "\n";
+          }
+        }
+        if (sessionOpen) {
+          if (!conn.sendLine(R"({"id":0,"op":"close_session","session":)" + quoted(session) +
+                             "}") ||
+              !conn.recvLine(response))
+            ++local.transportErrors;
+        }
+      }
+      const std::lock_guard<std::mutex> lock(mergeMutex);
+      stats.okMatched += local.okMatched;
+      stats.okMismatched += local.okMismatched;
+      stats.typedErrors += local.typedErrors;
+      stats.untypedFailures += local.untypedFailures;
+      stats.transportErrors += local.transportErrors;
+      stats.cacheHits += local.cacheHits;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+/// Read one int field out of a stats-op response ("result" scope), -1 if absent.
+std::int64_t statsField(const JsonValue& response, const char* group, const char* field) {
+  if (const JsonValue* result = response.find("result"))
+    if (const JsonValue* g = result->find(group))
+      if (const JsonValue* f = g->find(field)) return f->asInt();
+  return -1;
+}
+
+/// Graceful end-of-round: ping (the server must still serve), harvest the
+/// supervision counters, shut down, and reap. Returns false on any contract
+/// violation (leaked sessions, non-zero exit, unreachable server).
+bool endRound(const Options& o, pid_t pid, ChaosStats& stats, std::int64_t& leaked,
+              int& serverExit) {
+  bool ok = true;
+  LineConn ctl(o.socketPath, /*retryBudgetMs=*/2000);
+  std::string response;
+  if (ctl.ok() && ctl.sendLine(R"({"id":0,"op":"ping"})") && ctl.recvLine(response) &&
+      response.find("\"pong\":true") != std::string::npos) {
+    // still serving after the fault burst — the tentpole property
+  } else {
+    std::cerr << "chaos: server stopped serving (ping failed)\n";
+    ok = false;
+  }
+  if (ctl.ok() && ctl.sendLine(R"({"id":0,"op":"stats"})") && ctl.recvLine(response)) {
+    const JsonValue v = parseJson(response);
+    const auto add = [&](std::uint64_t& acc, const char* group, const char* field) {
+      const std::int64_t value = statsField(v, group, field);
+      if (value > 0) acc += static_cast<std::uint64_t>(value);
+    };
+    add(stats.workerRestarts, "supervision", "worker_restarts");
+    add(stats.retries, "supervision", "retries");
+    add(stats.deadlineTrips, "supervision", "deadline_trips");
+    add(stats.journalReplayed, "cache", "journal_replayed");
+    add(stats.journalSkipped, "cache", "journal_skipped");
+  }
+  leaked = -1;
+  if (ctl.ok() && ctl.sendLine(R"({"id":0,"op":"shutdown"})") && ctl.recvLine(response)) {
+    const JsonValue v = parseJson(response);
+    if (const JsonValue* result = v.find("result"))
+      if (const JsonValue* l = result->find("leaked_sessions")) leaked = l->asInt();
+  }
+  if (leaked != 0) {
+    std::cerr << "chaos: leaked_sessions = " << leaked << "\n";
+    ok = false;
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  serverExit = WIFEXITED(status) ? WEXITSTATUS(status) : 128 + WTERMSIG(status);
+  if (serverExit != 0) {
+    std::cerr << "chaos: server exited " << serverExit << "\n";
+    ok = false;
+  }
+  return ok;
+}
+
+int runChaos(Options o) {
+  const std::string tag = std::to_string(::getpid());
+  o.socketPath = "/tmp/pmsched_chaos_" + tag + ".sock";
+  if (o.cachePersistPath.empty())
+    o.cachePersistPath = "/tmp/pmsched_chaos_" + tag + ".cache";
+  std::remove(o.cachePersistPath.c_str());
+  std::remove((o.cachePersistPath + ".journal").c_str());
+
+  const std::vector<std::string> frames = buildFrames(o);
+  const std::map<std::string, std::string> expected = computeExpected(frames);
+  const auto sites = fault::sites();
+  std::mt19937_64 rng(o.chaosSeed);
+
+  ChaosStats total;
+  bool failed = false;
+  int rounds = 0;
+  for (int round = 0; round < o.chaosRounds && !failed; ++round, ++rounds) {
+    // Random schedule: 1–3 site:nth entries over the WHOLE registry, nth in
+    // [1, 40] so faults land across the request stream, not only at warmup.
+    const int entries = 1 + static_cast<int>(rng() % 3);
+    std::string spec;
+    for (int e = 0; e < entries; ++e) {
+      if (e > 0) spec += ',';
+      spec += std::string(sites[rng() % sites.size()]);
+      spec += ':';
+      spec += std::to_string(1 + rng() % 40);
+    }
+    std::cerr << "chaos: round " << round << " PMSCHED_FAULT=" << spec << "\n";
+    const pid_t pid = spawnServer(o, o.socketPath, spec);
+    if (pid < 0 || !waitSocketUp(o.socketPath, 10000)) {
+      std::cerr << "chaos: server never came up (round " << round << ")\n";
+      if (pid > 0) ::kill(pid, SIGKILL);
+      failed = true;
+      break;
+    }
+    ChaosStats roundStats;
+    chaosTraffic(o, frames, expected, o.clients, roundStats);
+    std::int64_t leaked = -1;
+    int serverExit = 0;
+    if (!endRound(o, pid, roundStats, leaked, serverExit)) failed = true;
+    if (roundStats.okMismatched != 0 || roundStats.untypedFailures != 0 ||
+        roundStats.transportErrors != 0)
+      failed = true;
+    total.okMatched += roundStats.okMatched;
+    total.okMismatched += roundStats.okMismatched;
+    total.typedErrors += roundStats.typedErrors;
+    total.untypedFailures += roundStats.untypedFailures;
+    total.transportErrors += roundStats.transportErrors;
+    total.cacheHits += roundStats.cacheHits;
+    total.workerRestarts += roundStats.workerRestarts;
+    total.retries += roundStats.retries;
+    total.deadlineTrips += roundStats.deadlineTrips;
+    total.journalReplayed += roundStats.journalReplayed;
+    total.journalSkipped += roundStats.journalSkipped;
+  }
+
+  // Kill-restart round: (1) a clean pass so every design is journaled, then
+  // (2) SIGKILL mid-load — no drain, no snapshot flush — plus a garbage tail
+  // appended to the journal, then (3) restart on the same persist path and
+  // replay everything: responses must still match the one-shot oracle, the
+  // valid journal prefix must be warm (cache hits), the garbage tolerated.
+  std::uint64_t restartReplayed = 0, restartSkipped = 0, restartCacheHits = 0;
+  if (!failed) {
+    pid_t pid = spawnServer(o, o.socketPath, "");
+    if (pid < 0 || !waitSocketUp(o.socketPath, 10000)) {
+      if (pid > 0) ::kill(pid, SIGKILL);
+      failed = true;
+    } else {
+      ChaosStats warm;
+      chaosTraffic(o, frames, expected, 1, warm);
+      if (warm.okMismatched != 0 || warm.untypedFailures != 0 || warm.typedErrors != 0 ||
+          warm.transportErrors != 0)
+        failed = true;
+      // Mid-load kill: fire a burst without waiting for the answers.
+      {
+        LineConn burst(o.socketPath, 2000);
+        for (const std::string& frame : frames)
+          if (!burst.ok() || !burst.sendLine(frame)) break;
+        ::kill(pid, SIGKILL);
+      }
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+      {  // corrupt the journal tail; restart must stop at the garbage
+        std::FILE* journal = std::fopen((o.cachePersistPath + ".journal").c_str(), "ab");
+        if (journal != nullptr) {
+          std::fputs("GARBAGE-TAIL", journal);
+          std::fclose(journal);
+        }
+      }
+      pid = spawnServer(o, o.socketPath, "");
+      if (pid < 0 || !waitSocketUp(o.socketPath, 10000)) {
+        if (pid > 0) ::kill(pid, SIGKILL);
+        failed = true;
+      } else {
+        ChaosStats replay;
+        chaosTraffic(o, frames, expected, 1, replay);
+        restartCacheHits = replay.cacheHits;
+        if (replay.okMismatched != 0 || replay.untypedFailures != 0 ||
+            replay.typedErrors != 0 || replay.transportErrors != 0)
+          failed = true;
+        if (replay.cacheHits == 0) {
+          std::cerr << "chaos: restarted server had ZERO cache hits — journal not warm\n";
+          failed = true;
+        }
+        std::int64_t leaked = -1;
+        int serverExit = 0;
+        ChaosStats restartStats;
+        if (!endRound(o, pid, restartStats, leaked, serverExit)) failed = true;
+        restartReplayed = restartStats.journalReplayed;
+        restartSkipped = restartStats.journalSkipped;
+        if (restartReplayed == 0) {
+          std::cerr << "chaos: restart replayed no journal records\n";
+          failed = true;
+        }
+        if (restartSkipped == 0) {
+          std::cerr << "chaos: corrupt journal tail was not counted as skipped\n";
+          failed = true;
+        }
+      }
+    }
+  }
+
+  std::remove(o.cachePersistPath.c_str());
+  std::remove((o.cachePersistPath + ".journal").c_str());
+
+  JsonWriter w;
+  w.beginObject()
+      .key("chaos_rounds").value(static_cast<std::int64_t>(rounds))
+      .key("ok_matched").value(static_cast<std::int64_t>(total.okMatched))
+      .key("ok_mismatched").value(static_cast<std::int64_t>(total.okMismatched))
+      .key("typed_errors").value(static_cast<std::int64_t>(total.typedErrors))
+      .key("untyped_failures").value(static_cast<std::int64_t>(total.untypedFailures))
+      .key("transport_errors").value(static_cast<std::int64_t>(total.transportErrors))
+      .key("worker_restarts").value(static_cast<std::int64_t>(total.workerRestarts))
+      .key("retries").value(static_cast<std::int64_t>(total.retries))
+      .key("deadline_trips").value(static_cast<std::int64_t>(total.deadlineTrips))
+      .key("restart_journal_replayed").value(static_cast<std::int64_t>(restartReplayed))
+      .key("restart_journal_skipped").value(static_cast<std::int64_t>(restartSkipped))
+      .key("restart_cache_hits").value(static_cast<std::int64_t>(restartCacheHits))
+      .key("failed").value(failed)
+      .endObject();
+  std::cout << w.str() << "\n";
+  return failed ? 1 : 0;
+}
+
 #endif  // PMSCHED_LOADGEN_POSIX
 
 }  // namespace
@@ -427,6 +830,7 @@ int runLoadgen(const Options& optsIn) {
 int main(int argc, char** argv) {
   const Options o = parseArgs(argc, argv);
 #ifdef PMSCHED_LOADGEN_POSIX
+  if (o.chaos) return runChaos(o);
   return runLoadgen(o);
 #else
   (void)o;
