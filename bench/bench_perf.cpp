@@ -21,6 +21,7 @@
 #include "cdfg/textio.hpp"
 #include "circuits/circuits.hpp"
 #include "ctrl/controller.hpp"
+#include "explore/explore.hpp"
 #include "power/activation.hpp"
 #include "sched/bdd.hpp"
 #include "sched/force_directed.hpp"
@@ -419,6 +420,33 @@ void BM_ServerTailLatency(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ServerTailLatency)->UseRealTime();
+
+// Amortized design-space sweep vs the retained per-point loop, same graph
+// and range (docs/EXPLORE.md). The sweep spans cp..cp+128 so the
+// post-saturation region dominates — exactly the regime the amortization
+// targets; tools/bench_report.sh divides the pair into the "explore"
+// speedup recorded in BENCH_PR<n>.json.
+void BM_ExploreSweep(benchmark::State& state) {
+  ExploreRequest req;
+  req.graph = randomLayeredDfg(static_cast<int>(state.range(0)), 6, 1);
+  req.span = 128;
+  for (auto _ : state) {
+    ExploreResult res = exploreDesignSpace(req);
+    benchmark::DoNotOptimize(res.front.data());
+  }
+}
+BENCHMARK(BM_ExploreSweep)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_ExplorePerPoint(benchmark::State& state) {
+  ExploreRequest req;
+  req.graph = randomLayeredDfg(static_cast<int>(state.range(0)), 6, 1);
+  req.span = 128;
+  for (auto _ : state) {
+    ExploreResult res = explorePerPointReference(req);
+    benchmark::DoNotOptimize(res.front.data());
+  }
+}
+BENCHMARK(BM_ExplorePerPoint)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

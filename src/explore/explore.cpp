@@ -1,0 +1,318 @@
+#include "explore/explore.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "cdfg/analysis.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/resources.hpp"
+#include "sched/timeframe.hpp"
+#include "support/fault_injector.hpp"
+#include "support/json.hpp"
+#include "support/run_budget.hpp"
+
+namespace pmsched {
+
+namespace {
+
+/// Muxes whose gated sets contain at least one scheduled operation — the
+/// transform's candidate list (greedy and optimal agree on it; ordering
+/// only permutes it). Gated sets depend on data edges alone, so the count
+/// computed here on the INPUT graph matches what the transform sees.
+int fullCandidateCount(const Graph& g) {
+  const std::vector<NodeMask> cones = faninConeMasks(g);
+  int count = 0;
+  for (const NodeId m : g.nodesOfKind(OpKind::Mux)) {
+    const GatedSets sets = computeGatedSets(g, m, cones);
+    const auto scheduled = [&](const std::vector<NodeId>& nodes) {
+      return std::any_of(nodes.begin(), nodes.end(),
+                         [&](NodeId n) { return isScheduled(g.kind(n)); });
+    };
+    if (scheduled(sets.gatedTrue) || scheduled(sets.gatedFalse)) ++count;
+  }
+  return count;
+}
+
+/// Smallest budget in [minSteps, maxSteps] at which the UNION of every
+/// candidate's control edges is jointly feasible. Feasibility of an edge
+/// set is monotone in steps and every committed set is a subset of this
+/// union, so the transform is certain to saturate at or before this bound —
+/// a cheap predictive stat (the sweep itself uses the empirical
+/// certificate). -1 when even maxSteps cannot fit the union.
+int relaxedBoundSteps(const Graph& g, int minSteps, int maxSteps) {
+  const std::vector<NodeMask> cones = faninConeMasks(g);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (const NodeId m : g.nodesOfKind(OpKind::Mux)) {
+    const GatedSets sets = computeGatedSets(g, m, cones);
+    const auto scheduled = [&](const std::vector<NodeId>& nodes) {
+      return std::any_of(nodes.begin(), nodes.end(),
+                         [&](NodeId n) { return isScheduled(g.kind(n)); });
+    };
+    if (!scheduled(sets.gatedTrue) && !scheduled(sets.gatedFalse)) continue;
+    const NodeId ctrl = traceSelectProducer(g, m);
+    if (!isScheduled(g.kind(ctrl))) continue;  // PI-driven select: no edges
+    for (const NodeId t : sets.topTrue) edges.emplace_back(ctrl, t);
+    for (const NodeId t : sets.topFalse) edges.emplace_back(ctrl, t);
+  }
+  // Feasibility is monotone in the budget, so the least feasible s is found
+  // by binary search instead of a linear scan over the sweep range.
+  const auto feasibleAt = [&](int s) {
+    return computeTimeFrames(g, s, edges, LatencyModel::unit()).feasible(g);
+  };
+  if (!feasibleAt(maxSteps)) return -1;
+  int lo = minSteps, hi = maxSteps;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (feasibleAt(mid)) hi = mid;
+    else lo = mid + 1;
+  }
+  return lo;
+}
+
+/// An earlier front point already has strictly better latency, so it
+/// dominates a later candidate as soon as it is at least as good on both
+/// remaining axes.
+bool dominatedByFront(const std::vector<ExplorePoint>& front, double power, double area) {
+  return std::any_of(front.begin(), front.end(), [&](const ExplorePoint& p) {
+    return p.power >= power && p.area <= area;
+  });
+}
+
+/// The empirical saturation certificate (see the header): a clean run that
+/// managed every candidate and whose shared-gating pass rejected nothing
+/// for slack repeats its decisions verbatim at every looser budget.
+bool saturatedOutcome(const DesignOutcome& out, int fullCandidates) {
+  return !out.summary.degraded && out.design.managedCount() == fullCandidates &&
+         out.sharedGatingSlackRejects == 0;
+}
+
+void stopDegraded(ExploreResult& res, const RunBudget* budget) {
+  res.degraded = true;
+  res.degradeReason = "explore";
+  if (budget != nullptr)
+    budget->noteDegraded("explore",
+                         budget->exhaustedWhy().value_or(BudgetKind::Deadline),
+                         "sweep stopped; the front is a clean prefix");
+}
+
+ExploreResult runSweep(const ExploreRequest& req, const RunBudget* budget, bool amortize) {
+  req.graph.validate();
+  ExploreResult res;
+  res.circuit = req.graph.name();
+  res.ops = countOps(req.graph).totalUnits();
+  res.criticalPath = criticalPathLength(req.graph);
+  res.minSteps = req.minSteps > 0 ? req.minSteps : res.criticalPath;
+  res.maxSteps = req.maxSteps > 0 ? req.maxSteps : res.minSteps + std::max(req.span, 0);
+  res.mode = amortize ? "amortized" : "per-point";
+  res.ordering = req.ordering;
+  res.optimal = req.optimal;
+  res.shared = req.shared;
+  const int fullCandidates = fullCandidateCount(req.graph);
+  res.stats.candidates = fullCandidates;
+  res.stats.relaxedBoundSteps = relaxedBoundSteps(req.graph, res.minSteps, res.maxSteps);
+
+  // The saturated base: the full outcome whose design every later point
+  // copies. Its activation result is steps-independent, so basePower is the
+  // EXACT power of every amortized point — which is what makes pruning on
+  // (basePower, candidate area) equivalent to full evaluation.
+  std::optional<DesignOutcome> base;
+  double basePower = 0;
+  // Area floor of the amortized tail: minimized area is non-increasing in
+  // the step budget (a schedule feasible at s is feasible at s+1 with the
+  // same units), so ONE minimizeResources call at maxSteps bounds every
+  // remaining point from below. Once the front holds a point at or under
+  // that floor, every later point is provably dominated — the sweep stops
+  // paying for per-point resource minimization.
+  double floorArea = 0;
+  bool floorReached = false;
+
+  for (int s = res.minSteps; s <= res.maxSteps; ++s) {
+    if (budget != nullptr && budget->exhausted()) {
+      stopDegraded(res, budget);
+      break;
+    }
+    ++res.stats.pointsSwept;
+    try {
+      fault::point("explore-point");
+    } catch (const FaultInjectedError& e) {
+      res.skipped.push_back({s, "fault", e.what()});
+      continue;
+    }
+
+    DesignJob job;
+    job.graph = req.graph;
+    job.steps = s;
+    job.ordering = req.ordering;
+    job.optimal = req.optimal;
+    job.shared = req.shared;
+
+    try {
+      DesignOutcome out;
+      if (base.has_value()) {
+        if (floorReached) {
+          ++res.stats.pruned;
+          continue;
+        }
+        // Amortized point: only the steps-dependent tail can change. Prune
+        // before paying for it — power is constant past saturation, so the
+        // point enters the front iff its minimized area improves on it.
+        const ResourceVector units = minimizeResources(base->design.graph, s);
+        const double area = UnitCosts::defaults().costOf(units);
+        if (dominatedByFront(res.front, basePower, area)) {
+          ++res.stats.pruned;
+          continue;
+        }
+        ++res.stats.amortizedRuns;
+        out.design = base->design;
+        out.design.steps = s;
+        // The committed fixed point equals the from-scratch frames of the
+        // already-augmented graph (the oracle invariant both passes pin).
+        out.design.frames =
+            computeTimeFrames(out.design.graph, s, {}, out.design.latency);
+        out.sharedGated = base->sharedGated;
+        out.sharedGatingSlackRejects = base->sharedGatingSlackRejects;
+        out.activation = base->activation;
+        FinishOptions fin;
+        fin.units = &units;
+        fin.reuseActivation = true;
+        finishDesignJob(out, job, budget, fin);
+      } else {
+        ++res.stats.fullRuns;
+        out = runDesignJob(job, budget);
+      }
+
+      if (budget != nullptr && budget->exhausted()) {
+        // Keep the point only if it finished clean (then it is identical to
+        // the unbudgeted run's); a half-budgeted result never enters the
+        // front — that is what keeps the partial front a monotone prefix.
+        if (!out.summary.degraded) {
+          const double power = out.activation.reductionPercent(OpPowerModel::paperWeights());
+          const double area = UnitCosts::defaults().costOf(out.units);
+          if (!dominatedByFront(res.front, power, area))
+            res.front.push_back(ExplorePoint{s, out.summary, power, area});
+          else
+            ++res.stats.dominated;
+        }
+        stopDegraded(res, budget);
+        break;
+      }
+
+      const double power = out.activation.reductionPercent(OpPowerModel::paperWeights());
+      const double area = UnitCosts::defaults().costOf(out.units);
+      if (!dominatedByFront(res.front, power, area))
+        res.front.push_back(ExplorePoint{s, out.summary, power, area});
+      else
+        ++res.stats.dominated;
+
+      if (amortize && !base.has_value() && saturatedOutcome(out, fullCandidates)) {
+        res.stats.saturationSteps = s;
+        basePower = power;
+        base.emplace(std::move(out));
+        if (s < res.maxSteps)
+          floorArea = UnitCosts::defaults().costOf(
+              minimizeResources(base->design.graph, res.maxSteps));
+      }
+      // A hypothetical point at (basePower, floorArea) being dominated means
+      // every remaining point (whose area is >= the floor and whose power is
+      // exactly basePower) is dominated too.
+      if (base.has_value() && !floorReached)
+        floorReached = dominatedByFront(res.front, basePower, floorArea);
+    } catch (const InfeasibleError& e) {
+      res.skipped.push_back({s, "infeasible", e.what()});
+    } catch (const SynthesisError& e) {
+      // The one-shot run at this budget fails the same way (deterministic
+      // schedule/binding/activation), so skipping typed preserves the
+      // point-for-point equivalence: the point exists in neither world.
+      res.skipped.push_back({s, "synthesis", e.what()});
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+ExploreResult exploreDesignSpace(const ExploreRequest& req, const RunBudget* budget) {
+  return runSweep(req, budget, /*amortize=*/true);
+}
+
+ExploreResult explorePerPointReference(const ExploreRequest& req, const RunBudget* budget) {
+  return runSweep(req, budget, /*amortize=*/false);
+}
+
+namespace {
+
+const char* orderingName(MuxOrdering ordering) {
+  switch (ordering) {
+    case MuxOrdering::OutputFirst: return "output";
+    case MuxOrdering::InputFirst: return "input";
+    case MuxOrdering::BySavings: return "savings";
+  }
+  return "output";
+}
+
+void writeFront(JsonWriter& w, const ExploreResult& res) {
+  w.beginArray();
+  for (const ExplorePoint& p : res.front) {
+    w.beginObject()
+        .key("steps").value(p.steps)
+        .key("managed").value(p.summary.managed)
+        .key("shared_gated").value(p.summary.sharedGated)
+        .key("units").value(p.summary.units)
+        .key("area").value(p.area)
+        .key("reduction_percent").value(p.summary.reductionPercent)
+        .key("degraded").value(p.summary.degraded);
+    if (p.summary.degraded) w.key("degrade_reason").value(p.summary.degradeReason);
+    w.endObject();
+  }
+  w.endArray();
+}
+
+}  // namespace
+
+std::string renderExploreJson(const ExploreResult& res) {
+  JsonWriter w;
+  w.beginObject()
+      .key("circuit").value(res.circuit)
+      .key("ops").value(res.ops)
+      .key("critical_path").value(res.criticalPath)
+      .key("min_steps").value(res.minSteps)
+      .key("max_steps").value(res.maxSteps)
+      .key("mode").value(res.mode)
+      .key("ordering").value(orderingName(res.ordering))
+      .key("optimal").value(res.optimal)
+      .key("shared").value(res.shared)
+      .key("front");
+  writeFront(w, res);
+  w.key("skipped").beginArray();
+  for (const ExploreSkip& skip : res.skipped) {
+    w.beginObject()
+        .key("steps").value(skip.steps)
+        .key("kind").value(skip.kind)
+        .key("note").value(skip.note)
+        .endObject();
+  }
+  w.endArray();
+  w.key("stats").beginObject()
+      .key("points_swept").value(res.stats.pointsSwept)
+      .key("full_runs").value(res.stats.fullRuns)
+      .key("amortized_runs").value(res.stats.amortizedRuns)
+      .key("pruned").value(res.stats.pruned)
+      .key("dominated").value(res.stats.dominated)
+      .key("candidates").value(res.stats.candidates)
+      .key("saturation_steps").value(res.stats.saturationSteps)
+      .key("relaxed_bound_steps").value(res.stats.relaxedBoundSteps)
+      .endObject();
+  w.key("degraded").value(res.degraded);
+  if (res.degraded) w.key("degrade_reason").value(res.degradeReason);
+  w.endObject();
+  return w.str();
+}
+
+std::string renderExploreFrontJson(const ExploreResult& res) {
+  JsonWriter w;
+  writeFront(w, res);
+  return w.str();
+}
+
+}  // namespace pmsched

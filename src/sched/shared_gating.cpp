@@ -55,6 +55,12 @@ class SharedGatingPass {
     need_.resize(g_.size());
   }
 
+  /// Probeworthy candidates the oracle rejected for schedulability. Wave
+  /// rejections are only counted when their verdict is consumed (candidates
+  /// past a wave cut re-enter the next wave unconsumed), so the count is
+  /// identical to the sequential sweep's at any thread count.
+  [[nodiscard]] int slackRejects() const { return slackRejects_; }
+
   int run() {
     // Copy the order up front; control-edge insertion happens after the
     // sweep (the oracle snapshots the graph, so mutation is deferred).
@@ -228,7 +234,12 @@ class SharedGatingPass {
             }
           }
         }
-        if (!ok) continue;
+        if (!ok) {
+          // A consumed rejection is final (later commits only tighten), so
+          // it counts exactly like the sequential sweep's oracle reject.
+          ++slackRejects_;
+          continue;
+        }
 
         // ACCEPT: roll back the assumption-tainted memo writes of the later
         // candidates in this wave BEFORE installing the new condition (the
@@ -327,6 +338,7 @@ class SharedGatingPass {
     oracle_.push(e.edges, /*probe=*/true);
     if (!oracle_.feasible()) {
       oracle_.pop();
+      ++slackRejects_;
       return false;
     }
     fault::point("gating-commit");
@@ -359,6 +371,7 @@ class SharedGatingPass {
   /// Wave-evaluation memo write log for rollback (table tag, node).
   std::vector<std::pair<char, NodeId>> memoLog_;
   bool logging_ = false;
+  int slackRejects_ = 0;
   /// Pipeline callers interleave this pass with code holding refs into the
   /// thread's DNF→probability manager (controller condition-class keys,
   /// mapper decode-memo keys). Pin it for the pass's lifetime so any
@@ -503,9 +516,12 @@ class SharedGatingPassReference {
 
 }  // namespace
 
-int applySharedGating(PowerManagedDesign& design, const RunBudget* budget) {
+int applySharedGating(PowerManagedDesign& design, const RunBudget* budget,
+                      int* slackRejects) {
   SharedGatingPass pass(design, budget);
-  return pass.run();
+  const int gated = pass.run();
+  if (slackRejects != nullptr) *slackRejects = pass.slackRejects();
+  return gated;
 }
 
 int applySharedGatingReference(PowerManagedDesign& design) {

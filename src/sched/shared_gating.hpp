@@ -36,7 +36,14 @@ enum class GatingMode {
 /// is exhausted or the DNF arena outgrows the term cap (the pass holds
 /// interned handles, so it cannot trim — it stops gating instead); the
 /// design stays valid and the degraded flag is set.
-int applySharedGating(PowerManagedDesign& design, const RunBudget* budget = nullptr);
+///
+/// `slackRejects`, when given, receives the number of probeworthy candidates
+/// the oracle rejected for schedulability (structural rejections are not
+/// counted). Zero means every candidate that could be gated was gated — the
+/// saturation half of the explore driver's certificate (docs/EXPLORE.md):
+/// the same pass at a looser step budget makes identical decisions.
+int applySharedGating(PowerManagedDesign& design, const RunBudget* budget = nullptr,
+                      int* slackRejects = nullptr);
 
 /// From-scratch variant (frames recomputed per candidate); retained as the
 /// differential-test reference for applySharedGating.

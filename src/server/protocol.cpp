@@ -51,6 +51,15 @@ bool requireBool(const JsonValue& v, const char* name) {
   return v.asBool();
 }
 
+/// A small positive integer field shared by the explore range options.
+int requireSmallInt(const JsonValue& v, const char* name, long long maxValue) {
+  if (!v.isInteger() || v.asInt() <= 0 || v.asInt() > maxValue)
+    throw ServerError(ServerErrorCategory::Usage,
+                      std::string("field '") + name + "' must be an integer in [1, " +
+                          std::to_string(maxValue) + "]");
+  return static_cast<int>(v.asInt());
+}
+
 void parseDesignFields(const JsonValue& root, DesignRequest& out) {
   bool haveGraph = false;
   bool haveSteps = false;
@@ -61,6 +70,9 @@ void parseDesignFields(const JsonValue& root, DesignRequest& out) {
       out.graphText = value.asString();
       haveGraph = true;
     } else if (key == "steps") {
+      if (out.explore)
+        throw ServerError(ServerErrorCategory::Usage,
+                          "explore sweeps step budgets; use 'min_steps'/'max_steps'");
       if (!value.isInteger()) protocolError("field 'steps' must be an integer");
       const long long steps = value.asInt();
       if (steps <= 0 || steps > std::numeric_limits<int>::max())
@@ -68,6 +80,20 @@ void parseDesignFields(const JsonValue& root, DesignRequest& out) {
                           "'steps' must be a positive 32-bit integer");
       out.steps = static_cast<int>(steps);
       haveSteps = true;
+    } else if (out.explore && key == "span") {
+      if (!value.isInteger() || value.asInt() < 0 || value.asInt() > (1 << 16))
+        throw ServerError(ServerErrorCategory::Usage,
+                          "field 'span' must be an integer in [0, 65536]");
+      out.exploreSpan = static_cast<int>(value.asInt());
+    } else if (out.explore && key == "min_steps") {
+      out.exploreMinSteps = requireSmallInt(value, "min_steps", 1 << 20);
+    } else if (out.explore && key == "max_steps") {
+      out.exploreMaxSteps = requireSmallInt(value, "max_steps", 1 << 20);
+    } else if (out.explore && (key == "cache" || key == "emit_design")) {
+      // Explore results bypass the design cache and never embed a single
+      // design graph; reject rather than silently ignore.
+      throw ServerError(ServerErrorCategory::Usage,
+                        "field '" + key + "' does not apply to op 'explore'");
     } else if (key == "ordering") {
       if (!value.isString()) protocolError("field 'ordering' must be a string");
       const std::string& mode = value.asString();
@@ -99,7 +125,16 @@ void parseDesignFields(const JsonValue& root, DesignRequest& out) {
       protocolError("unknown field '" + key + "'");
     }
   }
-  if (!haveGraph) protocolError("design request is missing 'graph'");
+  if (!haveGraph)
+    protocolError(std::string(out.explore ? "explore" : "design") +
+                  " request is missing 'graph'");
+  if (out.explore) {
+    if (out.exploreMinSteps > 0 && out.exploreMaxSteps > 0 &&
+        out.exploreMaxSteps < out.exploreMinSteps)
+      throw ServerError(ServerErrorCategory::Usage,
+                        "'max_steps' must be >= 'min_steps'");
+    return;
+  }
   if (!haveSteps) protocolError("design request is missing 'steps'");
 }
 
@@ -136,6 +171,14 @@ RequestFrame parseRequestFrame(std::string_view line, std::size_t maxFrameBytes)
 
   if (opName == "design") {
     frame.op = RequestOp::Design;
+    parseDesignFields(root, frame.design);
+    return frame;
+  }
+  if (opName == "explore") {
+    frame.op = RequestOp::Explore;
+    frame.design.explore = true;
+    frame.design.cache = false;       // the sweep is the amortization
+    frame.design.emitDesign = false;  // fronts, not a single design graph
     parseDesignFields(root, frame.design);
     return frame;
   }

@@ -67,12 +67,21 @@ struct DesignRequest {
   long long budgetBddNodes = 0;
   long long budgetDnfTerms = 0;
 
+  // The "explore" op reuses this payload with a sweep range instead of one
+  // "steps" point ("span", "min_steps", "max_steps" — docs/EXPLORE.md).
+  // Explore results bypass both design-cache levels (the sweep IS the
+  // amortization) and always class as large for admission.
+  bool explore = false;
+  int exploreSpan = 8;
+  int exploreMinSteps = 0;  ///< 0 = critical path
+  int exploreMaxSteps = 0;  ///< 0 = min + span
+
   [[nodiscard]] bool hasBudget() const {
     return budgetMs > 0 || budgetProbes > 0 || budgetBddNodes > 0 || budgetDnfTerms > 0;
   }
 };
 
-enum class RequestOp { Design, OpenSession, CloseSession, Ping, Stats, Shutdown };
+enum class RequestOp { Design, Explore, OpenSession, CloseSession, Ping, Stats, Shutdown };
 
 /// One decoded request line.
 struct RequestFrame {

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "cdfg/textio.hpp"
+#include "explore/explore.hpp"
 #include "sched/condition.hpp"
 #include "server/cache_persist.hpp"
 #include "support/fault_injector.hpp"
@@ -71,6 +72,7 @@ bool ServerCore::submitFrame(const std::string& line, ResponseSink sink) {
 
   switch (frame.op) {
     case RequestOp::Design:
+    case RequestOp::Explore:
       handleDesign(std::move(frame), sink);
       return !shutdownRequested();
 
@@ -235,7 +237,10 @@ void ServerCore::handleDesign(RequestFrame&& frame, ResponseSink& sink) {
   job.session = std::move(frame.session);
   job.design = std::move(frame.design);
   job.sink = std::move(sink);
-  const bool small = job.design.graphText.size() <= options_.smallRequestBytes;
+  // Explore sweeps are whole-range jobs; they always class as large so a
+  // burst of them cannot starve small one-shot requests.
+  const bool small =
+      !job.design.explore && job.design.graphText.size() <= options_.smallRequestBytes;
   (small ? smallQueue_ : largeQueue_).push_back(std::move(job));
   ++stats_.accepted;
   ++inFlight_;
@@ -339,7 +344,8 @@ void ServerCore::superviseCrash(Job&& job, const std::string& what) {
       std::this_thread::sleep_for(std::chrono::milliseconds(options_.retryBackoffMs));
     job.attempts = 1;
     job.bypassCache = true;
-    const bool small = job.design.graphText.size() <= options_.smallRequestBytes;
+    const bool small =
+        !job.design.explore && job.design.graphText.size() <= options_.smallRequestBytes;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.retries;
@@ -379,10 +385,62 @@ std::string exactRequestKey(const DesignRequest& d) {
   return key;
 }
 
+/// Compose the request's own caps with the server-side default deadline
+/// (applied only when the request sent no `budget.ms` of its own — a client
+/// deadline always wins; the other caps compose). Returns nullptr when the
+/// job ends up unbudgeted; `defaultDeadline` reports whether the SERVER's
+/// deadline is the active ms cap (for the deadline-trip counter).
+const RunBudget* composeBudget(const DesignRequest& d, const ServerOptions& options,
+                               RunBudget& storage, bool& defaultDeadline) {
+  const RunBudget* budget = nullptr;
+  if (d.hasBudget()) {
+    if (d.budgetMs > 0) storage.setDeadline(std::chrono::milliseconds(d.budgetMs));
+    if (d.budgetProbes > 0)
+      storage.setProbeCap(static_cast<std::uint64_t>(d.budgetProbes));
+    if (d.budgetBddNodes > 0)
+      storage.setBddNodeCap(static_cast<std::size_t>(d.budgetBddNodes));
+    if (d.budgetDnfTerms > 0)
+      storage.setDnfTermCap(static_cast<std::size_t>(d.budgetDnfTerms));
+    budget = &storage;
+  }
+  defaultDeadline = options.defaultDeadlineMs > 0 && d.budgetMs == 0;
+  if (defaultDeadline) {
+    storage.setDeadline(std::chrono::milliseconds(options.defaultDeadlineMs));
+    budget = &storage;
+  }
+  return budget;
+}
+
 }  // namespace
 
 void ServerCore::processJob(Job& job) {
   try {
+    if (job.design.explore) {
+      // Explore sweeps bypass both cache levels by construction (the parser
+      // pins cache=false): the sweep itself is the amortization, and the
+      // result shape (a front, not one design) does not fit either level.
+      ExploreRequest req;
+      req.graph = loadGraphText(job.design.graphText);
+      req.minSteps = job.design.exploreMinSteps;
+      req.maxSteps = job.design.exploreMaxSteps;
+      req.span = job.design.exploreSpan;
+      req.ordering = job.design.ordering;
+      req.optimal = job.design.optimal;
+      req.shared = job.design.shared;
+      RunBudget budgetStorage;
+      bool defaultDeadline = false;
+      const RunBudget* budget =
+          composeBudget(job.design, options_, budgetStorage, defaultDeadline);
+      const ExploreResult res = exploreDesignSpace(req, budget);
+      if (defaultDeadline && budgetStorage.exhaustedWhy() == BudgetKind::Deadline) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.deadlineTrips;
+      }
+      job.responded = true;
+      job.sink(makeResultResponse(job.idJson, renderExploreJson(res)));
+      return;
+    }
+
     // Budgeted runs are wall-clock-dependent, so they neither consult nor
     // feed the cache — a replay could disagree with a live run. A retried
     // job also bypasses it: the warm path may be what crashed attempt 0.
@@ -434,27 +492,9 @@ void ServerCore::processJob(Job& job) {
     }
 
     RunBudget budgetStorage;
-    const RunBudget* budget = nullptr;
-    if (job.design.hasBudget()) {
-      if (job.design.budgetMs > 0)
-        budgetStorage.setDeadline(std::chrono::milliseconds(job.design.budgetMs));
-      if (job.design.budgetProbes > 0)
-        budgetStorage.setProbeCap(static_cast<std::uint64_t>(job.design.budgetProbes));
-      if (job.design.budgetBddNodes > 0)
-        budgetStorage.setBddNodeCap(static_cast<std::size_t>(job.design.budgetBddNodes));
-      if (job.design.budgetDnfTerms > 0)
-        budgetStorage.setDnfTermCap(static_cast<std::size_t>(job.design.budgetDnfTerms));
-      budget = &budgetStorage;
-    }
-    // Server-side default deadline: applied only when the request sent no
-    // deadline of its own (a client `budget.ms` always wins; the other caps
-    // compose). Keeps a pathological graph from pinning this worker slot.
-    const bool defaultDeadline =
-        options_.defaultDeadlineMs > 0 && job.design.budgetMs == 0;
-    if (defaultDeadline) {
-      budgetStorage.setDeadline(std::chrono::milliseconds(options_.defaultDeadlineMs));
-      budget = &budgetStorage;
-    }
+    bool defaultDeadline = false;
+    const RunBudget* budget =
+        composeBudget(job.design, options_, budgetStorage, defaultDeadline);
 
     const DesignOutcome outcome = runDesignJob(dj, budget);
     if (defaultDeadline && budgetStorage.exhaustedWhy() == BudgetKind::Deadline) {

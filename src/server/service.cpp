@@ -14,14 +14,21 @@ DesignOutcome runDesignJob(const DesignJob& job, const RunBudget* budget) {
                    ? applyPowerManagementOptimal(job.graph, job.steps, 24, budget)
                    : applyPowerManagement(job.graph, job.steps, job.ordering,
                                           LatencyModel::unit(), budget);
-  if (job.shared) out.sharedGated = applySharedGating(out.design, budget);
+  if (job.shared)
+    out.sharedGated = applySharedGating(out.design, budget, &out.sharedGatingSlackRejects);
+  finishDesignJob(out, job, budget);
+  return out;
+}
 
-  out.units = minimizeResources(out.design.graph, job.steps);
+void finishDesignJob(DesignOutcome& out, const DesignJob& job, const RunBudget* budget,
+                     const FinishOptions& fin) {
+  out.units = fin.units != nullptr ? *fin.units
+                                   : minimizeResources(out.design.graph, job.steps);
   const ListScheduleResult scheduled = listSchedule(out.design.graph, job.steps, out.units);
   if (!scheduled.schedule) throw InfeasibleError(scheduled.message);
   out.schedule = *scheduled.schedule;
   out.binding = bindDesign(out.design.graph, out.schedule);
-  out.activation = analyzeActivation(out.design, budget);
+  if (!fin.reuseActivation) out.activation = analyzeActivation(out.design, budget);
   out.controller = synthesizeController(out.design, out.schedule, out.binding, out.activation);
 
   DesignSummary& s = out.summary;
@@ -48,7 +55,6 @@ DesignOutcome runDesignJob(const DesignJob& job, const RunBudget* budget) {
     else
       s.degradeReason = "stage-local limit";
   }
-  return out;
 }
 
 }  // namespace pmsched

@@ -58,6 +58,10 @@ struct DesignOutcome {
   ActivationResult activation;
   ControllerSpec controller;
   DesignSummary summary;
+  /// Probeworthy shared-gating candidates the oracle rejected for slack.
+  /// Zero is half of the explore driver's saturation certificate (the
+  /// transform half is managedCount == the graph's full candidate count).
+  int sharedGatingSlackRejects = 0;
 };
 
 /// Run the full pipeline: power-management transform (greedy or optimal),
@@ -67,5 +71,24 @@ struct DesignOutcome {
 /// docs/ROBUSTNESS.md contracts instead of throwing.
 [[nodiscard]] DesignOutcome runDesignJob(const DesignJob& job,
                                          const RunBudget* budget = nullptr);
+
+/// Steering for finishDesignJob() when a caller already holds part of the
+/// tail's result (the explore driver's amortized point path).
+struct FinishOptions {
+  /// Already-minimized resources for out.design.graph at job.steps; skips
+  /// the minimizeResources search when non-null.
+  const ResourceVector* units = nullptr;
+  /// out.activation is already valid for out.design — skip the analysis.
+  /// Sound only when the design's gating conditions are unchanged (the
+  /// analysis does not depend on the step budget or the schedule).
+  bool reuseActivation = false;
+};
+
+/// The steps-dependent tail of runDesignJob(): resource minimization, list
+/// scheduling, binding, activation analysis, controller synthesis and the
+/// summary verdict, over an out.design/out.sharedGated the caller already
+/// produced. runDesignJob() is exactly transform + shared gating + this.
+void finishDesignJob(DesignOutcome& out, const DesignJob& job,
+                     const RunBudget* budget = nullptr, const FinishOptions& fin = {});
 
 }  // namespace pmsched

@@ -15,7 +15,7 @@ namespace {
 // The registry of every point() call compiled into the library. Kept here
 // (not distributed) so the CI fault matrix and docs/ROBUSTNESS.md have one
 // authoritative list to iterate.
-constexpr std::array<std::string_view, 15> kSites = {
+constexpr std::array<std::string_view, 16> kSites = {
     "parse-stmt",      // textio: per accepted statement (input path)
     "bdd-node",        // BddManager::makeNode (allocation)
     "bdd-sift",        // BddManager::swapLevels (pre-mutation, reordering)
@@ -32,6 +32,8 @@ constexpr std::array<std::string_view, 15> kSites = {
     "cache-journal-write",   // cache persistence append (clean: not journaled)
     "cache-snapshot-load",   // cache persistence load (clean: cold start)
     "drain-deadline",  // drain entry (clean: queued work failed out typed)
+    "explore-point",   // explore sweep, per point (clean: point skipped
+                       // typed, the rest of the front still emits)
 };
 
 /// One armed "site:nth" entry. Several entries may name the same site (a

@@ -202,9 +202,10 @@ TEST(RunBudget, DeadlineBoundsTheOptimalSearch) {
 TEST(FaultInjector, SiteListIsStable) {
   KnobGuard guard;
   const auto sites = fault::sites();
-  ASSERT_EQ(sites.size(), 15u);
+  ASSERT_EQ(sites.size(), 16u);
   bool foundParse = false;
   bool foundSift = false;
+  bool foundExplorePoint = false;
   bool foundServeFrame = false;
   bool foundCacheInsert = false;
   bool foundWorkerCrash = false;
@@ -214,6 +215,7 @@ TEST(FaultInjector, SiteListIsStable) {
   for (const auto site : sites) {
     foundParse |= (site == "parse-stmt");
     foundSift |= (site == "bdd-sift");
+    foundExplorePoint |= (site == "explore-point");
     foundServeFrame |= (site == "serve-frame");
     foundCacheInsert |= (site == "cache-insert");
     foundWorkerCrash |= (site == "worker-crash");
@@ -223,6 +225,7 @@ TEST(FaultInjector, SiteListIsStable) {
   }
   EXPECT_TRUE(foundParse);
   EXPECT_TRUE(foundSift);
+  EXPECT_TRUE(foundExplorePoint);
   EXPECT_TRUE(foundServeFrame);
   EXPECT_TRUE(foundCacheInsert);
   EXPECT_TRUE(foundWorkerCrash);

@@ -67,7 +67,7 @@ MANY="$TMPDIR/bench_report_tN.$$.json"
 ASSEMBLED="$OUT.tmp.$$"
 trap 'rm -f "$ONE" "$MANY" "$ASSEMBLED" \
   "$TMPDIR/bench_report_srv_mixed.$$.json" "$TMPDIR/bench_report_srv_on.$$.json" \
-  "$TMPDIR/bench_report_srv_off.$$.json"' EXIT
+  "$TMPDIR/bench_report_srv_off.$$.json" "$TMPDIR/bench_report_explore.$$.json"' EXIT
 
 fail() {
   echo "bench_report: ERROR: $1" >&2
@@ -133,6 +133,45 @@ if [ -n "$PMSCHED_BIN" ] && [ -n "$LOADGEN_BIN" ]; then
   HAVE_SERVER=1
 fi
 
+# Amortized-exploration speedup (PR 10, docs/EXPLORE.md): the per-size
+# BM_ExplorePerPoint / BM_ExploreSweep real_time ratio from both runs,
+# published under a top-level "explore" key. Skipped (not failed) when
+# python3 is unavailable or the filter excluded the explore pair — the
+# ratio is derived data; the raw numbers are in the runs either way.
+EXPLORE="$TMPDIR/bench_report_explore.$$.json"
+HAVE_EXPLORE=0
+if command -v python3 >/dev/null 2>&1; then
+  if python3 - "$ONE" "$MANY" "$THREADS" >"$EXPLORE" <<'PY'
+import json
+import sys
+
+
+def ratios(path):
+    doc = json.load(open(path))
+    by_size = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench["name"]
+        if name.startswith(("BM_ExploreSweep/", "BM_ExplorePerPoint/")):
+            kind, size = name.split("/", 1)
+            by_size.setdefault(size, {})[kind] = bench["real_time"]
+    out = {}
+    for size, pair in sorted(by_size.items(), key=lambda kv: int(kv[0])):
+        sweep = pair.get("BM_ExploreSweep")
+        per_point = pair.get("BM_ExplorePerPoint")
+        if sweep and per_point:
+            out[size] = round(per_point / sweep, 2)
+    return out
+
+
+one, many = ratios(sys.argv[1]), ratios(sys.argv[2])
+if not one and not many:
+    sys.exit(1)
+json.dump({"amortized_speedup": {"1": one, sys.argv[3]: many}}, sys.stdout)
+print()
+PY
+  then HAVE_EXPLORE=1; fi
+fi
+
 {
   printf '{\n"threads": {\n"1":\n'
   cat "$ONE"
@@ -147,6 +186,10 @@ fi
     printf ',\n"cache_off":\n'
     cat "$SRV_OFF"
     printf '}\n'
+  fi
+  if [ "$HAVE_EXPLORE" -eq 1 ]; then
+    printf ',\n"explore":\n'
+    cat "$EXPLORE"
   fi
   printf '}\n'
 } > "$ASSEMBLED"

@@ -81,6 +81,37 @@ run_site farm-stage --random-dfg 16x6:2
 run_site farm-run --random-dfg 16x6:2
 run_site_clean bdd-sift --random-dfg 16x6:2
 
+# explore-point: a fault at one sweep point must degrade cleanly — the point
+# is skipped with a typed {"kind":"fault"} entry, the REST of the front still
+# emits, and the exit stays 0 (docs/EXPLORE.md pins the contract; the
+# FaultSkipsPointKeepsFront test pins it in-process).
+run_explore_point() {
+  local out_file stderr_file
+  out_file=$(mktemp)
+  stderr_file=$(mktemp)
+  PMSCHED_FAULT="explore-point:1" PMSCHED_THREADS=2 PMSCHED_SPECULATE=force \
+    "$pmsched" --explore --explore-span 4 "$corpus/shared.ok.cdfg" \
+    >"$out_file" 2>"$stderr_file"
+  local got=$?
+  if [ "$got" -ne 0 ]; then
+    echo "FAIL explore-point: exit $got, want 0 (clean degradation)" >&2
+    sed 's/^/  stderr: /' "$stderr_file" >&2
+    failures=$((failures + 1))
+  elif ! grep -q '"kind":"fault"' "$out_file"; then
+    echo "FAIL explore-point: faulted point not skipped typed" >&2
+    sed 's/^/  out: /' "$out_file" >&2
+    failures=$((failures + 1))
+  elif ! grep -q '"front":\[{"steps":' "$out_file"; then
+    echo "FAIL explore-point: the rest of the front did not emit" >&2
+    sed 's/^/  out: /' "$out_file" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok   explore-point (clean degradation, front still emitted)"
+  fi
+  rm -f "$out_file" "$stderr_file"
+}
+run_explore_point
+
 # Server-side sites (PR 8): all three degrade CLEANLY at the server level —
 # the faulted request gets a typed error response (or, for cache-insert, a
 # normal response that simply is not cached), the server keeps serving the
@@ -179,4 +210,4 @@ if [ "$failures" -ne 0 ]; then
   echo "$failures fault-matrix failure(s)" >&2
   exit 1
 fi
-echo "fault matrix clean: 7 sites produced a structured internal diagnostic, bdd-sift and the 7 server-side sites degraded cleanly"
+echo "fault matrix clean: 7 sites produced a structured internal diagnostic, bdd-sift, explore-point and the 7 server-side sites degraded cleanly"

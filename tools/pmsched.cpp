@@ -19,6 +19,8 @@
 //   --strict            disable the shared (OR-composed) gating extension
 //   --random-dfg LxP[:SEED]  synthesize a random layered DFG (L layers of
 //                       P ops, default seed 1) instead of reading INPUT
+//   --circuit NAME      run a reconstructed paper circuit (dealer, gcd,
+//                       vender, cordic, ...) instead of reading INPUT
 //   --report FILE       Markdown design report
 //   --vhdl PREFIX       PREFIX_datapath.vhd / _controller.vhd / _tb.vhd
 //   --dot FILE          Graphviz rendering of the transformed CDFG
@@ -52,6 +54,18 @@
 //                         SIGINT) waits for in-flight work before failing
 //                         still-queued requests typed (default 5000)
 //
+// Explore mode (docs/EXPLORE.md): sweep latency budgets min..max over one
+// amortized run and print the latency/power/area Pareto front as JSON
+// (stdout carries ONLY the JSON document, so fronts diff byte-for-byte):
+//
+//   --explore             sweep instead of a single --steps point
+//   --explore-span K      sweep width when --explore-max-steps is not given
+//                         (max = min + K; default 8)
+//   --explore-min-steps N first step budget (default: critical path)
+//   --explore-max-steps N last step budget (default: min + span)
+//   --explore-out FILE    also write the JSON document to FILE
+//   --explore-reference   retained per-point loop (differential baseline)
+//
 // Run budget (see docs/ROBUSTNESS.md for the per-stage contract):
 //
 //   --budget-ms N         wall-clock deadline for the optimizing stages
@@ -80,6 +94,8 @@
 #include "alloc/binding.hpp"
 #include "analysis/report.hpp"
 #include "cdfg/textio.hpp"
+#include "circuits/circuits.hpp"
+#include "explore/explore.hpp"
 #include "lang/elaborate.hpp"
 #include "rtl/power_harness.hpp"
 #include "sched/bdd.hpp"
@@ -135,6 +151,17 @@ struct Options {
   std::string savePath;
   int powerSim = 0;
 
+  // --explore mode.
+  bool explore = false;
+  bool exploreReference = false;
+  int exploreSpan = 8;
+  int exploreMinSteps = 0;  ///< 0 = critical path
+  int exploreMaxSteps = 0;  ///< 0 = min + span
+  std::string exploreOut;
+
+  // --circuit NAME (a reconstructed paper circuit instead of INPUT).
+  std::string circuitName;
+
   // --random-dfg LxP[:SEED]
   bool randomDfg = false;
   int dfgLayers = 0;
@@ -171,6 +198,9 @@ void printUsage(std::ostream& os) {
         "               [--budget-ms N] [--budget-probes N] [--budget-bdd-nodes N]\n"
         "               [--budget-dnf-terms N] [--fail-degraded] [--bdd-reorder off|auto]\n"
         "       pmsched --random-dfg LxP[:SEED] [--steps N] [options]\n"
+        "       pmsched --circuit NAME --steps N [options]\n"
+        "       pmsched INPUT --explore [--explore-span K] [--explore-min-steps N]\n"
+        "               [--explore-max-steps N] [--explore-out FILE] [--explore-reference]\n"
         "       pmsched --calibration [--threads N]\n"
         "       pmsched --serve [--serve-socket PATH] [--serve-workers N]\n"
         "               [--serve-queue N] [--serve-max-frame N] [--serve-cache N]\n"
@@ -244,6 +274,7 @@ Options parseArgs(int argc, char** argv) {
     } else if (arg == "--strict") opts.shared = false;
     else if (arg == "--optimal") opts.optimal = true;
     else if (arg == "--random-dfg") parseRandomDfg(next("--random-dfg"), opts);
+    else if (arg == "--circuit") opts.circuitName = next("--circuit");
     else if (arg == "--report") opts.reportPath = next("--report");
     else if (arg == "--vhdl") opts.vhdlPrefix = next("--vhdl");
     else if (arg == "--dot") opts.dotPath = next("--dot");
@@ -251,6 +282,15 @@ Options parseArgs(int argc, char** argv) {
     else if (arg == "--power-sim")
       opts.powerSim = static_cast<int>(nextInt("--power-sim", 1, 1 << 24));
     else if (arg == "--calibration") opts.calibration = true;
+    else if (arg == "--explore") opts.explore = true;
+    else if (arg == "--explore-reference") opts.exploreReference = true;
+    else if (arg == "--explore-span")
+      opts.exploreSpan = static_cast<int>(nextInt("--explore-span", 0, 1 << 16));
+    else if (arg == "--explore-min-steps")
+      opts.exploreMinSteps = static_cast<int>(nextInt("--explore-min-steps", 1, 1 << 20));
+    else if (arg == "--explore-max-steps")
+      opts.exploreMaxSteps = static_cast<int>(nextInt("--explore-max-steps", 1, 1 << 20));
+    else if (arg == "--explore-out") opts.exploreOut = next("--explore-out");
     else if (arg == "--serve") opts.serve = true;
     else if (arg == "--serve-socket") opts.serveSocket = next("--serve-socket");
     else if (arg == "--serve-workers")
@@ -295,11 +335,32 @@ Options parseArgs(int argc, char** argv) {
       throw UsageError("--serve takes no INPUT (requests arrive as frames)");
     return opts;
   }
-  if (opts.randomDfg) {
-    if (!opts.inputPath.empty()) throw UsageError("--random-dfg replaces the INPUT file");
+  if (!opts.explore) {
+    if (opts.exploreReference || opts.exploreSpan != 8 || opts.exploreMinSteps != 0 ||
+        opts.exploreMaxSteps != 0 || !opts.exploreOut.empty())
+      throw UsageError("--explore-* options require --explore");
+  } else {
+    if (opts.steps != 0)
+      throw UsageError("--explore sweeps step budgets; use --explore-min-steps/--explore-max-steps");
+    if (!opts.reportPath.empty() || !opts.vhdlPrefix.empty() || !opts.dotPath.empty() ||
+        !opts.savePath.empty() || opts.powerSim != 0)
+      throw UsageError("artifact emitters are not available with --explore");
+    if (opts.exploreMinSteps != 0 && opts.exploreMaxSteps != 0 &&
+        opts.exploreMaxSteps < opts.exploreMinSteps)
+      throw UsageError("--explore-max-steps must be >= --explore-min-steps");
+  }
+  if (opts.randomDfg || !opts.circuitName.empty()) {
+    if (opts.randomDfg && !opts.circuitName.empty())
+      throw UsageError("--circuit and --random-dfg are mutually exclusive");
+    if (!opts.inputPath.empty())
+      throw UsageError(std::string(opts.randomDfg ? "--random-dfg" : "--circuit") +
+                       " replaces the INPUT file");
+    if (!opts.circuitName.empty() && !opts.explore && opts.steps <= 0)
+      throw UsageError("--steps is required and must be positive");
   } else {
     if (opts.inputPath.empty()) throw UsageError("no input file");
-    if (opts.steps <= 0) throw UsageError("--steps is required and must be positive");
+    if (!opts.explore && opts.steps <= 0)
+      throw UsageError("--steps is required and must be positive");
   }
   return opts;
 }
@@ -377,7 +438,9 @@ void writeFile(const std::string& path, const std::string& text) {
   std::cout << "wrote " << path << " (" << text.size() << " bytes)\n";
 }
 
-int run(const Options& opts) {
+/// Shared front-end setup for run()/runExplore(): thread count, BDD
+/// reorder mode, and the optional CLI run budget.
+const RunBudget* configureRun(const Options& opts, RunBudget& budgetStorage) {
   // Configure the transform's speculative-probing parallelism before the
   // first pool use; every downstream pass (greedy transform, shared
   // gating, exact search, activation analysis) picks it up from here.
@@ -385,31 +448,86 @@ int run(const Options& opts) {
   // --bdd-reorder beats PMSCHED_BDD_REORDER; unset keeps the env default.
   if (opts.bddReorderSet) setBddReorderMode(opts.bddReorder);
 
-  RunBudget budgetStorage;
-  const RunBudget* budget = nullptr;
-  if (opts.hasBudget()) {
-    if (opts.budgetMs > 0)
-      budgetStorage.setDeadline(std::chrono::milliseconds(opts.budgetMs));
-    if (opts.budgetProbes > 0)
-      budgetStorage.setProbeCap(static_cast<std::uint64_t>(opts.budgetProbes));
-    if (opts.budgetBddNodes > 0)
-      budgetStorage.setBddNodeCap(static_cast<std::size_t>(opts.budgetBddNodes));
-    if (opts.budgetDnfTerms > 0)
-      budgetStorage.setDnfTermCap(static_cast<std::size_t>(opts.budgetDnfTerms));
-    budget = &budgetStorage;
-  }
+  if (!opts.hasBudget()) return nullptr;
+  if (opts.budgetMs > 0)
+    budgetStorage.setDeadline(std::chrono::milliseconds(opts.budgetMs));
+  if (opts.budgetProbes > 0)
+    budgetStorage.setProbeCap(static_cast<std::uint64_t>(opts.budgetProbes));
+  if (opts.budgetBddNodes > 0)
+    budgetStorage.setBddNodeCap(static_cast<std::size_t>(opts.budgetBddNodes));
+  if (opts.budgetDnfTerms > 0)
+    budgetStorage.setDnfTermCap(static_cast<std::size_t>(opts.budgetDnfTerms));
+  return &budgetStorage;
+}
 
-  Graph g;
-  int steps = opts.steps;
-  if (opts.randomDfg) {
-    g = randomLayeredDfg(opts.dfgLayers, opts.dfgPerLayer, opts.dfgSeed);
-    if (steps <= 0) steps = criticalPathLength(g) + 2;
-  } else {
-    const std::string source = readFile(opts.inputPath);
-    const bool isSil = opts.inputPath.size() >= 4 &&
-                       opts.inputPath.substr(opts.inputPath.size() - 4) == ".sil";
-    g = isSil ? lang::compile(source) : loadGraphText(source);
+/// Resolve INPUT / --circuit / --random-dfg into a graph (shared by both
+/// run modes).
+Graph loadInputGraph(const Options& opts) {
+  if (!opts.circuitName.empty()) {
+    for (const auto& named : circuits::paperCircuits())
+      if (opts.circuitName == named.name) return named.build();
+    std::string known;
+    for (const auto& named : circuits::paperCircuits()) {
+      if (!known.empty()) known += ", ";
+      known += named.name;
+    }
+    throw InputError("unknown circuit '" + opts.circuitName + "' (known: " + known + ")");
   }
+  if (opts.randomDfg)
+    return randomLayeredDfg(opts.dfgLayers, opts.dfgPerLayer, opts.dfgSeed);
+  const std::string source = readFile(opts.inputPath);
+  const bool isSil = opts.inputPath.size() >= 4 &&
+                     opts.inputPath.substr(opts.inputPath.size() - 4) == ".sil";
+  return isSil ? lang::compile(source) : loadGraphText(source);
+}
+
+/// --explore: one amortized Pareto sweep (docs/EXPLORE.md). Stdout carries
+/// ONLY the JSON document so the CI smoke jobs can diff fronts
+/// byte-for-byte; the degradation summary goes to stderr.
+int runExplore(const Options& opts) {
+  RunBudget budgetStorage;
+  const RunBudget* budget = configureRun(opts, budgetStorage);
+
+  ExploreRequest req;
+  req.graph = loadInputGraph(opts);
+  req.minSteps = opts.exploreMinSteps;
+  req.maxSteps = opts.exploreMaxSteps;
+  req.span = opts.exploreSpan;
+  req.ordering = opts.ordering;
+  req.optimal = opts.optimal;
+  req.shared = opts.shared;
+
+  const ExploreResult res = opts.exploreReference ? explorePerPointReference(req, budget)
+                                                  : exploreDesignSpace(req, budget);
+  const std::string json = renderExploreJson(res);
+  if (!opts.exploreOut.empty()) {
+    std::ofstream out(opts.exploreOut);
+    if (!out) throw InputError("cannot write '" + opts.exploreOut + "'");
+    out << json << "\n";
+  }
+  std::cout << json << "\n";
+
+  if (res.degraded) {
+    std::cerr << "degraded: yes (" << res.degradeReason << ")\n";
+    if (opts.failDegraded) {
+      std::cerr << "pmsched: "
+                << Diagnostic{"budget", SourceLoc{},
+                              "run degraded under its budget (--fail-degraded)"}
+                       .toString()
+                << "\n";
+      return kExitBudget;
+    }
+  }
+  return kExitOk;
+}
+
+int run(const Options& opts) {
+  RunBudget budgetStorage;
+  const RunBudget* budget = configureRun(opts, budgetStorage);
+
+  Graph g = loadInputGraph(opts);
+  int steps = opts.steps;
+  if (opts.randomDfg && steps <= 0) steps = criticalPathLength(g) + 2;
 
   std::cout << "circuit '" << g.name() << "': " << countOps(g).totalUnits()
             << " operations, critical path " << criticalPathLength(g) << ", budget "
@@ -518,6 +636,7 @@ int main(int argc, char** argv) {
     const Options opts = parseArgs(argc, argv);
     if (opts.calibration) return printCalibration(opts);
     if (opts.serve) return runServe(opts);
+    if (opts.explore) return runExplore(opts);
     return run(opts);
   } catch (const UsageError& e) {
     printDiag("usage", SourceLoc{}, e.what());
